@@ -1,0 +1,112 @@
+// Command essanalyze computes the study's characterization metrics from a
+// binary trace file written by esstrace.
+//
+// Usage:
+//
+//	essanalyze -i wavelet.trc -nodes 16               # Table 1 row
+//	essanalyze -i combined.trc -spatial -temporal      # locality reports
+//	essanalyze -i ppm.trc -hist                        # request size histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"essio"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace file (required)")
+	nodes := flag.Int("nodes", 16, "number of disks the trace covers")
+	label := flag.String("label", "trace", "row label")
+	hist := flag.Bool("hist", false, "print request-size histogram")
+	spatial := flag.Bool("spatial", false, "print spatial locality bands")
+	temporal := flag.Bool("temporal", false, "print hottest sectors")
+	origins := flag.Bool("origins", false, "print ground-truth origin breakdown")
+	queue := flag.Bool("queue", false, "print driver queue-depth statistics")
+	format := flag.String("format", "bin", "input format: bin or text")
+	diskSectors := flag.Uint("disk", 1024000, "disk size in sectors")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "essanalyze: -i is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essanalyze:", err)
+		os.Exit(1)
+	}
+	var recs []essio.Record
+	if *format == "text" {
+		recs, err = essio.ReadTraceText(f)
+	} else {
+		recs, err = essio.ReadTrace(f)
+	}
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essanalyze:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	duration := recs[len(recs)-1].Time - recs[0].Time
+	s := essio.Summarize(*label, recs, essio.Duration(duration), *nodes)
+	fmt.Println(s)
+
+	if *hist {
+		h := essio.SizeHistogram(recs)
+		sizes := make([]int, 0, len(h))
+		for kb := range h {
+			sizes = append(sizes, kb)
+		}
+		sort.Ints(sizes)
+		fmt.Println("request sizes:")
+		for _, kb := range sizes {
+			fmt.Printf("  %3d KB: %6d\n", kb, h[kb])
+		}
+	}
+	if *spatial {
+		bands := essio.SpatialBands(recs, 100000, uint32(*diskSectors))
+		fmt.Println("spatial locality (100K-sector bands):")
+		for _, b := range bands {
+			if b.Count > 0 {
+				fmt.Printf("  %7d-%7d: %6d (%5.1f%%)\n", b.Lo, b.Hi, b.Count, b.Pct)
+			}
+		}
+		fmt.Printf("  80%% of requests in %.0f%% of bands\n", 100*essio.Pareto(bands, 0.8))
+	}
+	if *temporal {
+		heat := essio.TemporalHeat(recs, essio.Duration(duration))
+		fmt.Println("hottest sectors:")
+		for _, h := range essio.Hottest(heat, 10) {
+			fmt.Printf("  sector %7d: %6d accesses (%.3f/s)\n", h.Sector, h.Count, h.PerSec)
+		}
+		mean, sectors := essio.InterAccess(recs)
+		fmt.Printf("  mean inter-access time %.2fs over %d revisited sectors\n", mean.Seconds(), sectors)
+	}
+	if *queue {
+		q := essio.PendingStats(recs)
+		fmt.Printf("driver queue: mean depth %.2f, max %d, busy on %.0f%% of issues\n",
+			q.MeanPending, q.MaxPending, 100*q.BusyFrac)
+	}
+	if *origins {
+		fmt.Println("origins:")
+		counts := map[essio.Origin]int{}
+		for _, r := range recs {
+			counts[r.Origin]++
+		}
+		keys := make([]int, 0, len(counts))
+		for o := range counts {
+			keys = append(keys, int(o))
+		}
+		sort.Ints(keys)
+		for _, o := range keys {
+			fmt.Printf("  %-8s %6d\n", essio.Origin(o), counts[essio.Origin(o)])
+		}
+	}
+}

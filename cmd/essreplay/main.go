@@ -1,0 +1,71 @@
+// Command essreplay re-executes a captured trace against alternative disk
+// and queue configurations — the tuning-evaluation companion to essanalyze.
+//
+// Usage:
+//
+//	essreplay -i combined.trc                       # Beowulf-default config
+//	essreplay -i combined.trc -nomerge              # elevator merging off
+//	essreplay -i combined.trc -xfer 8e6 -seek 0.5   # faster drive
+//	essreplay -i combined.trc -closed               # device-bound throughput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"essio"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace file (required)")
+	noMerge := flag.Bool("nomerge", false, "disable elevator merging")
+	maxSectors := flag.Int("maxreq", 0, "merge cap in sectors (0 = default 64)")
+	closed := flag.Bool("closed", false, "closed-loop (device-bound) replay")
+	xfer := flag.Float64("xfer", 0, "override media transfer rate (bytes/s)")
+	seekScale := flag.Float64("seek", 1, "scale seek times by this factor")
+	rpm := flag.Float64("rpm", 0, "override spindle speed")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "essreplay: -i is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essreplay:", err)
+		os.Exit(1)
+	}
+	recs, err := essio.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essreplay:", err)
+		os.Exit(1)
+	}
+
+	cfg := essio.ReplayConfig{ClosedLoop: *closed}
+	d := essio.DefaultDiskParams()
+	if *xfer > 0 {
+		d.TransferRate = *xfer
+	}
+	if *rpm > 0 {
+		d.RPM = *rpm
+	}
+	if *seekScale != 1 {
+		d.TrackSeek = essio.Duration(float64(d.TrackSeek) * *seekScale)
+		d.FullSeek = essio.Duration(float64(d.FullSeek) * *seekScale)
+	}
+	cfg.Disk = d
+	if *noMerge {
+		cfg.MaxRequestSectors = -1
+	} else if *maxSectors > 0 {
+		cfg.MaxRequestSectors = *maxSectors
+	}
+
+	rep, err := essio.ReplayTrace(recs, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essreplay:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+}

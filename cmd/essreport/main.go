@@ -1,0 +1,150 @@
+// Command essreport regenerates the paper's full evaluation: it runs all
+// five experiments (baseline, the three applications alone, and the
+// combined production mix) and renders Table 1 and Figures 1–8 with
+// paper-vs-measured commentary.
+//
+// Usage:
+//
+//	essreport                 # full 16-node reproduction (minutes)
+//	essreport -small          # scaled-down quick pass
+//	essreport -fig 3          # only the experiment behind Figure 3
+//	essreport -table1         # only Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"essio"
+)
+
+func runOne(kind essio.Kind, nodes int, seed int64, small bool) (*essio.Result, error) {
+	var cfg essio.Config
+	if small {
+		cfg = essio.SmallConfig(kind, nodes)
+	} else {
+		cfg = essio.Config{Kind: kind, Nodes: nodes}
+	}
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "running %s experiment (%d nodes)...\n", kind, cfg.Nodes)
+	return essio.Run(cfg)
+}
+
+func main() {
+	nodes := flag.Int("nodes", 16, "cluster size")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	small := flag.Bool("small", false, "scaled-down configuration")
+	fig := flag.Int("fig", 0, "render only this figure (1-8)")
+	table1 := flag.Bool("table1", false, "render only Table 1")
+	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and report mean±stddev")
+	svgDir := flag.String("svg", "", "also write Figures 1-8 as SVG files into this directory")
+	flag.Parse()
+
+	if *seeds > 1 {
+		list := make([]int64, *seeds)
+		for i := range list {
+			list[i] = *seed + int64(i)
+		}
+		for _, k := range essio.Kinds {
+			var cfg essio.Config
+			if *small {
+				cfg = essio.SmallConfig(k, *nodes)
+			} else {
+				cfg = essio.Config{Kind: k, Nodes: *nodes}
+			}
+			rep, err := essio.RunSeeds(cfg, list)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "essreport:", err)
+				os.Exit(1)
+			}
+			fmt.Println(rep)
+		}
+		return
+	}
+
+	if *fig != 0 {
+		kind, err := essio.KindForFigure(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+			os.Exit(2)
+		}
+		res, err := runOne(kind, *nodes, *seed, *small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+			os.Exit(1)
+		}
+		out, err := essio.Figure(*fig, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	kinds := essio.Kinds
+	if *table1 {
+		kinds = []essio.Kind{essio.Baseline, essio.PPM, essio.Wavelet, essio.NBody}
+	}
+	results := map[essio.Kind]*essio.Result{}
+	for _, k := range kinds {
+		res, err := runOne(k, *nodes, *seed, *small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+			os.Exit(1)
+		}
+		results[k] = res
+	}
+
+	fmt.Println(essio.Table1(results))
+	if *table1 {
+		return
+	}
+	for _, spec := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		kind, _ := essio.KindForFigure(spec)
+		out, err := essio.Figure(spec, results[kind])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *svgDir != "" {
+			svg, err := essio.FigureSVG(spec, results[kind])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "essreport:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*svgDir, fmt.Sprintf("figure%d.svg", spec))
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "essreport:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	for _, k := range kinds {
+		fmt.Println(essio.SizeClassReport(results[k]))
+		fmt.Println(essio.LevelsReport(results[k]))
+	}
+	// The paper's stated next step: the characterization as a parameter
+	// set for system design and tuning.
+	for _, k := range kinds {
+		prof := essio.CharacterizeResult(results[k])
+		fmt.Println(prof)
+		d := prof.Derive(16)
+		fmt.Printf("derived tuning for %s: read-ahead %d KB, %s", k, d.ReadAheadKB, d.WritePolicy)
+		if d.SuggestedMemoryMB > 16 {
+			fmt.Printf(", memory -> %d MB", d.SuggestedMemoryMB)
+		}
+		if d.SeparateLogDisk {
+			fmt.Printf(", separate log device")
+		}
+		fmt.Println()
+		for _, r := range d.Rationale {
+			fmt.Printf("  - %s\n", r)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Command esstrace runs one of the study's experiments on the simulated
+// Beowulf cluster and writes the captured device-driver trace.
+//
+// Usage:
+//
+//	esstrace -kind wavelet -nodes 16 -o wavelet.trc
+//	esstrace -kind baseline -text            # human-readable dump to stdout
+//	esstrace -kind combined -small           # scaled-down quick run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"essio"
+)
+
+func main() {
+	kind := flag.String("kind", "baseline", "experiment: baseline|ppm|wavelet|nbody|combined")
+	nodes := flag.Int("nodes", 16, "cluster size")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("o", "", "output trace file (binary format); empty writes no file")
+	outText := flag.String("otext", "", "output trace file in tab-separated text format")
+	text := flag.Bool("text", false, "dump records as text to stdout")
+	small := flag.Bool("small", false, "scaled-down configuration (quick)")
+	flag.Parse()
+
+	var cfg essio.Config
+	if *small {
+		cfg = essio.SmallConfig(essio.Kind(*kind), *nodes)
+	} else {
+		cfg = essio.Config{Kind: essio.Kind(*kind), Nodes: *nodes}
+	}
+	cfg.Seed = *seed
+
+	res, err := essio.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esstrace:", err)
+		os.Exit(1)
+	}
+	s := essio.Summarize(*kind, res.Merged, res.Duration, res.Nodes)
+	fmt.Println(s)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		if err := essio.WriteTrace(f, res.Merged); err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(res.Merged), *out)
+	}
+	if *outText != "" {
+		f, err := os.Create(*outText)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		if err := essio.WriteTraceText(f, res.Merged); err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s (text)\n", len(res.Merged), *outText)
+	}
+	if *text {
+		for _, r := range res.Merged {
+			fmt.Println(r)
+		}
+	}
+}

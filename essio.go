@@ -1,0 +1,262 @@
+// Package essio reproduces Berry & El-Ghazawi's IPPS 1996 study, "An
+// Experimental Study of Input/Output Characteristics of NASA Earth and
+// Space Sciences Applications", as a deterministic full-system simulation:
+// a 16-node Beowulf cluster of 486 workstations, a Linux-1.x-style kernel
+// I/O path (1 KB buffer cache, 4 KB demand paging, ext2-like filesystem,
+// merging elevator), an instrumented IDE disk driver streaming trace
+// records through a proc filesystem, and the three NASA ESS applications
+// (PPM gas dynamics, wavelet image decomposition, Barnes–Hut N-body) that
+// provide the workload.
+//
+// The package re-exports the library's public surface: run the paper's
+// experiments, collect driver-level traces, and compute every table and
+// figure of the evaluation.
+//
+// Quickstart:
+//
+//	res, err := essio.Run(essio.Config{Kind: essio.Wavelet, Nodes: 16})
+//	if err != nil { ... }
+//	fmt.Println(essio.Summarize("wavelet", res.Merged, res.Duration, res.Nodes))
+//	fig, _ := essio.Figure(3, res)
+//	fmt.Println(fig)
+package essio
+
+import (
+	"essio/internal/analysis"
+	"essio/internal/apps/nbody"
+	"essio/internal/apps/ppm"
+	"essio/internal/apps/wavelet"
+	"essio/internal/cluster"
+	"essio/internal/core"
+	"essio/internal/disk"
+	"essio/internal/experiment"
+	"essio/internal/kernel"
+	"essio/internal/pious"
+	"essio/internal/pvm"
+	"essio/internal/replay"
+	"essio/internal/sim"
+	"essio/internal/trace"
+	"essio/internal/vfs"
+)
+
+// Experiment kinds, in paper order.
+const (
+	Baseline = experiment.Baseline
+	PPM      = experiment.PPM
+	Wavelet  = experiment.Wavelet
+	NBody    = experiment.NBody
+	Combined = experiment.Combined
+)
+
+// Kind selects one of the paper's experiments.
+type Kind = experiment.Kind
+
+// Kinds lists every experiment in paper order.
+var Kinds = experiment.Kinds
+
+// Config parameterizes an experiment run.
+type Config = experiment.Config
+
+// Result is a completed experiment with its traces.
+type Result = experiment.Result
+
+// Run executes one of the paper's experiments on a freshly booted cluster.
+func Run(cfg Config) (*Result, error) { return experiment.Run(cfg) }
+
+// SmallConfig returns a scaled-down configuration for quick runs.
+func SmallConfig(kind Kind, nodes int) Config { return experiment.SmallConfig(kind, nodes) }
+
+// Repeated aggregates one experiment across several seeds.
+type Repeated = experiment.Repeated
+
+// RunSeeds executes cfg once per seed and aggregates Table 1 metrics.
+func RunSeeds(cfg Config, seeds []int64) (*Repeated, error) {
+	return experiment.RunSeeds(cfg, seeds)
+}
+
+// Table1 renders the paper's Table 1 from a set of experiment results.
+func Table1(results map[Kind]*Result) string { return experiment.Table1(results) }
+
+// Figure renders one of the paper's Figures 1–8 as an ASCII plot.
+func Figure(num int, res *Result) (string, error) { return experiment.Figure(num, res) }
+
+// FigureSVG renders one of the paper's Figures 1–8 as an SVG document.
+func FigureSVG(num int, res *Result) (string, error) { return experiment.FigureSVG(num, res) }
+
+// KindForFigure reports which experiment a figure number requires.
+func KindForFigure(num int) (Kind, error) { return experiment.KindForFigure(num) }
+
+// SizeClassReport summarizes request-size classes and ground-truth origins.
+func SizeClassReport(res *Result) string { return experiment.SizeClassReport(res) }
+
+// LevelsReport contrasts library-level (explicit application I/O) against
+// driver-level (total disk load) instrumentation for an experiment.
+func LevelsReport(res *Result) string { return experiment.LevelsReport(res) }
+
+// AppIOEvent is one application-visible file operation.
+type AppIOEvent = vfs.IOEvent
+
+// Trace records and analysis types.
+type (
+	// Record is one instrumented driver observation.
+	Record = trace.Record
+	// Origin tags the kernel mechanism behind a request.
+	Origin = trace.Origin
+	// Op is the read/write flag.
+	Op = trace.Op
+	// Summary is a Table 1 row.
+	Summary = analysis.Summary
+	// Point is a (time, value) observation for scatter figures.
+	Point = analysis.Point
+	// Band is a spatial-locality bucket.
+	Band = analysis.Band
+	// Heat is per-sector access frequency.
+	Heat = analysis.Heat
+	// Duration is virtual time (microseconds).
+	Duration = sim.Duration
+	// Time is absolute virtual time.
+	Time = sim.Time
+)
+
+// Operation and origin constants.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+
+	OriginData   = trace.OriginData
+	OriginMeta   = trace.OriginMeta
+	OriginPaging = trace.OriginPaging
+	OriginSwap   = trace.OriginSwap
+	OriginLog    = trace.OriginLog
+	OriginTrace  = trace.OriginTrace
+
+	// Second is one virtual second.
+	Second = sim.Second
+	// Minute is one virtual minute.
+	Minute = sim.Minute
+)
+
+// Analysis helpers.
+var (
+	// Summarize builds a Table 1 row from a trace.
+	Summarize = analysis.Summarize
+	// SizeSeries extracts request-size-vs-time points (Figures 2–5).
+	SizeSeries = analysis.SizeSeries
+	// SectorSeries extracts sector-vs-time points (Figures 1 and 6).
+	SectorSeries = analysis.SectorSeries
+	// SizeHistogram counts requests per KB class.
+	SizeHistogram = analysis.SizeHistogram
+	// SpatialBands buckets requests into sector bands (Figure 7).
+	SpatialBands = analysis.SpatialBands
+	// Pareto reports the band fraction carrying a traffic fraction.
+	Pareto = analysis.Pareto
+	// TemporalHeat computes per-sector access frequency (Figure 8).
+	TemporalHeat = analysis.TemporalHeat
+	// Hottest returns the most frequently accessed sectors.
+	Hottest = analysis.Hottest
+	// InterAccess averages time between accesses to the same sector.
+	InterAccess = analysis.InterAccess
+	// MergeTraces combines per-node traces in time order.
+	MergeTraces = trace.Merge
+	// PendingStats computes driver queue-depth statistics.
+	PendingStats = analysis.PendingStats
+	// WriteTrace and ReadTrace are the binary trace codec;
+	// WriteTraceText and ReadTraceText are the tab-separated form.
+	WriteTrace     = trace.WriteAll
+	ReadTrace      = trace.ReadAll
+	WriteTraceText = trace.WriteText
+	ReadTraceText  = trace.ReadText
+)
+
+// Cluster access for custom workloads (see examples/customapp).
+type (
+	// Cluster is the simulated Beowulf machine.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures the machine.
+	ClusterConfig = cluster.Config
+	// Program is an executable the cluster can run.
+	Program = kernel.Program
+	// Process is a running program instance.
+	Process = kernel.Process
+	// NodeConfig is a node's hardware/policy configuration.
+	NodeConfig = kernel.Config
+)
+
+// NewCluster boots a cluster for custom workloads.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// DefaultNodeConfig returns the Beowulf prototype node configuration.
+func DefaultNodeConfig(id uint8) NodeConfig { return kernel.DefaultConfig(id) }
+
+// Application parameter types (the paper's three workloads).
+type (
+	// PPMParams configures the piecewise parabolic method code.
+	PPMParams = ppm.Params
+	// WaveletParams configures the wavelet decomposition code.
+	WaveletParams = wavelet.Params
+	// NBodyParams configures the oct-tree N-body code.
+	NBodyParams = nbody.Params
+)
+
+// Default application parameters as the study configured them.
+var (
+	DefaultPPMParams     = ppm.DefaultParams
+	DefaultWaveletParams = wavelet.DefaultParams
+	DefaultNBodyParams   = nbody.DefaultParams
+)
+
+// PIOUS parallel file system and PVM message passing, for workloads that
+// use coordinated parallel I/O (see examples/pious).
+type (
+	// Pious is the parallel file service over the cluster's node disks.
+	Pious = pious.System
+	// PiousFile is an open declustered file.
+	PiousFile = pious.File
+	// PVMTask is a message-passing endpoint.
+	PVMTask = pvm.Task
+	// Proc is a simulated process handle (Process.P() returns one).
+	Proc = sim.Proc
+)
+
+// NewPious starts PIOUS data servers on every node of a cluster.
+func NewPious(c *Cluster) *Pious {
+	return pious.New(c.E, c.PVM, c.NodeFS())
+}
+
+// The workload characterizer — the study's primary contribution as a
+// reusable library.
+type (
+	// Profile is the complete characterization of a traced workload.
+	Profile = core.Profile
+	// DesignParams is the tuning parameter set derived from a profile.
+	DesignParams = core.DesignParams
+)
+
+// Characterize computes a full workload profile from a merged trace.
+func Characterize(label string, recs []Record, duration Duration, nodes int, diskSectors uint32) *Profile {
+	return core.Characterize(label, recs, duration, nodes, diskSectors)
+}
+
+// CharacterizeResult profiles a completed experiment.
+func CharacterizeResult(res *Result) *Profile {
+	return core.Characterize(string(res.Kind), res.Merged, res.Duration, res.Nodes, res.DiskSectors)
+}
+
+// Trace replay against alternative configurations (tuning evaluation).
+type (
+	// ReplayConfig selects the hardware/queue configuration to replay
+	// a captured trace against.
+	ReplayConfig = replay.Config
+	// ReplayReport summarizes a replay.
+	ReplayReport = replay.Report
+	// DiskParams describes a drive model.
+	DiskParams = disk.Params
+)
+
+// ReplayTrace re-executes a captured trace against cfg.
+func ReplayTrace(recs []Record, cfg ReplayConfig) (ReplayReport, error) {
+	return replay.Replay(recs, cfg)
+}
+
+// DefaultDiskParams is the Beowulf node drive model.
+func DefaultDiskParams() DiskParams { return disk.DefaultParams() }

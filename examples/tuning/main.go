@@ -1,0 +1,68 @@
+// Tuning: the paper's stated next step, end to end — characterize a
+// measured workload, derive a tuning parameter set, and evaluate hardware
+// and queueing alternatives by replaying the captured trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"essio"
+)
+
+func main() {
+	// Capture a workload: the wavelet experiment (the study's most
+	// I/O-intensive application).
+	res, err := essio.Run(essio.SmallConfig(essio.Wavelet, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize it.
+	prof := essio.CharacterizeResult(res)
+	fmt.Println(prof)
+
+	// Derive the tuning parameter set the paper proposes.
+	d := prof.Derive(16)
+	fmt.Printf("derived parameters: read-ahead %d KB, %s policy", d.ReadAheadKB, d.WritePolicy)
+	if d.SuggestedMemoryMB > 16 {
+		fmt.Printf(", memory -> %d MB", d.SuggestedMemoryMB)
+	}
+	fmt.Println()
+	for _, r := range d.Rationale {
+		fmt.Println("  -", r)
+	}
+	fmt.Println()
+
+	// Evaluate disk/queue alternatives by trace replay.
+	base, err := essio.ReplayTrace(res.Merged, essio.ReplayConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("baseline config:  ", base)
+
+	noMerge, err := essio.ReplayTrace(res.Merged, essio.ReplayConfig{MaxRequestSectors: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("no merging:       ", noMerge)
+
+	fast := essio.DefaultDiskParams()
+	fast.TransferRate *= 4
+	fast.TrackSeek /= 2
+	fast.FullSeek /= 2
+	faster, err := essio.ReplayTrace(res.Merged, essio.ReplayConfig{Disk: fast})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("4x faster disk:   ", faster)
+
+	closed, err := essio.ReplayTrace(res.Merged, essio.ReplayConfig{ClosedLoop: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("closed-loop limit:", closed)
+
+	fmt.Printf("\nmean wait: %.1f ms baseline vs %.1f ms without merging vs %.1f ms on the faster disk\n",
+		base.MeanWaitMs, noMerge.MeanWaitMs, faster.MeanWaitMs)
+}

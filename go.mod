@@ -1,0 +1,3 @@
+module essio
+
+go 1.22

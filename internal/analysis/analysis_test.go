@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+func mkRecs(n int) []trace.Record {
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Time:   sim.Time(i) * sim.Time(sim.Second),
+			Sector: rng.Uint32() % 1024000,
+			Count:  uint16(2 * (rng.Intn(16) + 1)),
+			Op:     trace.Op(rng.Intn(2)),
+			Node:   uint8(rng.Intn(4)),
+			Origin: trace.Origin(rng.Intn(7)),
+		}
+	}
+	return recs
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []trace.Record{
+		{Op: trace.Read}, {Op: trace.Write}, {Op: trace.Write}, {Op: trace.Write},
+	}
+	s := Summarize("x", recs, 10*sim.Second, 2)
+	if s.Reads != 1 || s.Writes != 3 {
+		t.Fatalf("reads/writes = %d/%d", s.Reads, s.Writes)
+	}
+	if s.ReadPct != 25 || s.WritePct != 75 {
+		t.Fatalf("pcts = %v/%v", s.ReadPct, s.WritePct)
+	}
+	if s.TotalPerDisk != 2 {
+		t.Fatalf("TotalPerDisk = %v", s.TotalPerDisk)
+	}
+	if s.ReqPerSec != 0.2 {
+		t.Fatalf("ReqPerSec = %v", s.ReqPerSec)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize("empty", nil, 0, 0)
+	if s.ReadPct != 0 || s.ReqPerSec != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSeriesStartAtZero(t *testing.T) {
+	recs := []trace.Record{
+		{Time: sim.Time(5 * sim.Second), Sector: 100, Count: 2},
+		{Time: sim.Time(7 * sim.Second), Sector: 200, Count: 8},
+	}
+	ss := SizeSeries(recs)
+	if len(ss) != 2 || ss[0].T != 0 || ss[1].T != 2 {
+		t.Fatalf("size series = %v", ss)
+	}
+	if ss[0].V != 1 || ss[1].V != 4 {
+		t.Fatalf("sizes = %v", ss)
+	}
+	sec := SectorSeries(recs)
+	if sec[1].V != 200 {
+		t.Fatalf("sector series = %v", sec)
+	}
+	if SizeSeries(nil) != nil || SectorSeries(nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+}
+
+func TestSizeHistogramAndClasses(t *testing.T) {
+	recs := []trace.Record{
+		{Count: 2}, {Count: 2}, {Count: 8}, {Count: 32}, {Count: 6},
+	}
+	h := SizeHistogram(recs)
+	if h[1] != 2 || h[4] != 1 || h[16] != 1 || h[3] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+	c := ClassifySizes(recs)
+	if c.Block1K != 2 || c.Page4K != 1 || c.Large != 1 || c.Other != 1 {
+		t.Fatalf("classes = %+v", c)
+	}
+}
+
+func TestSpatialBandsSumTo100(t *testing.T) {
+	recs := mkRecs(500)
+	bands := SpatialBands(recs, 100000, 1024000)
+	if len(bands) != 11 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	var pct float64
+	count := 0
+	for _, b := range bands {
+		pct += b.Pct
+		count += b.Count
+	}
+	if math.Abs(pct-100) > 1e-9 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+	if count != 500 {
+		t.Fatalf("counts sum to %d", count)
+	}
+}
+
+func TestQuickBandsConserveCounts(t *testing.T) {
+	f := func(sectors []uint32) bool {
+		recs := make([]trace.Record, len(sectors))
+		for i, s := range sectors {
+			recs[i] = trace.Record{Sector: s % 1024000}
+		}
+		bands := SpatialBands(recs, 100000, 1024000)
+		total := 0
+		for _, b := range bands {
+			total += b.Count
+		}
+		return total == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	// 90 requests in one band, 10 spread across nine others.
+	bands := make([]Band, 10)
+	bands[0].Count = 90
+	for i := 1; i < 10; i++ {
+		bands[i].Count = 1
+	}
+	// Wait: 90+9 = 99; 80% = 79.2 <= 90, so one band suffices.
+	frac := Pareto(bands, 0.8)
+	if frac != 0.1 {
+		t.Fatalf("Pareto = %v, want 0.1", frac)
+	}
+	if Pareto(make([]Band, 5), 0.8) != 0 {
+		t.Fatal("empty bands should report 0")
+	}
+	// Uniform traffic: 80% of traffic needs 80% of bands.
+	uni := make([]Band, 10)
+	for i := range uni {
+		uni[i].Count = 10
+	}
+	if f := Pareto(uni, 0.8); f != 0.8 {
+		t.Fatalf("uniform Pareto = %v", f)
+	}
+}
+
+func TestTemporalHeatAndHottest(t *testing.T) {
+	recs := []trace.Record{
+		{Sector: 100, Time: 0}, {Sector: 100, Time: 1}, {Sector: 100, Time: 2},
+		{Sector: 500, Time: 3}, {Sector: 500, Time: 4},
+		{Sector: 900, Time: 5},
+	}
+	heat := TemporalHeat(recs, 10*sim.Second)
+	if len(heat) != 3 {
+		t.Fatalf("heat = %v", heat)
+	}
+	// Sorted by sector.
+	if heat[0].Sector != 100 || heat[2].Sector != 900 {
+		t.Fatalf("heat order = %v", heat)
+	}
+	if heat[0].PerSec != 0.3 {
+		t.Fatalf("PerSec = %v", heat[0].PerSec)
+	}
+	hot := Hottest(heat, 2)
+	if hot[0].Sector != 100 || hot[1].Sector != 500 {
+		t.Fatalf("hottest = %v", hot)
+	}
+	if len(Hottest(heat, 99)) != 3 {
+		t.Fatal("Hottest must clamp k")
+	}
+}
+
+func TestInterAccess(t *testing.T) {
+	recs := []trace.Record{
+		{Sector: 10, Time: 0},
+		{Sector: 10, Time: sim.Time(4 * sim.Second)},
+		{Sector: 10, Time: sim.Time(6 * sim.Second)},
+		{Sector: 99, Time: sim.Time(1 * sim.Second)},
+	}
+	mean, sectors := InterAccess(recs)
+	// Gaps: 4s and 2s -> mean 3s; one revisited sector.
+	if mean != 3*sim.Second || sectors != 1 {
+		t.Fatalf("mean = %v sectors = %d", mean, sectors)
+	}
+	if m, s := InterAccess(nil); m != 0 || s != 0 {
+		t.Fatal("empty InterAccess")
+	}
+}
+
+func TestWindowAndFilters(t *testing.T) {
+	recs := mkRecs(100)
+	w := Window(recs, sim.Time(10*sim.Second), sim.Time(20*sim.Second))
+	for _, r := range w {
+		if r.Time < sim.Time(10*sim.Second) || r.Time >= sim.Time(20*sim.Second) {
+			t.Fatalf("record %v outside window", r)
+		}
+	}
+	if len(w) != 10 {
+		t.Fatalf("window has %d records", len(w))
+	}
+	reads := FilterOp(recs, trace.Read)
+	writes := FilterOp(recs, trace.Write)
+	if len(reads)+len(writes) != len(recs) {
+		t.Fatal("op filter lost records")
+	}
+	n0 := FilterNode(recs, 0)
+	for _, r := range n0 {
+		if r.Node != 0 {
+			t.Fatal("node filter leaked")
+		}
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	recs := []trace.Record{
+		{Time: 0}, {Time: sim.Time(100 * sim.Millisecond)},
+		{Time: sim.Time(2 * sim.Second)},
+	}
+	pts := RatePerSecond(recs)
+	if len(pts) != 3 {
+		t.Fatalf("pts = %v", pts)
+	}
+	if pts[0].V != 2 || pts[1].V != 0 || pts[2].V != 1 {
+		t.Fatalf("rates = %v", pts)
+	}
+	if RatePerSecond(nil) != nil {
+		t.Fatal("empty rate")
+	}
+}
+
+func TestOriginBreakdown(t *testing.T) {
+	recs := []trace.Record{
+		{Origin: trace.OriginSwap}, {Origin: trace.OriginSwap}, {Origin: trace.OriginLog},
+	}
+	m := OriginBreakdown(recs)
+	if m[trace.OriginSwap] != 2 || m[trace.OriginLog] != 1 {
+		t.Fatalf("breakdown = %v", m)
+	}
+}
+
+func TestSpatialBandsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero band width")
+		}
+	}()
+	SpatialBands(nil, 0, 100)
+}
+
+func TestPendingStats(t *testing.T) {
+	recs := []trace.Record{
+		{Pending: 0}, {Pending: 3}, {Pending: 1}, {Pending: 0},
+	}
+	q := PendingStats(recs)
+	if q.MeanPending != 1.0 || q.MaxPending != 3 || q.BusyFrac != 0.5 {
+		t.Fatalf("QueueStats = %+v", q)
+	}
+	if z := PendingStats(nil); z.MeanPending != 0 || z.MaxPending != 0 {
+		t.Fatalf("empty = %+v", z)
+	}
+}

@@ -1,0 +1,90 @@
+// Package apps provides the shared runtime for the three NASA ESS
+// application kernels (PPM, wavelet, N-body): team formation over PVM, and
+// simulated-memory arrays whose accesses drive the node's demand-paging
+// system while the actual numerics run on ordinary Go slices.
+package apps
+
+import (
+	"fmt"
+
+	"essio/internal/kernel"
+	"essio/internal/pvm"
+	"essio/internal/sim"
+	"essio/internal/vm"
+)
+
+// Team coordinates one parallel application across the cluster: each rank
+// joins at startup; once all expected ranks have joined, a PVM group ordered
+// by node number exists and every member proceeds.
+type Team struct {
+	PV    *pvm.System
+	size  int
+	tasks []*pvm.Task
+	group *pvm.Group
+	ready *sim.WaitQueue
+}
+
+// NewTeam prepares a team of the given size.
+func NewTeam(pv *pvm.System, size int, e *sim.Engine) *Team {
+	if size <= 0 {
+		panic("apps: team size must be positive")
+	}
+	return &Team{PV: pv, size: size, ready: sim.NewWaitQueue(e)}
+}
+
+// Join enrolls the calling rank; it blocks until the whole team has joined
+// and returns the task, the group, and this rank's index (ordered by join).
+func (t *Team) Join(p *sim.Proc, node int) (*pvm.Task, *pvm.Group, int) {
+	task := t.PV.Enroll(node)
+	t.tasks = append(t.tasks, task)
+	rank := len(t.tasks) - 1
+	if len(t.tasks) == t.size {
+		t.group = t.PV.NewGroup(t.tasks)
+		t.ready.WakeAll()
+	} else {
+		for t.group == nil {
+			t.ready.Sleep(p)
+		}
+	}
+	return task, t.group, rank
+}
+
+// Size reports the team size.
+func (t *Team) Size() int { return t.size }
+
+// Array couples a Go-visible element size with a simulated-memory segment:
+// numerics operate on real Go slices while Touch calls charge the VM for
+// the corresponding page accesses.
+type Array struct {
+	Seg      *vm.Segment
+	ElemSize int
+}
+
+// NewArray maps an anonymous segment of n elements on the process.
+func NewArray(ctx *kernel.Process, name string, n, elemSize int) *Array {
+	return &Array{Seg: ctx.Alloc(name, n*elemSize), ElemSize: elemSize}
+}
+
+// Touch accesses elements [i, j) for read or write.
+func (a *Array) Touch(p *sim.Proc, i, j int, write bool) error {
+	if j <= i {
+		return nil
+	}
+	return a.Seg.TouchRange(p, i*a.ElemSize, (j-i)*a.ElemSize, write)
+}
+
+// TouchAll accesses the whole array.
+func (a *Array) TouchAll(p *sim.Proc, write bool) error {
+	return a.Seg.TouchRange(p, 0, a.Seg.Size(), write)
+}
+
+// Elems reports the element count.
+func (a *Array) Elems() int { return a.Seg.Size() / a.ElemSize }
+
+// RankError decorates an application error with its rank.
+func RankError(rank int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("rank %d: %w", rank, err)
+}

@@ -1,0 +1,73 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"essio/internal/ethernet"
+	"essio/internal/pvm"
+	"essio/internal/sim"
+)
+
+func TestTeamJoinReleasesTogether(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	pv := pvm.New(e, ethernet.New(e, ethernet.DefaultParams()))
+	team := NewTeam(pv, 3, e)
+	var joined []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("rank", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i+1) * sim.Second)
+			task, group, rank := team.Join(p, i)
+			if task == nil || group == nil {
+				t.Error("nil task or group")
+				return
+			}
+			if group.Size() != 3 {
+				t.Errorf("group size %d", group.Size())
+			}
+			joined = append(joined, rank)
+		})
+	}
+	e.RunUntilIdle()
+	if len(joined) != 3 {
+		t.Fatalf("joined = %v", joined)
+	}
+	// Ranks are assigned in join order (sleep order here).
+	for i, r := range []int{0, 1, 2} {
+		found := false
+		for _, j := range joined {
+			if j == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d missing (joined %v, i=%d)", r, joined, i)
+		}
+	}
+	if team.Size() != 3 {
+		t.Fatalf("Size = %d", team.Size())
+	}
+}
+
+func TestTeamSizePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero team")
+		}
+	}()
+	NewTeam(pvm.New(e, ethernet.New(e, ethernet.DefaultParams())), 0, e)
+}
+
+func TestRankError(t *testing.T) {
+	if RankError(3, nil) != nil {
+		t.Fatal("nil error must stay nil")
+	}
+	err := RankError(3, errors.New("boom"))
+	if err == nil || err.Error() != "rank 3: boom" {
+		t.Fatalf("err = %v", err)
+	}
+}

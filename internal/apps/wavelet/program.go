@@ -1,0 +1,246 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"essio/internal/apps"
+	"essio/internal/kernel"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// Params configures the wavelet workload.
+type Params struct {
+	// N is the square image dimension (512 in the study).
+	N int
+	// Levels is the decomposition depth.
+	Levels int
+	// Filter selects Haar or D4.
+	Filter Filter
+	// Workspaces is the number of N²-double correlation buffers the
+	// registration phase cycles through; together with the program's
+	// large initialized-data segment this sets the working-set size.
+	Workspaces int
+	// Iterations is the number of multi-resolution correlation passes
+	// (the registration application's main loop around the transform).
+	Iterations int
+	// ImagePath and OutputPath are per-node files.
+	ImagePath  string
+	OutputPath string
+	// Team, when set, joins all ranks in a barrier at start and finish.
+	Team *apps.Team
+}
+
+// DefaultParams matches the study: a 512×512 byte image, 5 levels, and a
+// memory footprint that exceeds the node's 16 MB.
+func DefaultParams() Params {
+	return Params{
+		N:          512,
+		Levels:     5,
+		Filter:     D4,
+		Workspaces: 4,
+		Iterations: 200,
+		ImagePath:  "/home/landsat.img",
+		OutputPath: "/home/wavelet.out",
+	}
+}
+
+// ProgramSpec describes the executable: the wavelet/registration code had a
+// large program space — generous text plus a big initialized data segment
+// (filter banks, resampling tables) whose demand load is the early burst of
+// 4 KB paging reads the paper highlights.
+func ProgramSpec(pr Params) (textBytes, dataBytes int) {
+	return 1 << 20, 4 << 20
+}
+
+// InstallInputs writes the node's input image file.
+func InstallInputs(p *sim.Proc, n *kernel.Node, pr Params) error {
+	img := SyntheticImage(pr.N, int64(n.Cfg.NodeID))
+	ino, err := n.FS.Create(p, pr.ImagePath)
+	if err != nil {
+		return err
+	}
+	if _, err := n.FS.WriteAt(p, ino, 0, img, trace.OriginData); err != nil {
+		return err
+	}
+	return n.FS.Sync(p)
+}
+
+// Program builds the runnable wavelet program.
+func Program(pr Params) *kernel.Program {
+	text, data := ProgramSpec(pr)
+	return &kernel.Program{
+		Name:      "wavelet",
+		ImagePath: "/usr/bin/wavelet",
+		TextBytes: text,
+		DataBytes: data,
+		Main:      func(ctx *kernel.Process) { runMain(ctx, pr) },
+	}
+}
+
+func runMain(ctx *kernel.Process, pr Params) {
+	p := ctx.P()
+	var rank int
+	if pr.Team != nil {
+		task, group, r := pr.Team.Join(p, int(ctx.Node().Cfg.NodeID))
+		rank = r
+		if err := group.Barrier(p, task); err != nil {
+			panic(apps.RankError(rank, err))
+		}
+		defer func() {
+			if err := group.Barrier(p, task); err != nil {
+				panic(apps.RankError(rank, err))
+			}
+		}()
+	}
+	if err := run(ctx, pr); err != nil {
+		panic(apps.RankError(rank, err))
+	}
+}
+
+func run(ctx *kernel.Process, pr Params) error {
+	p := ctx.P()
+	n := pr.N
+
+	// Working arrays in simulated memory: the image grid, the in-place
+	// coefficient grid, and the registration workspaces.
+	origArr := apps.NewArray(ctx, "image", n*n, 8)
+	coefArr := apps.NewArray(ctx, "coeff", n*n, 8)
+	works := make([]*apps.Array, pr.Workspaces)
+	for i := range works {
+		works[i] = apps.NewArray(ctx, fmt.Sprintf("work%d", i), n*n, 8)
+	}
+
+	// Phase A: prime the correlation workspaces (anonymous first touch,
+	// then real sweeps that push the working set against physical
+	// memory).
+	for _, w := range works {
+		if err := w.TouchAll(p, true); err != nil {
+			return err
+		}
+		ctx.ComputeFlops(float64(2 * n * n))
+	}
+
+	// Phase A2: build the resampling pyramids and filter banks — pure
+	// compute that places the image read near the 50-second mark of the
+	// run, as the paper's Figure 3 shows.
+	for range works {
+		ctx.ComputeFlops(80e6 / float64(len(works)))
+	}
+
+	// Phase B: read the input image as a byte stream — the sequential
+	// read the paper sees as request sizes approaching 16 KB.
+	img := make([]byte, n*n)
+	fd, err := ctx.FD.Open(p, pr.ImagePath)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(img); {
+		m, err := ctx.FD.Read(p, fd, img[off:min(off+4096, len(img))])
+		if err != nil {
+			return err
+		}
+		if m == 0 {
+			return fmt.Errorf("wavelet: short image file at %d", off)
+		}
+		// Unpack bytes into the float grid.
+		if err := origArr.Touch(p, off, off+m, true); err != nil {
+			return err
+		}
+		ctx.ComputeOps(float64(3 * m))
+		off += m
+	}
+	ctx.FD.Close(fd)
+	grid, err := FromBytes(img, n)
+	if err != nil {
+		return err
+	}
+
+	// Phase C: the forward transform. Each level sweeps rows then
+	// columns of the shrinking top-left subregion; the column pass
+	// touches one page per row, so early (large) levels keep the whole
+	// grid in the working set and later levels quiesce — the paper's
+	// mid-run lull.
+	if err := grid.Forward(pr.Levels, pr.Filter); err != nil {
+		return err
+	}
+	size := n
+	for l := 0; l < pr.Levels; l++ {
+		// Row pass.
+		for y := 0; y < size; y++ {
+			if err := coefArr.Touch(p, y*n, y*n+size, true); err != nil {
+				return err
+			}
+		}
+		ctx.ComputeFlops(float64(14 * size * size))
+		// Column pass (page-per-row access pattern).
+		for y := 0; y < size; y++ {
+			if err := coefArr.Touch(p, y*n, y*n+size, true); err != nil {
+				return err
+			}
+		}
+		ctx.ComputeFlops(float64(14 * size * size))
+		size /= 2
+	}
+
+	// Phase D: multi-resolution registration iterations — correlations
+	// between the decomposed image and reference workspaces. This is the
+	// application's compute bulk; its broad sweeps cause the limited
+	// ongoing paging that maintains the working set.
+	for it := 0; it < pr.Iterations; it++ {
+		w := works[it%len(works)]
+		res := 512
+		if pr.N < res {
+			res = pr.N
+		}
+		for y := 0; y < res; y += 8 {
+			row := y * n
+			if err := coefArr.Touch(p, row, row+res, false); err != nil {
+				return err
+			}
+			if err := w.Touch(p, row, row+res, true); err != nil {
+				return err
+			}
+		}
+		ctx.ComputeFlops(float64(30 * n * n / 2))
+	}
+
+	// Phase E: write the results — per-subband statistics plus a
+	// quantized coefficient dump, the heavier activity at the end of the
+	// run.
+	stats := grid.Stats(pr.Levels)
+	out, err := ctx.FD.CreateIn(p, pr.OutputPath, -1)
+	if err != nil {
+		return err
+	}
+	for _, s := range stats {
+		line := fmt.Sprintf("level=%d band=%s energy=%.4e max=%.4f\n", s.Level, s.Name, s.Energy, s.Max)
+		if _, err := ctx.FD.Write(p, out, []byte(line)); err != nil {
+			return err
+		}
+	}
+	// Quantized top-left quadrant coefficient dump.
+	q := n / 2
+	dump := make([]byte, 0, q*q*2)
+	for y := 0; y < q; y++ {
+		for x := 0; x < q; x++ {
+			v := int16(grid.Data[y*n+x])
+			dump = append(dump, byte(v), byte(v>>8))
+		}
+		if err := coefArr.Touch(p, y*n, y*n+q, false); err != nil {
+			return err
+		}
+	}
+	if _, err := ctx.FD.Write(p, out, dump); err != nil {
+		return err
+	}
+	ctx.ComputeOps(float64(len(dump)))
+	return ctx.FD.Close(out)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,264 @@
+// Package wavelet implements the NASA Goddard wavelet decomposition
+// workload: a multi-level 2-D separable discrete wavelet transform of a
+// 512×512-byte satellite image (Landsat-TM class), as used for image
+// registration and compression. The transform itself is a real orthogonal
+// DWT (Haar or Daubechies-4); the surrounding program reproduces the
+// application's memory behaviour — a working set of image pyramids and
+// correlation workspaces well beyond the node's 16 MB — which is what makes
+// this the paging-heavy workload of the study.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// h4 and g4 hold the Daubechies-4 low/high-pass analysis filters.
+var h4, g4 [4]float64
+
+func init() {
+	s3 := math.Sqrt(3)
+	den := 4 * math.Sqrt2
+	h4 = [4]float64{(1 + s3) / den, (3 + s3) / den, (3 - s3) / den, (1 - s3) / den}
+	for i := 0; i < 4; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		g4[i] = sign * h4[3-i]
+	}
+}
+
+// Filter selects the wavelet family.
+type Filter int
+
+const (
+	// Haar is the 2-tap orthonormal Haar filter.
+	Haar Filter = iota
+	// D4 is the 4-tap Daubechies filter.
+	D4
+)
+
+func (f Filter) String() string {
+	if f == D4 {
+		return "daubechies4"
+	}
+	return "haar"
+}
+
+// fwd1D transforms data[0:n] one level in place: the first n/2 outputs are
+// smooth (low-pass) coefficients, the next n/2 are detail coefficients.
+// Periodic boundary handling. n must be even.
+func fwd1D(data, tmp []float64, n int, f Filter) {
+	half := n / 2
+	switch f {
+	case Haar:
+		r := math.Sqrt2 / 2
+		for i := 0; i < half; i++ {
+			a, b := data[2*i], data[2*i+1]
+			tmp[i] = (a + b) * r
+			tmp[half+i] = (a - b) * r
+		}
+	case D4:
+		for i := 0; i < half; i++ {
+			var s, d float64
+			for k := 0; k < 4; k++ {
+				v := data[(2*i+k)%n]
+				s += h4[k] * v
+				d += g4[k] * v
+			}
+			tmp[i] = s
+			tmp[half+i] = d
+		}
+	}
+	copy(data[:n], tmp[:n])
+}
+
+// inv1D inverts fwd1D.
+func inv1D(data, tmp []float64, n int, f Filter) {
+	half := n / 2
+	switch f {
+	case Haar:
+		r := math.Sqrt2 / 2
+		for i := 0; i < half; i++ {
+			s, d := data[i], data[half+i]
+			tmp[2*i] = (s + d) * r
+			tmp[2*i+1] = (s - d) * r
+		}
+	case D4:
+		for i := 0; i < n; i++ {
+			tmp[i] = 0
+		}
+		for i := 0; i < half; i++ {
+			s, d := data[i], data[half+i]
+			for k := 0; k < 4; k++ {
+				tmp[(2*i+k)%n] += h4[k]*s + g4[k]*d
+			}
+		}
+	}
+	copy(data[:n], tmp[:n])
+}
+
+// Grid is a square float64 image.
+type Grid struct {
+	N    int
+	Data []float64 // row-major N×N
+}
+
+// NewGrid allocates an N×N grid.
+func NewGrid(n int) *Grid {
+	return &Grid{N: n, Data: make([]float64, n*n)}
+}
+
+// FromBytes builds a grid from a row-major byte image.
+func FromBytes(img []byte, n int) (*Grid, error) {
+	if len(img) != n*n {
+		return nil, fmt.Errorf("wavelet: image is %d bytes, want %d", len(img), n*n)
+	}
+	g := NewGrid(n)
+	for i, b := range img {
+		g.Data[i] = float64(b)
+	}
+	return g, nil
+}
+
+// Forward applies levels of 2-D separable DWT in place. After level L the
+// smooth subband occupies the top-left (N>>L)×(N>>L) corner. Returns an
+// error if the grid is too small for the requested depth.
+func (g *Grid) Forward(levels int, f Filter) error {
+	n := g.N
+	for l := 0; l < levels; l++ {
+		if n < 2 || n%2 != 0 {
+			return fmt.Errorf("wavelet: cannot transform %d more level(s) at size %d", levels-l, n)
+		}
+		tmp := make([]float64, n)
+		row := make([]float64, n)
+		// Rows.
+		for y := 0; y < n; y++ {
+			copy(row, g.Data[y*g.N:y*g.N+n])
+			fwd1D(row, tmp, n, f)
+			copy(g.Data[y*g.N:y*g.N+n], row)
+		}
+		// Columns.
+		col := make([]float64, n)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				col[y] = g.Data[y*g.N+x]
+			}
+			fwd1D(col, tmp, n, f)
+			for y := 0; y < n; y++ {
+				g.Data[y*g.N+x] = col[y]
+			}
+		}
+		n /= 2
+	}
+	return nil
+}
+
+// Inverse undoes Forward with the same parameters.
+func (g *Grid) Inverse(levels int, f Filter) error {
+	sizes := make([]int, 0, levels)
+	n := g.N
+	for l := 0; l < levels; l++ {
+		if n < 2 || n%2 != 0 {
+			return fmt.Errorf("wavelet: invalid inverse depth %d at size %d", levels, n)
+		}
+		sizes = append(sizes, n)
+		n /= 2
+	}
+	for l := levels - 1; l >= 0; l-- {
+		n := sizes[l]
+		tmp := make([]float64, n)
+		col := make([]float64, n)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				col[y] = g.Data[y*g.N+x]
+			}
+			inv1D(col, tmp, n, f)
+			for y := 0; y < n; y++ {
+				g.Data[y*g.N+x] = col[y]
+			}
+		}
+		row := make([]float64, n)
+		for y := 0; y < n; y++ {
+			copy(row, g.Data[y*g.N:y*g.N+n])
+			inv1D(row, tmp, n, f)
+			copy(g.Data[y*g.N:y*g.N+n], row)
+		}
+	}
+	return nil
+}
+
+// Energy returns the L2 norm squared (orthogonal transforms preserve it).
+func (g *Grid) Energy() float64 {
+	var e float64
+	for _, v := range g.Data {
+		e += v * v
+	}
+	return e
+}
+
+// SubbandStats summarizes one subband.
+type SubbandStats struct {
+	Level  int
+	Name   string // LL, LH, HL, HH
+	Energy float64
+	Max    float64
+}
+
+// Stats reports per-subband energies after a Forward of the given depth —
+// the "coefficient summary" the application writes as its result.
+func (g *Grid) Stats(levels int) []SubbandStats {
+	var out []SubbandStats
+	region := func(level int, name string, x0, y0, w, hgt int) {
+		var e, mx float64
+		for y := y0; y < y0+hgt; y++ {
+			for x := x0; x < x0+w; x++ {
+				v := g.Data[y*g.N+x]
+				e += v * v
+				if a := math.Abs(v); a > mx {
+					mx = a
+				}
+			}
+		}
+		out = append(out, SubbandStats{Level: level, Name: name, Energy: e, Max: mx})
+	}
+	n := g.N
+	for l := 1; l <= levels; l++ {
+		half := n / 2
+		region(l, "LH", 0, half, half, half)
+		region(l, "HL", half, 0, half, half)
+		region(l, "HH", half, half, half, half)
+		n = half
+	}
+	region(levels, "LL", 0, 0, n, n)
+	return out
+}
+
+// SyntheticImage builds a deterministic 8-bit test image with smooth
+// gradients, a few bright features, and texture — enough structure for the
+// subband statistics to be non-trivial. seed varies the content per node.
+func SyntheticImage(n int, seed int64) []byte {
+	img := make([]byte, n*n)
+	s := float64(seed%97) + 1
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			fx, fy := float64(x)/float64(n), float64(y)/float64(n)
+			v := 96*fx + 64*fy // gradient
+			v += 48 * math.Sin(fx*12*math.Pi+s) * math.Cos(fy*9*math.Pi)
+			// A bright blob (cloud/landmark).
+			dx, dy := fx-0.6, fy-0.35
+			v += 80 * math.Exp(-(dx*dx+dy*dy)*90)
+			// Deterministic fine texture.
+			v += float64(((x*73856093)^(y*19349663)^int(seed*2654435761))%17) - 8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*n+x] = byte(v)
+		}
+	}
+	return img
+}

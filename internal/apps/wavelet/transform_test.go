@@ -1,0 +1,201 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randGrid(n int, seed int64) *Grid {
+	g := NewGrid(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()*255 - 128
+	}
+	return g
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPerfectReconstructionHaar(t *testing.T) {
+	g := randGrid(64, 1)
+	orig := append([]float64(nil), g.Data...)
+	if err := g.Forward(4, Haar); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inverse(4, Haar); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(g.Data, orig); d > 1e-9 {
+		t.Fatalf("Haar reconstruction error %g", d)
+	}
+}
+
+func TestPerfectReconstructionD4(t *testing.T) {
+	g := randGrid(64, 2)
+	orig := append([]float64(nil), g.Data...)
+	if err := g.Forward(3, D4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inverse(3, D4); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(g.Data, orig); d > 1e-9 {
+		t.Fatalf("D4 reconstruction error %g", d)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	for _, f := range []Filter{Haar, D4} {
+		g := randGrid(128, 3)
+		before := g.Energy()
+		if err := g.Forward(5, f); err != nil {
+			t.Fatal(err)
+		}
+		after := g.Energy()
+		if math.Abs(before-after)/before > 1e-10 {
+			t.Fatalf("%v transform not orthogonal: %g -> %g", f, before, after)
+		}
+	}
+}
+
+func TestConstantImageConcentratesInLL(t *testing.T) {
+	g := NewGrid(64)
+	for i := range g.Data {
+		g.Data[i] = 100
+	}
+	if err := g.Forward(3, Haar); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats(3)
+	var ll, detail float64
+	for _, s := range stats {
+		if s.Name == "LL" {
+			ll += s.Energy
+		} else {
+			detail += s.Energy
+		}
+	}
+	if detail > 1e-9*ll {
+		t.Fatalf("constant image leaked energy into detail bands: %g vs %g", detail, ll)
+	}
+}
+
+func TestStatsCoverWholeGrid(t *testing.T) {
+	g := randGrid(64, 5)
+	if err := g.Forward(3, D4); err != nil {
+		t.Fatal(err)
+	}
+	total := g.Energy()
+	var sum float64
+	for _, s := range g.Stats(3) {
+		sum += s.Energy
+	}
+	if math.Abs(total-sum)/total > 1e-12 {
+		t.Fatalf("subband energies %g do not sum to total %g", sum, total)
+	}
+}
+
+func TestForwardTooDeepFails(t *testing.T) {
+	g := NewGrid(8)
+	if err := g.Forward(10, Haar); err == nil {
+		t.Fatal("want error for excessive depth")
+	}
+}
+
+func TestFromBytesValidation(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 10), 4); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+	g, err := FromBytes([]byte{1, 2, 3, 4}, 2)
+	if err != nil || g.Data[3] != 4 {
+		t.Fatalf("FromBytes = %v, %v", g, err)
+	}
+}
+
+func TestQuick1DRoundTrip(t *testing.T) {
+	f := func(vals []float64, useD4 bool) bool {
+		n := len(vals) &^ 3
+		if n < 8 {
+			return true
+		}
+		if n > 256 {
+			n = 256
+		}
+		data := append([]float64(nil), vals[:n]...)
+		for i, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				data[i] = float64(i)
+			}
+		}
+		orig := append([]float64(nil), data...)
+		filt := Haar
+		if useD4 {
+			filt = D4
+		}
+		tmp := make([]float64, n)
+		fwd1D(data, tmp, n, filt)
+		inv1D(data, tmp, n, filt)
+		for i := range data {
+			tol := 1e-9 * math.Max(1, math.Abs(orig[i]))
+			if math.Abs(data[i]-orig[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticImageDeterministicAndVaried(t *testing.T) {
+	a := SyntheticImage(128, 3)
+	b := SyntheticImage(128, 3)
+	c := SyntheticImage(128, 4)
+	if len(a) != 128*128 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different images")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical images")
+	}
+	// The image must have real structure (nonzero detail energy).
+	g, err := FromBytes(a, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Forward(3, Haar); err != nil {
+		t.Fatal(err)
+	}
+	var detail float64
+	for _, s := range g.Stats(3) {
+		if s.Name != "LL" {
+			detail += s.Energy
+		}
+	}
+	if detail < 1000 {
+		t.Fatalf("synthetic image too flat: detail energy %g", detail)
+	}
+}

@@ -1,0 +1,185 @@
+// Package asciiplot renders the study's figures as terminal plots: scatter
+// plots (request size / sector number versus time), bar charts (spatial
+// locality bands), and needle plots (temporal locality heat).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"essio/internal/analysis"
+)
+
+// Scatter renders points on a w×h character grid with axis annotations.
+// Marks density with ., :, * and # as points per cell grow.
+func Scatter(title, xlabel, ylabel string, pts []analysis.Point, w, h int) string {
+	if w < 16 {
+		w = 16
+	}
+	if h < 6 {
+		h = 6
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(pts) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	minX, maxX := pts[0].T, pts[0].T
+	minY, maxY := pts[0].V, pts[0].V
+	for _, p := range pts {
+		minX = math.Min(minX, p.T)
+		maxX = math.Max(maxX, p.T)
+		minY = math.Min(minY, p.V)
+		maxY = math.Max(maxY, p.V)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]int, h)
+	for i := range grid {
+		grid[i] = make([]int, w)
+	}
+	for _, p := range pts {
+		x := int(float64(w-1) * (p.T - minX) / (maxX - minX))
+		y := int(float64(h-1) * (p.V - minY) / (maxY - minY))
+		grid[h-1-y][x]++
+	}
+	glyph := func(c int) byte {
+		switch {
+		case c == 0:
+			return ' '
+		case c == 1:
+			return '.'
+		case c <= 3:
+			return ':'
+		case c <= 9:
+			return '*'
+		default:
+			return '#'
+		}
+	}
+	yHi := fmt.Sprintf("%.0f", maxY)
+	yLo := fmt.Sprintf("%.0f", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for row := 0; row < h; row++ {
+		label := strings.Repeat(" ", pad)
+		if row == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		}
+		if row == h-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		line := make([]byte, w)
+		for col := 0; col < w; col++ {
+			line[col] = glyph(grid[row][col])
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f\n", strings.Repeat(" ", pad), w/2, minX, w-w/2, maxX)
+	fmt.Fprintf(&b, "%s  x: %s   y: %s   n=%d\n", strings.Repeat(" ", pad), xlabel, ylabel, len(pts))
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labeled percentages.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, v := range values {
+		n := int(float64(width) * v / maxV)
+		fmt.Fprintf(&b, "%*s |%s%s %6.2f%%\n", labW, labels[i],
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}
+
+// BandChart renders Figure 7-style spatial locality bands.
+func BandChart(title string, bands []analysis.Band, width int) string {
+	labels := make([]string, len(bands))
+	values := make([]float64, len(bands))
+	for i, band := range bands {
+		labels[i] = fmt.Sprintf("%4dK-%4dK", band.Lo/1000, band.Hi/1000)
+		values[i] = band.Pct
+	}
+	return Bars(title, labels, values, width)
+}
+
+// Needles renders Figure 8-style temporal heat: access frequency per sector
+// position, downsampled onto a fixed-width axis.
+func Needles(title string, heat []analysis.Heat, diskSectors uint32, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(heat) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	cols := make([]float64, width)
+	for _, h := range heat {
+		c := int(uint64(h.Sector) * uint64(width) / uint64(diskSectors))
+		if c >= width {
+			c = width - 1
+		}
+		cols[c] += h.PerSec
+	}
+	maxV := 0.0
+	for _, v := range cols {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for row := height; row >= 1; row-- {
+		thresh := maxV * float64(row) / float64(height)
+		line := make([]byte, width)
+		for c, v := range cols {
+			if v >= thresh && v > 0 {
+				line[c] = '|'
+			} else {
+				line[c] = ' '
+			}
+		}
+		marker := "       "
+		if row == height {
+			marker = fmt.Sprintf("%6.2f ", maxV)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", marker, line)
+	}
+	fmt.Fprintf(&b, "       +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       0%*d\n", width, diskSectors)
+	fmt.Fprintf(&b, "       x: sector   y: accesses/sec\n")
+	return b.String()
+}

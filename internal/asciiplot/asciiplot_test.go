@@ -1,0 +1,110 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"essio/internal/analysis"
+)
+
+func TestScatterRendersPoints(t *testing.T) {
+	pts := []analysis.Point{{T: 0, V: 0}, {T: 50, V: 5}, {T: 100, V: 10}}
+	out := Scatter("title", "time", "value", pts, 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "n=3") {
+		t.Fatal("missing point count")
+	}
+	if strings.Count(out, ".")+strings.Count(out, ":") < 3 {
+		t.Fatalf("points not rendered:\n%s", out)
+	}
+	// Axis extremes labeled.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestScatterEmptyAndDegenerate(t *testing.T) {
+	out := Scatter("t", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatal("empty scatter must say so")
+	}
+	// Single point (degenerate ranges) must not panic.
+	out = Scatter("t", "x", "y", []analysis.Point{{T: 1, V: 1}}, 40, 10)
+	if out == "" {
+		t.Fatal("degenerate scatter empty")
+	}
+	// Tiny requested sizes are clamped.
+	out = Scatter("t", "x", "y", []analysis.Point{{T: 1, V: 1}, {T: 2, V: 2}}, 1, 1)
+	if out == "" {
+		t.Fatal("clamped scatter empty")
+	}
+}
+
+func TestScatterDensityGlyphs(t *testing.T) {
+	// Many coincident points escalate . -> : -> * -> #.
+	var pts []analysis.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, analysis.Point{T: 0, V: 0})
+	}
+	pts = append(pts, analysis.Point{T: 1, V: 1})
+	out := Scatter("t", "x", "y", pts, 20, 8)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("dense cell should use #:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("chart", []string{"a", "bb"}, []float64{50, 100}, 20)
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "bb") {
+		t.Fatalf("bars malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want title + 2 bars, got %d lines", len(lines))
+	}
+	// The 100% bar must be longer than the 50% bar.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+	// All-zero values must not divide by zero.
+	if Bars("z", []string{"a"}, []float64{0}, 10) == "" {
+		t.Fatal("zero bars empty")
+	}
+}
+
+func TestBandChart(t *testing.T) {
+	bands := []analysis.Band{
+		{Lo: 0, Hi: 100000, Count: 90, Pct: 90},
+		{Lo: 100000, Hi: 200000, Count: 10, Pct: 10},
+	}
+	out := BandChart("Figure 7", bands, 30)
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "90.00%") {
+		t.Fatalf("band chart malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "0K- 100K") {
+		t.Fatalf("band labels malformed:\n%s", out)
+	}
+}
+
+func TestNeedles(t *testing.T) {
+	heat := []analysis.Heat{
+		{Sector: 50000, PerSec: 2.0, Count: 100},
+		{Sector: 990000, PerSec: 0.5, Count: 25},
+	}
+	out := Needles("Figure 8", heat, 1024000, 40, 6)
+	if !strings.Contains(out, "Figure 8") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("no needles rendered")
+	}
+	if !strings.Contains(out, "1024000") {
+		t.Fatal("axis not labeled with disk size")
+	}
+	// Empty heat handled.
+	if !strings.Contains(Needles("x", nil, 100, 20, 4), "(no data)") {
+		t.Fatal("empty needles must say so")
+	}
+}

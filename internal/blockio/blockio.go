@@ -1,0 +1,207 @@
+// Package blockio implements the kernel block-request layer sitting between
+// the buffer cache / VM and the disk device driver: a request queue with
+// Linux-1.x-style elevator ordering, adjacent-request merging, and queue
+// plugging.
+//
+// Merging is what turns streams of 1 KB buffer-cache blocks into the larger
+// physical requests the paper observes: back/front merges grow requests up
+// to MaxSectors (32 KB), and plugging holds a briefly idle queue open so a
+// burst of contiguous submissions can coalesce before dispatch.
+package blockio
+
+import (
+	"fmt"
+	"sort"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// DefaultMaxSectors caps a merged request at 64 sectors (32 KB), matching
+// the largest request sizes the paper reports for the combined workload.
+const DefaultMaxSectors = 64
+
+// DefaultPlugDelay is how long a newly busied queue stays plugged to let
+// contiguous submissions merge before the first dispatch.
+const DefaultPlugDelay = 2 * sim.Millisecond
+
+// Segment is one contiguous caller buffer within a request, typically a
+// single 1 KB buffer-cache block or a 4 KB page. Its completion fires when
+// the physical request containing it finishes.
+type Segment struct {
+	Sector uint32
+	Buf    []byte
+	Done   *sim.Completion
+}
+
+// Request is a physical disk request: one or more contiguous segments with
+// a common direction.
+type Request struct {
+	Sector uint32
+	Count  int // total length in sectors
+	Write  bool
+	Origin trace.Origin
+	Segs   []*Segment
+}
+
+// End reports the first sector past the request.
+func (r *Request) End() uint32 { return r.Sector + uint32(r.Count) }
+
+// Stats counts queue activity.
+type Stats struct {
+	Submitted   uint64 // segments submitted
+	Requests    uint64 // physical requests created
+	BackMerges  uint64
+	FrontMerges uint64
+	Dispatched  uint64
+}
+
+// Queue is the block request queue for one disk.
+type Queue struct {
+	e          *sim.Engine
+	maxSectors int
+	plugDelay  sim.Duration
+
+	queued  []*Request // elevator order: ascending start sector
+	plugged bool
+	busy    bool // a request is at the driver
+	headPos uint32
+	start   func(*Request)
+	stats   Stats
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithMaxSectors caps merged request size in sectors. n <= 0 disables
+// merging entirely (every segment becomes its own request), which the
+// ablation benchmarks use.
+func WithMaxSectors(n int) Option { return func(q *Queue) { q.maxSectors = n } }
+
+// WithPlugDelay sets the plug window; 0 disables plugging.
+func WithPlugDelay(d sim.Duration) Option { return func(q *Queue) { q.plugDelay = d } }
+
+// New returns an empty queue. The owner must call SetStart before the first
+// Submit.
+func New(e *sim.Engine, opts ...Option) *Queue {
+	q := &Queue{e: e, maxSectors: DefaultMaxSectors, plugDelay: DefaultPlugDelay}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// SetStart registers the driver dispatch function. The driver must call
+// Done exactly once for each dispatched request.
+func (q *Queue) SetStart(fn func(*Request)) { q.start = fn }
+
+// Stats returns a copy of the queue statistics.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Len reports the number of queued (not yet dispatched) requests.
+func (q *Queue) Len() int { return len(q.queued) }
+
+// Submit enqueues a block transfer of buf (whose length must be a positive
+// multiple of the sector size) at the given sector, returning a completion
+// that fires when the covering physical request finishes. Adjacent requests
+// in the same direction merge up to the request size cap.
+func (q *Queue) Submit(sector uint32, buf []byte, write bool, origin trace.Origin) (*sim.Completion, error) {
+	if q.start == nil {
+		return nil, fmt.Errorf("blockio: queue has no driver attached")
+	}
+	if len(buf) == 0 || len(buf)%trace.SectorSize != 0 {
+		return nil, fmt.Errorf("blockio: buffer length %d not a positive sector multiple", len(buf))
+	}
+	count := len(buf) / trace.SectorSize
+	seg := &Segment{Sector: sector, Buf: buf, Done: sim.NewCompletion(q.e)}
+	q.stats.Submitted++
+
+	if !q.merge(seg, count, write) {
+		r := &Request{Sector: sector, Count: count, Write: write, Origin: origin, Segs: []*Segment{seg}}
+		q.insert(r)
+		q.stats.Requests++
+	}
+
+	if !q.busy && !q.plugged {
+		if q.plugDelay > 0 {
+			q.plugged = true
+			q.e.After(q.plugDelay, q.Unplug)
+		} else {
+			q.kick()
+		}
+	}
+	return seg.Done, nil
+}
+
+// merge tries to attach seg to an existing queued request; it reports
+// whether it succeeded.
+func (q *Queue) merge(seg *Segment, count int, write bool) bool {
+	if q.maxSectors <= 0 {
+		return false
+	}
+	for _, r := range q.queued {
+		if r.Write != write || r.Count+count > q.maxSectors {
+			continue
+		}
+		switch {
+		case r.End() == seg.Sector: // back merge
+			r.Segs = append(r.Segs, seg)
+			r.Count += count
+			q.stats.BackMerges++
+			return true
+		case seg.Sector+uint32(count) == r.Sector: // front merge
+			r.Segs = append([]*Segment{seg}, r.Segs...)
+			r.Sector = seg.Sector
+			r.Count += count
+			q.stats.FrontMerges++
+			return true
+		}
+	}
+	return false
+}
+
+// insert places r in elevator (ascending sector) order.
+func (q *Queue) insert(r *Request) {
+	i := sort.Search(len(q.queued), func(i int) bool { return q.queued[i].Sector >= r.Sector })
+	q.queued = append(q.queued, nil)
+	copy(q.queued[i+1:], q.queued[i:])
+	q.queued[i] = r
+}
+
+// Unplug opens a plugged queue and starts dispatching.
+func (q *Queue) Unplug() {
+	q.plugged = false
+	q.kick()
+}
+
+// kick dispatches the next request if the driver is idle.
+func (q *Queue) kick() {
+	if q.busy || q.plugged || len(q.queued) == 0 {
+		return
+	}
+	// One-way elevator: continue the upward sweep from the last dispatch
+	// position, wrapping to the lowest request when the sweep is done.
+	idx := sort.Search(len(q.queued), func(i int) bool { return q.queued[i].Sector >= q.headPos })
+	if idx == len(q.queued) {
+		idx = 0
+	}
+	r := q.queued[idx]
+	q.queued = append(q.queued[:idx], q.queued[idx+1:]...)
+	q.headPos = r.End()
+	q.busy = true
+	q.stats.Dispatched++
+	q.start(r)
+}
+
+// Done must be called by the driver when a dispatched request completes; it
+// fires every segment completion and dispatches the next request.
+func (q *Queue) Done(r *Request, err error) {
+	for _, s := range r.Segs {
+		s.Done.CompleteErr(err)
+	}
+	q.busy = false
+	q.kick()
+}
+
+// Idle reports whether nothing is queued or in flight.
+func (q *Queue) Idle() bool { return !q.busy && len(q.queued) == 0 }

@@ -1,0 +1,372 @@
+package blockio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// fakeDriver records dispatched requests and completes them after a fixed
+// service time.
+type fakeDriver struct {
+	e       *sim.Engine
+	q       *Queue
+	service sim.Duration
+	reqs    []*Request
+}
+
+func attachFake(e *sim.Engine, q *Queue, service sim.Duration) *fakeDriver {
+	d := &fakeDriver{e: e, q: q, service: service}
+	q.SetStart(func(r *Request) {
+		d.reqs = append(d.reqs, r)
+		e.After(service, func() { q.Done(r, nil) })
+	})
+	return d
+}
+
+func buf(kb int) []byte { return make([]byte, kb*1024) }
+
+func TestSubmitWithoutDriverFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	if _, err := q.Submit(0, buf(1), false, trace.OriginData); err == nil {
+		t.Fatal("want error without driver")
+	}
+}
+
+func TestBadBufferRejected(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	attachFake(e, q, sim.Millisecond)
+	if _, err := q.Submit(0, nil, false, trace.OriginData); err == nil {
+		t.Fatal("want error for empty buffer")
+	}
+	if _, err := q.Submit(0, make([]byte, 100), false, trace.OriginData); err == nil {
+		t.Fatal("want error for unaligned buffer")
+	}
+}
+
+func TestSingleRequestDispatchesAndCompletes(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	d := attachFake(e, q, 5*sim.Millisecond)
+	var doneAt sim.Time
+	e.Spawn("io", func(p *sim.Proc) {
+		c, err := q.Submit(100, buf(1), false, trace.OriginData)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Wait(p); err != nil {
+			t.Error(err)
+		}
+		doneAt = p.Now()
+	})
+	e.RunUntilIdle()
+	if len(d.reqs) != 1 {
+		t.Fatalf("dispatched %d requests, want 1", len(d.reqs))
+	}
+	want := sim.Time(DefaultPlugDelay + 5*sim.Millisecond)
+	if doneAt != want {
+		t.Fatalf("completed at %v, want %v (plug + service)", doneAt, want)
+	}
+	if !q.Idle() {
+		t.Fatal("queue should be idle")
+	}
+}
+
+func TestBackMergeContiguousStream(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	d := attachFake(e, q, sim.Millisecond)
+	// Sixteen contiguous 1 KB blocks submitted while plugged must merge
+	// into one 16 KB request.
+	for i := 0; i < 16; i++ {
+		if _, err := q.Submit(uint32(1000+2*i), buf(1), true, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 1 {
+		t.Fatalf("dispatched %d requests, want 1 merged", len(d.reqs))
+	}
+	if d.reqs[0].Count != 32 || d.reqs[0].Sector != 1000 {
+		t.Fatalf("merged request = sector %d count %d", d.reqs[0].Sector, d.reqs[0].Count)
+	}
+	st := q.Stats()
+	if st.BackMerges != 15 {
+		t.Fatalf("BackMerges = %d, want 15", st.BackMerges)
+	}
+}
+
+func TestFrontMerge(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	d := attachFake(e, q, sim.Millisecond)
+	if _, err := q.Submit(1002, buf(1), false, trace.OriginData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(1000, buf(1), false, trace.OriginData); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(d.reqs))
+	}
+	if d.reqs[0].Sector != 1000 || d.reqs[0].Count != 4 {
+		t.Fatalf("front merge produced sector %d count %d", d.reqs[0].Sector, d.reqs[0].Count)
+	}
+	if q.Stats().FrontMerges != 1 {
+		t.Fatalf("FrontMerges = %d", q.Stats().FrontMerges)
+	}
+}
+
+func TestNoMergeAcrossDirections(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	d := attachFake(e, q, sim.Millisecond)
+	if _, err := q.Submit(1000, buf(1), false, trace.OriginData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(1002, buf(1), true, trace.OriginData); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 2 {
+		t.Fatalf("dispatched %d, want 2 (no R/W merge)", len(d.reqs))
+	}
+}
+
+func TestMergeRespectsCap(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e, WithMaxSectors(8)) // 4 KB cap
+	d := attachFake(e, q, sim.Millisecond)
+	for i := 0; i < 8; i++ {
+		if _, err := q.Submit(uint32(2*i), buf(1), false, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 2 {
+		t.Fatalf("dispatched %d, want 2 capped requests", len(d.reqs))
+	}
+	for _, r := range d.reqs {
+		if r.Count != 8 {
+			t.Fatalf("request count %d, want 8", r.Count)
+		}
+	}
+}
+
+func TestMergeDisabled(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e, WithMaxSectors(0))
+	d := attachFake(e, q, sim.Millisecond)
+	for i := 0; i < 4; i++ {
+		if _, err := q.Submit(uint32(2*i), buf(1), false, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 4 {
+		t.Fatalf("dispatched %d, want 4 unmerged", len(d.reqs))
+	}
+}
+
+func TestElevatorOrdersAscending(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e, WithMaxSectors(0))
+	d := attachFake(e, q, sim.Millisecond)
+	for _, s := range []uint32{9000, 1000, 5000, 3000} {
+		if _, err := q.Submit(s, buf(1), false, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	if len(d.reqs) != 4 {
+		t.Fatalf("dispatched %d", len(d.reqs))
+	}
+	want := []uint32{1000, 3000, 5000, 9000}
+	for i, r := range d.reqs {
+		if r.Sector != want[i] {
+			t.Fatalf("dispatch order %d = sector %d, want %d", i, r.Sector, want[i])
+		}
+	}
+}
+
+func TestElevatorSweepWraps(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e, WithMaxSectors(0), WithPlugDelay(0))
+	var order []uint32
+	q.SetStart(func(r *Request) {
+		order = append(order, r.Sector)
+		e.After(10*sim.Millisecond, func() { q.Done(r, nil) })
+	})
+	// First request dispatches immediately (no plug); while it is in
+	// flight, submit one below and one above the head position.
+	if _, err := q.Submit(5000, buf(1), false, trace.OriginData); err != nil {
+		t.Fatal(err)
+	}
+	e.After(sim.Millisecond, func() {
+		if _, err := q.Submit(1000, buf(1), false, trace.OriginData); err != nil {
+			t.Error(err)
+		}
+		if _, err := q.Submit(8000, buf(1), false, trace.OriginData); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunUntilIdle()
+	// Sweep continues upward from 5002 -> 8000, then wraps to 1000.
+	want := []uint32{5000, 8000, 1000}
+	for i, s := range order {
+		if s != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAllSegmentsComplete(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	attachFake(e, q, sim.Millisecond)
+	const n = 10
+	done := 0
+	for i := 0; i < n; i++ {
+		c, err := q.Submit(uint32(100+2*i), buf(1), true, trace.OriginData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("w", func(p *sim.Proc) {
+			if err := c.Wait(p); err != nil {
+				t.Error(err)
+			}
+			done++
+		})
+	}
+	e.RunUntilIdle()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+}
+
+// Property: no segments are ever lost or duplicated — the total sectors
+// dispatched equals the total sectors submitted, for arbitrary submission
+// patterns.
+func TestQuickConservation(t *testing.T) {
+	f := func(sectors []uint16, writes []bool) bool {
+		if len(sectors) == 0 {
+			return true
+		}
+		if len(sectors) > 50 {
+			sectors = sectors[:50]
+		}
+		e := sim.NewEngine(3)
+		defer e.Close()
+		q := New(e)
+		var dispatched int
+		q.SetStart(func(r *Request) {
+			dispatched += r.Count
+			segTotal := 0
+			for _, s := range r.Segs {
+				segTotal += len(s.Buf) / trace.SectorSize
+			}
+			if segTotal != r.Count {
+				t.Errorf("segment sectors %d != request count %d", segTotal, r.Count)
+			}
+			e.After(sim.Millisecond, func() { q.Done(r, nil) })
+		})
+		submitted := 0
+		for i, s := range sectors {
+			w := i < len(writes) && writes[i]
+			sec := uint32(s) * 2 // even sectors, 1 KB blocks
+			if _, err := q.Submit(sec, buf(1), w, trace.OriginData); err != nil {
+				return false
+			}
+			submitted += 2
+		}
+		e.RunUntilIdle()
+		return dispatched == submitted && q.Idle()
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merged requests are always contiguous runs of their segments.
+func TestQuickMergedContiguity(t *testing.T) {
+	f := func(starts []uint16) bool {
+		if len(starts) > 40 {
+			starts = starts[:40]
+		}
+		e := sim.NewEngine(4)
+		defer e.Close()
+		q := New(e)
+		ok := true
+		q.SetStart(func(r *Request) {
+			next := r.Sector
+			for _, s := range r.Segs {
+				if s.Sector != next {
+					ok = false
+				}
+				next += uint32(len(s.Buf) / trace.SectorSize)
+			}
+			if next != r.End() {
+				ok = false
+			}
+			e.After(sim.Millisecond, func() { q.Done(r, nil) })
+		})
+		for _, s := range starts {
+			if _, err := q.Submit(uint32(s)*2, buf(1), true, trace.OriginData); err != nil {
+				return false
+			}
+		}
+		e.RunUntilIdle()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPropagatesToSegments(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	q := New(e)
+	q.SetStart(func(r *Request) {
+		e.After(sim.Millisecond, func() { q.Done(r, errFake) })
+	})
+	var got error
+	e.Spawn("w", func(p *sim.Proc) {
+		c, err := q.Submit(0, buf(1), false, trace.OriginData)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = c.Wait(p)
+	})
+	e.RunUntilIdle()
+	if got != errFake {
+		t.Fatalf("segment error = %v, want errFake", got)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake I/O error" }

@@ -1,0 +1,218 @@
+// Package cluster assembles the 16-node Beowulf machine: one kernel.Node
+// per workstation, a shared dual-rail ethernet, a PVM system spanning the
+// nodes, and helpers for installing programs on every node, launching one
+// rank per node, and collecting the per-disk traces the experiments
+// analyze.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"essio/internal/driver"
+	"essio/internal/ethernet"
+	"essio/internal/extfs"
+	"essio/internal/kernel"
+	"essio/internal/pvm"
+	"essio/internal/sim"
+	"essio/internal/trace"
+	"essio/internal/vfs"
+)
+
+// Config describes the machine.
+type Config struct {
+	Nodes int   // default 16
+	Seed  int64 // engine seed
+	// Node customizes per-node kernel configuration; nil uses defaults.
+	Node func(i int) kernel.Config
+	// Net configures the interconnect; zero value uses defaults.
+	Net ethernet.Params
+	// BootTimeout bounds the virtual time allowed for booting (default
+	// 10 minutes).
+	BootTimeout sim.Duration
+}
+
+// Cluster is the running machine.
+type Cluster struct {
+	E     *sim.Engine
+	Nodes []*kernel.Node
+	Net   *ethernet.Net
+	PVM   *pvm.System
+}
+
+// New builds and boots the cluster, returning after every node's init has
+// completed (virtual time advances past boot).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 16
+	}
+	if cfg.Nodes < 1 || cfg.Nodes > 255 {
+		return nil, fmt.Errorf("cluster: %d nodes unsupported", cfg.Nodes)
+	}
+	if cfg.BootTimeout == 0 {
+		cfg.BootTimeout = 10 * sim.Minute
+	}
+	netParams := cfg.Net
+	if netParams.Rails == 0 {
+		netParams = ethernet.DefaultParams()
+	}
+	e := sim.NewEngine(cfg.Seed)
+	c := &Cluster{E: e}
+	c.Net = ethernet.New(e, netParams)
+	c.PVM = pvm.New(e, c.Net)
+	for i := 0; i < cfg.Nodes; i++ {
+		kcfg := kernel.DefaultConfig(uint8(i))
+		if cfg.Node != nil {
+			kcfg = cfg.Node(i)
+			kcfg.NodeID = uint8(i)
+		}
+		c.Nodes = append(c.Nodes, kernel.NewNode(e, kcfg).Boot())
+	}
+	deadline := e.Now().Add(cfg.BootTimeout)
+	for {
+		booted := true
+		for _, n := range c.Nodes {
+			if !n.Booted().IsComplete() {
+				booted = false
+				break
+			}
+		}
+		if booted {
+			break
+		}
+		if e.Now() >= deadline {
+			return nil, fmt.Errorf("cluster: boot incomplete after %v", cfg.BootTimeout)
+		}
+		e.Run(e.Now().Add(sim.Second))
+	}
+	for _, n := range c.Nodes {
+		if err := n.Booted().Err(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close releases the engine (kills daemon goroutines).
+func (c *Cluster) Close() { c.E.Close() }
+
+// Install writes a program image onto every node, waiting for completion.
+func (c *Cluster) Install(prog *kernel.Program) error {
+	errs := make([]error, len(c.Nodes))
+	done := 0
+	for i, n := range c.Nodes {
+		i, n := i, n
+		c.E.Spawn(fmt.Sprintf("install%d", i), func(p *sim.Proc) {
+			errs[i] = n.InstallImage(p, prog)
+			done++
+		})
+	}
+	deadline := c.E.Now().Add(30 * sim.Minute)
+	for done < len(c.Nodes) && c.E.Now() < deadline {
+		c.E.Run(c.E.Now().Add(sim.Second))
+	}
+	if done < len(c.Nodes) {
+		return fmt.Errorf("cluster: install of %s timed out", prog.Name)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropCaches invalidates every clean buffer on every node, so subsequent
+// file access and demand paging start cold — the state of a machine whose
+// software was installed well before the measurement.
+func (c *Cluster) DropCaches() int {
+	n := 0
+	for _, node := range c.Nodes {
+		n += node.BC.InvalidateClean()
+	}
+	return n
+}
+
+// StartTracing resets collectors (both the driver-level trace and the
+// application-level I/O log) and enables full instrumentation on every node
+// (the experiment's ioctl moment).
+func (c *Cluster) StartTracing() {
+	for _, n := range c.Nodes {
+		n.ResetTrace()
+		n.AppIO.Reset()
+		n.EnableTracing(driver.LevelFull)
+	}
+}
+
+// AppEvents returns every node's application-level I/O events, merged.
+func (c *Cluster) AppEvents() []vfs.IOEvent {
+	var out []vfs.IOEvent
+	for _, n := range c.Nodes {
+		out = append(out, n.AppIO.Events...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// StopTracing disables instrumentation.
+func (c *Cluster) StopTracing() {
+	for _, n := range c.Nodes {
+		n.DisableTracing()
+	}
+}
+
+// Traces returns each node's collected trace.
+func (c *Cluster) Traces() [][]trace.Record {
+	out := make([][]trace.Record, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Trace()
+	}
+	return out
+}
+
+// MergedTrace returns all nodes' records merged in time order.
+func (c *Cluster) MergedTrace() []trace.Record {
+	return trace.Merge(c.Traces()...)
+}
+
+// Launch starts one instance of each given program per node (progs[i] runs
+// on node i when len(progs)==len(Nodes); a single program is replicated on
+// every node) and returns the processes.
+func (c *Cluster) Launch(prog *kernel.Program) []*kernel.Process {
+	procs := make([]*kernel.Process, len(c.Nodes))
+	for i, n := range c.Nodes {
+		procs[i] = n.Spawn(prog)
+	}
+	return procs
+}
+
+// WaitAll advances virtual time until every process exits or the deadline
+// passes, returning the completion time and whether all finished.
+func (c *Cluster) WaitAll(procs []*kernel.Process, deadline sim.Duration) (sim.Time, bool) {
+	limit := c.E.Now().Add(deadline)
+	for {
+		alive := false
+		for _, pr := range procs {
+			if !pr.Done().IsComplete() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return c.E.Now(), true
+		}
+		if c.E.Now() >= limit {
+			return c.E.Now(), false
+		}
+		c.E.Run(c.E.Now().Add(sim.Second))
+	}
+}
+
+// NodeFS lists each node's filesystem in node order (for wiring PIOUS).
+func (c *Cluster) NodeFS() []*extfs.FS {
+	out := make([]*extfs.FS, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.FS
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// syntheticTrace builds a workload with known structure: a sequential read
+// stream, a paging burst, and periodic log writes with a hot sector.
+func syntheticTrace() []trace.Record {
+	var recs []trace.Record
+	t := sim.Time(0)
+	// Sequential 16 KB reads (streaming).
+	for i := 0; i < 50; i++ {
+		recs = append(recs, trace.Record{
+			Time: t, Sector: uint32(200000 + i*32), Count: 32,
+			Op: trace.Read, Origin: trace.OriginData,
+		})
+		t = t.Add(100 * sim.Millisecond)
+	}
+	// 4 KB paging.
+	for i := 0; i < 30; i++ {
+		recs = append(recs, trace.Record{
+			Time: t, Sector: uint32(41000 + i*8), Count: 8,
+			Op: trace.Write, Origin: trace.OriginSwap,
+		})
+		t = t.Add(50 * sim.Millisecond)
+	}
+	// Log writes hammering one sector.
+	for i := 0; i < 60; i++ {
+		recs = append(recs, trace.Record{
+			Time: t, Sector: 1007000, Count: 2,
+			Op: trace.Write, Origin: trace.OriginLog,
+		})
+		t = t.Add(sim.Second)
+	}
+	return recs
+}
+
+func TestCharacterizeBasics(t *testing.T) {
+	recs := syntheticTrace()
+	p := Characterize("synthetic", recs, 60*sim.Second, 1, 1024000)
+	if p.Summary.Reads != 50 || p.Summary.Writes != 90 {
+		t.Fatalf("summary = %+v", p.Summary)
+	}
+	if p.Classes.Large != 50 || p.Classes.Page4K != 30 || p.Classes.Block1K != 60 {
+		t.Fatalf("classes = %+v", p.Classes)
+	}
+	if p.Origins[trace.OriginSwap] != 30 {
+		t.Fatalf("origins = %v", p.Origins)
+	}
+	// The sequential stream makes up a large share of back-to-back
+	// contiguity.
+	if p.SeqFraction < 0.4 {
+		t.Fatalf("SeqFraction = %v", p.SeqFraction)
+	}
+	// Hot sector is the log block.
+	if len(p.Hottest) == 0 || p.Hottest[0].Sector != 1007000 {
+		t.Fatalf("hottest = %v", p.Hottest)
+	}
+	if p.BurstIndex <= 1 {
+		t.Fatalf("BurstIndex = %v; workload is bursty", p.BurstIndex)
+	}
+	if p.MeanInterAccess <= 0 {
+		t.Fatalf("MeanInterAccess = %v", p.MeanInterAccess)
+	}
+	out := p.String()
+	for _, want := range []string{"synthetic", "sizes:", "sequential:", "hottest", "origins:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	p := Characterize("empty", nil, 0, 0, 1024000)
+	if p.Summary.Reads != 0 || p.SeqFraction != 0 || p.BurstIndex != 0 {
+		t.Fatalf("%+v", p)
+	}
+	if p.PagingShare() != 0 {
+		t.Fatal("paging share of empty trace")
+	}
+	d := p.Derive(16)
+	if d.ReadAheadKB != 0 {
+		t.Fatalf("empty derive = %+v", d)
+	}
+	_ = p.String()
+}
+
+func TestPagingShare(t *testing.T) {
+	recs := []trace.Record{{Count: 8}, {Count: 8}, {Count: 2}, {Count: 2}}
+	p := Characterize("x", recs, sim.Second, 1, 1024000)
+	if p.PagingShare() != 0.5 {
+		t.Fatalf("PagingShare = %v", p.PagingShare())
+	}
+}
+
+func TestDeriveSequentialWorkload(t *testing.T) {
+	p := Characterize("seq", syntheticTrace(), 60*sim.Second, 1, 1024000)
+	d := p.Derive(16)
+	if d.ReadAheadKB < 16 {
+		t.Fatalf("sequential workload should keep or widen read-ahead: %+v", d)
+	}
+	if d.WritePolicy != "write-back" {
+		t.Fatalf("bursty write-heavy load should stay write-back: %+v", d)
+	}
+	if len(d.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+}
+
+func TestDeriveRandomReadWorkload(t *testing.T) {
+	// Smooth, random, read-dominated 1 KB traffic.
+	var recs []trace.Record
+	for i := 0; i < 200; i++ {
+		recs = append(recs, trace.Record{
+			Time: sim.Time(i) * sim.Time(sim.Second), Sector: uint32((i * 37717) % 1000000),
+			Count: 2, Op: trace.Read, Origin: trace.OriginData,
+		})
+	}
+	p := Characterize("rand", recs, 200*sim.Second, 1, 1024000)
+	d := p.Derive(16)
+	if d.ReadAheadKB > 4 {
+		t.Fatalf("random workload should shrink read-ahead: %+v", d)
+	}
+	if d.WritePolicy != "write-through" {
+		t.Fatalf("read-dominated load: %+v", d)
+	}
+}
+
+func TestDerivePagingHeavyWorkload(t *testing.T) {
+	var recs []trace.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, trace.Record{
+			Time: sim.Time(i * 1000), Sector: uint32(41000 + (i%50)*8),
+			Count: 8, Op: trace.Op(i % 2), Origin: trace.OriginSwap,
+		})
+	}
+	p := Characterize("thrash", recs, 10*sim.Second, 1, 1024000)
+	d := p.Derive(16)
+	if d.SuggestedMemoryMB <= 16 {
+		t.Fatalf("paging-heavy load should suggest more memory: %+v", d)
+	}
+}
+
+func TestDeriveLogDominatedWorkload(t *testing.T) {
+	var recs []trace.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, trace.Record{
+			Time: sim.Time(i * 1000), Sector: 1007000, Count: 2,
+			Op: trace.Write, Origin: trace.OriginTrace,
+		})
+	}
+	p := Characterize("logs", recs, 100*sim.Second, 1, 1024000)
+	d := p.Derive(16)
+	if !d.SeparateLogDisk {
+		t.Fatalf("log-dominated load should suggest a log device: %+v", d)
+	}
+	if d.HotSectorCacheKB == 0 {
+		t.Fatalf("hot sector present; want cache suggestion: %+v", d)
+	}
+}
+
+func TestSeqFractionPerNode(t *testing.T) {
+	// Interleaved nodes: each node's stream is contiguous even though the
+	// merged order alternates.
+	var recs []trace.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, trace.Record{
+			Time: sim.Time(i), Node: uint8(i % 2),
+			Sector: uint32(1000*(i%2) + (i/2)*4), Count: 4, Op: trace.Read,
+		})
+	}
+	p := Characterize("x", recs, sim.Second, 2, 1024000)
+	if p.SeqFraction < 0.9 {
+		t.Fatalf("per-node sequentiality lost in merge: %v", p.SeqFraction)
+	}
+}

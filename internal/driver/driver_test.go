@@ -1,0 +1,233 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"essio/internal/blockio"
+	"essio/internal/disk"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+type rig struct {
+	e    *sim.Engine
+	disk *disk.Disk
+	q    *blockio.Queue
+	drv  *Driver
+	ring *trace.Ring
+}
+
+func newRig(t *testing.T, qopts ...blockio.Option) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	t.Cleanup(e.Close)
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e, qopts...)
+	ring := trace.NewRing(1 << 16)
+	drv := New(e, d, q, 3, ring)
+	drv.SetLevel(LevelFull)
+	return &rig{e: e, disk: d, q: q, drv: drv, ring: ring}
+}
+
+func (r *rig) submitAndWait(t *testing.T, sector uint32, buf []byte, write bool, origin trace.Origin) {
+	t.Helper()
+	r.e.Spawn("io", func(p *sim.Proc) {
+		c, err := r.q.Submit(sector, buf, write, origin)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	r.e.RunUntilIdle()
+}
+
+func TestTraceRecordFields(t *testing.T) {
+	r := newRig(t)
+	buf := make([]byte, 2048)
+	r.submitAndWait(t, 1234, buf, true, trace.OriginSwap)
+	recs := r.ring.Drain(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Sector != 1234 || rec.Count != 4 || rec.Op != trace.Write {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Node != 3 || rec.Origin != trace.OriginSwap {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Time <= 0 {
+		t.Fatalf("timestamp = %v; tracing happens at issue, after the plug delay", rec.Time)
+	}
+}
+
+func TestLevelOffEmitsNothing(t *testing.T) {
+	r := newRig(t)
+	r.drv.SetLevel(LevelOff)
+	r.submitAndWait(t, 100, make([]byte, 1024), false, trace.OriginData)
+	if r.ring.Len() != 0 {
+		t.Fatalf("ring has %d records with tracing off", r.ring.Len())
+	}
+	if r.drv.Stats().Requests != 1 {
+		t.Fatal("request must still be serviced")
+	}
+}
+
+func TestLevelBasicOmitsExtendedFields(t *testing.T) {
+	r := newRig(t)
+	r.drv.SetLevel(LevelBasic)
+	r.submitAndWait(t, 100, make([]byte, 1024), false, trace.OriginSwap)
+	recs := r.ring.Drain(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Count != 0 || recs[0].Origin != trace.OriginUnknown {
+		t.Fatalf("basic level leaked extended fields: %+v", recs[0])
+	}
+	if recs[0].Sector != 100 || recs[0].Op != trace.Read {
+		t.Fatalf("basic record wrong: %+v", recs[0])
+	}
+}
+
+func TestIoctlControl(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.drv.Ioctl(IoctlTraceOff, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.drv.Level() != LevelOff {
+		t.Fatal("ioctl off failed")
+	}
+	if _, err := r.drv.Ioctl(IoctlTraceOn, int(LevelBasic)); err != nil {
+		t.Fatal(err)
+	}
+	if r.drv.Level() != LevelBasic {
+		t.Fatal("ioctl on(basic) failed")
+	}
+	if _, err := r.drv.Ioctl(IoctlTraceOn, 999); err != nil {
+		t.Fatal(err)
+	}
+	if r.drv.Level() != LevelFull {
+		t.Fatal("out-of-range level must clamp to full")
+	}
+	r.submitAndWait(t, 10, make([]byte, 1024), false, trace.OriginData)
+	n, err := r.drv.Ioctl(IoctlTraceStat, 0)
+	if err != nil || n != 1 {
+		t.Fatalf("TraceStat = %d, %v", n, err)
+	}
+	if _, err := r.drv.Ioctl(0xdead, 0); err == nil {
+		t.Fatal("unknown ioctl must error")
+	}
+}
+
+func TestDataActuallyTransferred(t *testing.T) {
+	r := newRig(t)
+	in := bytes.Repeat([]byte{0x5A}, 1024)
+	r.submitAndWait(t, 2000, in, true, trace.OriginData)
+	out := make([]byte, 1024)
+	r.submitAndWait(t, 2000, out, false, trace.OriginData)
+	if !bytes.Equal(in, out) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestPendingCountsReflectQueueDepth(t *testing.T) {
+	r := newRig(t)
+	// Submit several distant (unmergeable) requests in one plug window:
+	// the first dispatched record should see the rest still pending.
+	for i := 0; i < 5; i++ {
+		if _, err := r.q.Submit(uint32(i*100000), make([]byte, 1024), false, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.e.RunUntilIdle()
+	recs := r.ring.Drain(0)
+	if len(recs) != 5 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Pending != 4 {
+		t.Fatalf("first record pending = %d, want 4", recs[0].Pending)
+	}
+	if recs[4].Pending != 0 {
+		t.Fatalf("last record pending = %d, want 0", recs[4].Pending)
+	}
+}
+
+func TestRequestBeyondCapacityFails(t *testing.T) {
+	r := newRig(t)
+	var got error
+	r.e.Spawn("io", func(p *sim.Proc) {
+		c, err := r.q.Submit(r.disk.Sectors()-1, make([]byte, 2048), false, trace.OriginData)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = c.Wait(p)
+	})
+	r.e.RunUntilIdle()
+	if got == nil {
+		t.Fatal("want I/O error past capacity")
+	}
+	if r.drv.Stats().IOErrors != 1 {
+		t.Fatalf("IOErrors = %d", r.drv.Stats().IOErrors)
+	}
+}
+
+func TestStatsCountReadsWrites(t *testing.T) {
+	r := newRig(t)
+	r.submitAndWait(t, 0, make([]byte, 1024), false, trace.OriginData)
+	r.submitAndWait(t, 5000, make([]byte, 2048), true, trace.OriginData)
+	s := r.drv.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.Sectors != 6 || s.Requests != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMergedRequestTracedOnce(t *testing.T) {
+	r := newRig(t)
+	for i := 0; i < 8; i++ {
+		if _, err := r.q.Submit(uint32(3000+2*i), make([]byte, 1024), true, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.e.RunUntilIdle()
+	recs := r.ring.Drain(0)
+	if len(recs) != 1 {
+		t.Fatalf("merged burst produced %d trace records, want 1 physical request", len(recs))
+	}
+	if recs[0].KB() != 8 {
+		t.Fatalf("merged request size = %d KB, want 8", recs[0].KB())
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	run := func() []trace.Record {
+		e := sim.NewEngine(9)
+		defer e.Close()
+		d := disk.New(e, disk.DefaultParams())
+		q := blockio.New(e)
+		ring := trace.NewRing(1 << 12)
+		drv := New(e, d, q, 0, ring)
+		drv.SetLevel(LevelFull)
+		for i := 0; i < 30; i++ {
+			sector := uint32((i * 99991) % 1000000)
+			if _, err := q.Submit(sector&^1, make([]byte, 1024), i%3 == 0, trace.OriginData); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.RunUntilIdle()
+		return ring.Drain(0)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package ethernet models the Beowulf prototype's interconnect: two
+// parallel 10 Mb/s Ethernet segments (channel bonding was one of Beowulf's
+// signature tricks). Each segment is a shared serial medium: frames queue
+// for transmission time proportional to their size, and a message is
+// delivered after serialization plus propagation delay. Transfers pick the
+// segment that frees up first.
+package ethernet
+
+import (
+	"fmt"
+
+	"essio/internal/sim"
+)
+
+// Params configures the network.
+type Params struct {
+	Rails     int          // parallel segments (default 2)
+	Bandwidth float64      // bytes/second per segment (default 10 Mb/s = 1.25e6)
+	Latency   sim.Duration // per-message propagation + stack delay
+	FrameSize int          // maximum frame payload (default 1500)
+}
+
+// DefaultParams is the dual-10 Mb/s configuration.
+func DefaultParams() Params {
+	return Params{
+		Rails:     2,
+		Bandwidth: 1.25e6,
+		Latency:   300 * sim.Microsecond,
+		FrameSize: 1500,
+	}
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	Frames   uint64
+}
+
+// Net is the shared cluster network.
+type Net struct {
+	e     *sim.Engine
+	p     Params
+	rails []sim.Time // per-rail busy-until
+	stats Stats
+}
+
+// New builds a network on engine e.
+func New(e *sim.Engine, p Params) *Net {
+	if p.Rails <= 0 || p.Bandwidth <= 0 || p.FrameSize <= 0 {
+		panic("ethernet: invalid parameters")
+	}
+	return &Net{e: e, p: p, rails: make([]sim.Time, p.Rails)}
+}
+
+// Stats returns a copy of the counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Params returns the configuration.
+func (n *Net) Params() Params { return n.p }
+
+// Send schedules delivery of a message of the given size and invokes
+// deliver (engine context) when the last frame arrives. The sender is not
+// blocked; PVM buffers sends. Returns the delivery time.
+func (n *Net) Send(bytes int, deliver func()) (sim.Time, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("ethernet: negative message size %d", bytes)
+	}
+	if bytes == 0 {
+		bytes = 1
+	}
+	frames := (bytes + n.p.FrameSize - 1) / n.p.FrameSize
+	// Pick the rail that frees first.
+	best := 0
+	for i, bu := range n.rails {
+		if bu < n.rails[best] {
+			best = i
+		}
+	}
+	start := n.rails[best]
+	if now := n.e.Now(); start < now {
+		start = now
+	}
+	// Frame overhead: preamble+header+gap ~ 38 bytes per frame.
+	wire := bytes + frames*38
+	txTime := sim.DurationOf(float64(wire) / n.p.Bandwidth)
+	n.rails[best] = start.Add(txTime)
+	arrive := n.rails[best].Add(n.p.Latency)
+	n.stats.Messages++
+	n.stats.Bytes += uint64(bytes)
+	n.stats.Frames += uint64(frames)
+	n.e.At(arrive, deliver)
+	return arrive, nil
+}

@@ -1,0 +1,97 @@
+package ethernet
+
+import (
+	"testing"
+
+	"essio/internal/sim"
+)
+
+func TestSendDeliversAfterDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	n := New(e, DefaultParams())
+	var at sim.Time
+	want, err := n.Send(1000, func() { at = e.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	if at != want {
+		t.Fatalf("delivered at %v, Send predicted %v", at, want)
+	}
+	if at <= 0 {
+		t.Fatal("delivery must take time")
+	}
+	// 1000 B + overhead at 1.25 MB/s ≈ 0.8 ms + latency.
+	if at < sim.Time(800*sim.Microsecond) || at > sim.Time(3*sim.Millisecond) {
+		t.Fatalf("delivery at %v outside plausible window", at)
+	}
+}
+
+func TestBiggerMessagesTakeLonger(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	n := New(e, DefaultParams())
+	t1, _ := n.Send(100, func() {})
+	e.RunUntilIdle()
+	e2 := sim.NewEngine(1)
+	defer e2.Close()
+	n2 := New(e2, DefaultParams())
+	t2, _ := n2.Send(100000, func() {})
+	e2.RunUntilIdle()
+	if t2 <= t1 {
+		t.Fatalf("100 KB (%v) not slower than 100 B (%v)", t2, t1)
+	}
+}
+
+func TestRailsSerializeAndParallelize(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	p := DefaultParams()
+	p.Rails = 1
+	n1 := New(e, p)
+	a1, _ := n1.Send(10000, func() {})
+	b1, _ := n1.Send(10000, func() {})
+	if b1 <= a1 {
+		t.Fatalf("single rail must serialize: %v then %v", a1, b1)
+	}
+
+	p.Rails = 2
+	n2 := New(e, p)
+	a2, _ := n2.Send(10000, func() {})
+	b2, _ := n2.Send(10000, func() {})
+	if b2 != a2 {
+		t.Fatalf("two rails should carry two messages concurrently: %v vs %v", a2, b2)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	n := New(e, DefaultParams())
+	n.Send(3000, func() {})
+	s := n.Stats()
+	if s.Messages != 1 || s.Bytes != 3000 || s.Frames != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	n := New(e, DefaultParams())
+	if _, err := n.Send(-1, func() {}); err == nil {
+		t.Fatal("want error for negative size")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(e, Params{})
+}

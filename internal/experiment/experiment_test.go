@@ -1,0 +1,409 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"essio/internal/analysis"
+	"essio/internal/apps"
+	"essio/internal/apps/ppm"
+	"essio/internal/cluster"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// run executes a small-scale experiment once and caches nothing: each test
+// that needs a result runs its own for isolation.
+func run(t *testing.T, kind Kind, nodes int) *Result {
+	t.Helper()
+	res, err := Run(SmallConfig(kind, nodes))
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	if !res.Finished {
+		t.Fatalf("%s did not finish", kind)
+	}
+	return res
+}
+
+func TestBaselineShape(t *testing.T) {
+	res := run(t, Baseline, 2)
+	s := analysis.Summarize("baseline", res.Merged, res.Duration, res.Nodes)
+	if s.WritePct < 95 {
+		t.Fatalf("baseline writes = %.1f%%, paper reports ~100%%", s.WritePct)
+	}
+	c := analysis.ClassifySizes(res.Merged)
+	if c.Block1K+c.Other < c.Page4K+c.Large {
+		t.Fatalf("baseline dominated by large requests: %+v", c)
+	}
+	var low, high bool
+	for _, r := range res.Merged {
+		if r.Sector < 300000 {
+			low = true
+		}
+		if r.Sector > 900000 {
+			high = true
+		}
+	}
+	if !low || !high {
+		t.Fatalf("baseline activity low=%v high=%v; want both ends of the disk", low, high)
+	}
+}
+
+func TestPPMLowIOAndWriteDominated(t *testing.T) {
+	res := run(t, PPM, 2)
+	s := analysis.Summarize("ppm", res.Merged, res.Duration, res.Nodes)
+	// The paper: 4% reads, low overall activity (warm binary, simulation
+	// with no input data).
+	if s.ReadPct > 25 {
+		t.Fatalf("ppm reads = %.1f%%; simulation code should be write-dominated", s.ReadPct)
+	}
+	if s.ReqPerSec > 10 {
+		t.Fatalf("ppm rate = %.1f req/s; should be low-I/O", s.ReqPerSec)
+	}
+}
+
+func TestPPMWritesResultsFile(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pr := SmallConfig(PPM, 2).PPM
+	pr.Team = apps.NewTeam(c.PVM, 2, c.E)
+	prog := ppm.Program(pr)
+	if err := c.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	procs := c.Launch(prog)
+	if _, ok := c.WaitAll(procs, 60*sim.Minute); !ok {
+		t.Fatal("ppm did not finish")
+	}
+	checked := false
+	c.E.Spawn("check", func(p *sim.Proc) {
+		for _, n := range c.Nodes {
+			ino, err := n.FS.Lookup(p, pr.OutputPath)
+			if err != nil {
+				t.Errorf("node %d: %v", n.Cfg.NodeID, err)
+				return
+			}
+			st, err := n.FS.Stat(p, ino)
+			if err != nil || st.Size == 0 {
+				t.Errorf("node %d: output empty: %+v %v", n.Cfg.NodeID, st, err)
+				return
+			}
+			buf := make([]byte, 64)
+			m, err := n.FS.ReadAt(p, ino, 0, buf, trace.OriginData)
+			if err != nil || m == 0 {
+				t.Errorf("node %d: read: %v", n.Cfg.NodeID, err)
+				return
+			}
+			if !strings.Contains(string(buf[:m]), "grid=0 mass=") {
+				t.Errorf("node %d: unexpected output %q", n.Cfg.NodeID, buf[:m])
+				return
+			}
+		}
+		checked = true
+	})
+	c.E.Run(c.E.Now().Add(time1))
+	if !checked {
+		t.Fatal("output check never ran")
+	}
+}
+
+const time1 = 2 * sim.Minute
+
+func TestWaveletReadsImageAndPages(t *testing.T) {
+	res := run(t, Wavelet, 2)
+	var dataReads, pagingReads int
+	for _, r := range res.Merged {
+		if r.Op != trace.Read {
+			continue
+		}
+		switch r.Origin {
+		case trace.OriginData:
+			dataReads++
+		case trace.OriginPaging:
+			pagingReads++
+		}
+	}
+	if dataReads == 0 {
+		t.Fatal("wavelet never read its image from disk")
+	}
+	if pagingReads == 0 {
+		t.Fatal("wavelet shows no demand paging despite its large program space")
+	}
+	s := analysis.Summarize("wavelet", res.Merged, res.Duration, res.Nodes)
+	if s.ReadPct < 20 {
+		t.Fatalf("wavelet reads = %.1f%%; the paper reports ~49%%", s.ReadPct)
+	}
+}
+
+func TestNBodyLowIO(t *testing.T) {
+	res := run(t, NBody, 2)
+	s := analysis.Summarize("nbody", res.Merged, res.Duration, res.Nodes)
+	if s.ReadPct > 30 {
+		t.Fatalf("nbody reads = %.1f%%; paper reports 13%%", s.ReadPct)
+	}
+	if s.ReqPerSec > 10 {
+		t.Fatalf("nbody rate = %.1f req/s; should be low-I/O", s.ReqPerSec)
+	}
+}
+
+func TestCombinedBusierThanParts(t *testing.T) {
+	combined := run(t, Combined, 2)
+	ppmRes := run(t, PPM, 2)
+	cs := analysis.Summarize("c", combined.Merged, combined.Duration, combined.Nodes)
+	ps := analysis.Summarize("p", ppmRes.Merged, ppmRes.Duration, ppmRes.Nodes)
+	if cs.TotalPerDisk <= ps.TotalPerDisk {
+		t.Fatalf("combined total %.0f not busier than ppm alone %.0f", cs.TotalPerDisk, ps.TotalPerDisk)
+	}
+	// Combined must still keep the 1 KB floor.
+	c := analysis.ClassifySizes(combined.Merged)
+	if c.Block1K == 0 {
+		t.Fatal("combined lost the 1 KB request class")
+	}
+	// Multiprogramming stretches each app's runtime beyond its solo time.
+	if combined.Duration <= ppmRes.Duration {
+		t.Fatalf("combined duration %v not longer than ppm alone %v", combined.Duration, ppmRes.Duration)
+	}
+}
+
+func TestDeterministicExperiment(t *testing.T) {
+	a := run(t, PPM, 2)
+	b := run(t, PPM, 2)
+	if len(a.Merged) != len(b.Merged) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Merged), len(b.Merged))
+	}
+	for i := range a.Merged {
+		if a.Merged[i] != b.Merged[i] {
+			t.Fatalf("records diverge at %d: %v vs %v", i, a.Merged[i], b.Merged[i])
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	results := map[Kind]*Result{
+		Baseline: run(t, Baseline, 2),
+		PPM:      run(t, PPM, 2),
+	}
+	out := Table1(results)
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "ppm") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "1782") {
+		t.Fatal("table missing paper reference values")
+	}
+	if strings.Contains(out, "wavelet") {
+		t.Fatal("table contains a row for a missing result")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	res := run(t, Baseline, 2)
+	fig, err := Figure(1, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig, "Figure 1") || !strings.Contains(fig, "sector") {
+		t.Fatalf("figure 1 malformed:\n%s", fig)
+	}
+	// Wrong-kind result must be rejected.
+	if _, err := Figure(5, res); err == nil {
+		t.Fatal("figure 5 from a baseline result must fail")
+	}
+	if _, err := Figure(99, res); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+}
+
+func TestFiguresForCombined(t *testing.T) {
+	res := run(t, Combined, 2)
+	for _, num := range []int{5, 6, 7, 8} {
+		fig, err := Figure(num, res)
+		if err != nil {
+			t.Fatalf("figure %d: %v", num, err)
+		}
+		if len(fig) < 50 {
+			t.Fatalf("figure %d suspiciously short:\n%s", num, fig)
+		}
+	}
+	report := SizeClassReport(res)
+	if !strings.Contains(report, "4 KB paging") {
+		t.Fatalf("size report malformed:\n%s", report)
+	}
+}
+
+func TestKindForFigure(t *testing.T) {
+	k, err := KindForFigure(3)
+	if err != nil || k != Wavelet {
+		t.Fatalf("figure 3 -> %v, %v", k, err)
+	}
+	if _, err := KindForFigure(0); err == nil {
+		t.Fatal("figure 0 must fail")
+	}
+}
+
+func TestUnknownKindFails(t *testing.T) {
+	if _, err := Run(Config{Kind: "bogus", Nodes: 2}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestColdStartIncreasesReads(t *testing.T) {
+	warm := run(t, PPM, 2)
+	cfg := SmallConfig(PPM, 2)
+	cfg.ColdStart = true
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := analysis.Summarize("w", warm.Merged, warm.Duration, 2).ReadPct
+	cr := analysis.Summarize("c", cold.Merged, cold.Duration, 2).ReadPct
+	if cr <= wr {
+		t.Fatalf("cold start reads %.1f%% not above warm %.1f%%", cr, wr)
+	}
+}
+
+func TestWaveletDeterministic(t *testing.T) {
+	a := run(t, Wavelet, 2)
+	b := run(t, Wavelet, 2)
+	if len(a.Merged) != len(b.Merged) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Merged), len(b.Merged))
+	}
+	for i := range a.Merged {
+		if a.Merged[i] != b.Merged[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	a := run(t, Baseline, 2)
+	cfg := SmallConfig(Baseline, 2)
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Merged) == len(b.Merged) {
+		same := true
+		for i := range a.Merged {
+			if a.Merged[i] != b.Merged[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces (jitter not seeded?)")
+		}
+	}
+}
+
+func TestResultWindowsAreTraced(t *testing.T) {
+	res := run(t, Baseline, 2)
+	if res.Start >= res.End {
+		t.Fatalf("window [%v, %v)", res.Start, res.End)
+	}
+	for _, r := range res.Merged {
+		if r.Time < res.Start || r.Time > res.End {
+			t.Fatalf("record at %v outside [%v, %v]", r.Time, res.Start, res.End)
+		}
+	}
+	if len(res.PerNode) != 2 {
+		t.Fatalf("PerNode = %d", len(res.PerNode))
+	}
+	total := 0
+	for _, tr := range res.PerNode {
+		total += len(tr)
+	}
+	if total != len(res.Merged) {
+		t.Fatalf("merged %d != per-node sum %d", len(res.Merged), total)
+	}
+}
+
+func TestAppEventsCapturedAndContrasted(t *testing.T) {
+	res := run(t, Wavelet, 2)
+	if len(res.AppEvents) == 0 {
+		t.Fatal("no application-level I/O recorded")
+	}
+	// The wavelet app reads its image explicitly and writes results.
+	reads, writes := 0, 0
+	var bytes int64
+	for _, ev := range res.AppEvents {
+		if ev.Write {
+			writes++
+		} else {
+			reads++
+		}
+		bytes += int64(ev.Bytes)
+		if ev.Path == "" {
+			t.Fatal("event without a path")
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	// Library level must see FAR less than the driver level: the app's
+	// explicit bytes are a fraction of the disk traffic (paging etc.).
+	var diskBytes int64
+	for _, r := range res.Merged {
+		diskBytes += int64(r.Bytes())
+	}
+	if bytes >= diskBytes {
+		t.Fatalf("app bytes %d >= disk bytes %d; system traffic missing", bytes, diskBytes)
+	}
+	rep := LevelsReport(res)
+	if !strings.Contains(rep, "library level") || !strings.Contains(rep, "driver level") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestBaselineHasNoAppEvents(t *testing.T) {
+	res := run(t, Baseline, 2)
+	if len(res.AppEvents) != 0 {
+		t.Fatalf("baseline recorded %d app events; daemons must not count", len(res.AppEvents))
+	}
+}
+
+func TestRunSeedsAggregates(t *testing.T) {
+	cfg := SmallConfig(PPM, 2)
+	rep, err := RunSeeds(cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	if rep.PerDisk.N != 3 || rep.PerDisk.Mean <= 0 {
+		t.Fatalf("PerDisk = %+v", rep.PerDisk)
+	}
+	if rep.PerDisk.Min > rep.PerDisk.Mean || rep.PerDisk.Max < rep.PerDisk.Mean {
+		t.Fatalf("bounds wrong: %+v", rep.PerDisk)
+	}
+	if !strings.Contains(rep.String(), "over 3 seeds") {
+		t.Fatalf("report:\n%s", rep)
+	}
+	if _, err := RunSeeds(cfg, nil); err == nil {
+		t.Fatal("no seeds must error")
+	}
+}
+
+func TestDistStats(t *testing.T) {
+	d := newDist([]float64{2, 4, 6})
+	if d.Mean != 4 || d.Min != 2 || d.Max != 6 || d.N != 3 {
+		t.Fatalf("%+v", d)
+	}
+	if math.Abs(d.Std-2) > 1e-12 {
+		t.Fatalf("Std = %v", d.Std)
+	}
+	z := newDist(nil)
+	if z.N != 0 || z.Mean != 0 || z.Min != 0 || z.Max != 0 {
+		t.Fatalf("%+v", z)
+	}
+	one := newDist([]float64{5})
+	if one.Std != 0 || one.Mean != 5 {
+		t.Fatalf("%+v", one)
+	}
+}

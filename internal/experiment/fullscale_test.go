@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"testing"
+
+	"essio/internal/analysis"
+	"essio/internal/trace"
+)
+
+// TestFullScaleShapes runs every experiment at the paper's full scale
+// (16 nodes, full application parameters) and asserts the qualitative
+// criteria of DESIGN.md §3 — who reads, who pages, where the traffic lands.
+// Skipped under -short; takes a few minutes of wall time.
+func TestFullScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape verification")
+	}
+	results := map[Kind]*Result{}
+	for _, k := range Kinds {
+		res, err := Run(Config{Kind: k, Nodes: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if !res.Finished {
+			t.Fatalf("%s did not finish", k)
+		}
+		results[k] = res
+		s := analysis.Summarize(string(k), res.Merged, res.Duration, res.Nodes)
+		t.Logf("%s", s.String())
+	}
+
+	// E0 baseline: ~100% writes, ~0.9 req/s, 1 KB dominant, low+high sectors.
+	base := analysis.Summarize("b", results[Baseline].Merged, results[Baseline].Duration, 16)
+	if base.WritePct < 99 {
+		t.Errorf("baseline writes %.1f%%, want ~100%%", base.WritePct)
+	}
+	if base.ReqPerSec < 0.4 || base.ReqPerSec > 1.6 {
+		t.Errorf("baseline rate %.2f req/s, paper ~0.9", base.ReqPerSec)
+	}
+	bc := analysis.ClassifySizes(results[Baseline].Merged)
+	if bc.Large != 0 {
+		t.Errorf("baseline has %d large requests, want none", bc.Large)
+	}
+	var low, high bool
+	for _, r := range results[Baseline].Merged {
+		if r.Sector < 300000 {
+			low = true
+		}
+		if r.Sector > 950000 {
+			high = true
+		}
+	}
+	if !low || !high {
+		t.Errorf("baseline sectors low=%v high=%v", low, high)
+	}
+
+	// E1 PPM: ~240 s, write-dominated, low rate, brief end-of-run paging.
+	ppmRes := results[PPM]
+	if d := ppmRes.Duration.Seconds(); d < 180 || d > 340 {
+		t.Errorf("ppm duration %.0fs, paper ~240s", d)
+	}
+	ppmSum := analysis.Summarize("p", ppmRes.Merged, ppmRes.Duration, 16)
+	if ppmSum.ReadPct > 10 {
+		t.Errorf("ppm reads %.1f%%, paper 4%%", ppmSum.ReadPct)
+	}
+	if ppmSum.ReqPerSec > 3 {
+		t.Errorf("ppm rate %.2f req/s, should be low", ppmSum.ReqPerSec)
+	}
+	swaps := analysis.OriginBreakdown(ppmRes.Merged)[trace.OriginSwap]
+	if swaps == 0 {
+		t.Error("ppm shows no end-of-run paging at all")
+	} else {
+		// The paging burst must fall in the last quarter of the run.
+		t0 := ppmRes.Merged[0].Time
+		for _, r := range ppmRes.Merged {
+			if r.Origin == trace.OriginSwap &&
+				r.Time.Sub(t0).Seconds() < 0.6*ppmRes.Duration.Seconds() {
+				t.Errorf("ppm paging at %.0fs, expected only near the end", r.Time.Sub(t0).Seconds())
+				break
+			}
+		}
+	}
+
+	// E2 wavelet: reads ~49%, heavy 4 KB paging, >=16 KB streaming reads.
+	wRes := results[Wavelet]
+	wSum := analysis.Summarize("w", wRes.Merged, wRes.Duration, 16)
+	if wSum.ReadPct < 35 || wSum.ReadPct > 65 {
+		t.Errorf("wavelet reads %.1f%%, paper 49%%", wSum.ReadPct)
+	}
+	wc := analysis.ClassifySizes(wRes.Merged)
+	if wc.Page4K < wc.Block1K {
+		t.Errorf("wavelet 4KB (%d) should dominate 1KB (%d)", wc.Page4K, wc.Block1K)
+	}
+	maxKB := 0
+	var firstBigRead float64
+	t0 := wRes.Merged[0].Time
+	for _, r := range wRes.Merged {
+		if r.KB() > maxKB {
+			maxKB = r.KB()
+		}
+		if firstBigRead == 0 && r.Op == trace.Read && r.Origin == trace.OriginData && r.KB() >= 8 {
+			firstBigRead = r.Time.Sub(t0).Seconds()
+		}
+	}
+	if maxKB < 16 {
+		t.Errorf("wavelet max request %d KB, want >=16 (read-ahead)", maxKB)
+	}
+	if firstBigRead < 20 || firstBigRead > 120 {
+		t.Errorf("wavelet image read at %.0fs, paper ~50s", firstBigRead)
+	}
+
+	// E3 N-body: modest read share, low rate, some page swaps.
+	nRes := results[NBody]
+	nSum := analysis.Summarize("n", nRes.Merged, nRes.Duration, 16)
+	if nSum.ReadPct < 2 || nSum.ReadPct > 30 {
+		t.Errorf("nbody reads %.1f%%, paper 13%%", nSum.ReadPct)
+	}
+	if nSum.ReqPerSec > 5 {
+		t.Errorf("nbody rate %.2f req/s, should be low", nSum.ReqPerSec)
+	}
+	if analysis.OriginBreakdown(nRes.Merged)[trace.OriginSwap] == 0 {
+		t.Error("nbody shows no page swaps; paper reports a few")
+	}
+
+	// E4 combined: ~700 s, busier than parts, 16-32 KB requests, low-sector
+	// concentration, low+high hot spots.
+	cRes := results[Combined]
+	if d := cRes.Duration.Seconds(); d < 450 || d > 1100 {
+		t.Errorf("combined duration %.0fs, paper ~700s", d)
+	}
+	cSum := analysis.Summarize("c", cRes.Merged, cRes.Duration, 16)
+	if cSum.TotalPerDisk <= wSum.TotalPerDisk {
+		t.Errorf("combined %.0f req/disk not busier than wavelet alone %.0f",
+			cSum.TotalPerDisk, wSum.TotalPerDisk)
+	}
+	cMax := 0
+	for _, r := range cRes.Merged {
+		if r.KB() > cMax {
+			cMax = r.KB()
+		}
+	}
+	if cMax < 16 || cMax > 32 {
+		t.Errorf("combined max request %d KB, paper 16-32 KB", cMax)
+	}
+	bands := analysis.SpatialBands(cRes.Merged, 100000, cRes.DiskSectors)
+	lowPct := bands[0].Pct + bands[1].Pct
+	if lowPct < 70 {
+		t.Errorf("combined low-band share %.1f%%, want dominant", lowPct)
+	}
+	if frac := analysis.Pareto(bands, 0.8); frac > 0.35 {
+		t.Errorf("combined Pareto: 80%% of traffic in %.0f%% of bands; paper ~80/20", 100*frac)
+	}
+	heat := analysis.TemporalHeat(analysis.FilterNode(cRes.Merged, 0), cRes.Duration)
+	hot := analysis.Hottest(heat, 5)
+	if len(hot) < 2 {
+		t.Fatal("no hot spots")
+	}
+	// The paper finds the most revisited sectors at a low disk position
+	// and just under 1,000,000. Require both regions among the top spots.
+	var lowHot, highHot bool
+	for _, h := range hot {
+		if h.Sector < 300000 {
+			lowHot = true
+		}
+		if h.Sector > 950000 {
+			highHot = true
+		}
+	}
+	if !lowHot || !highHot {
+		t.Errorf("top-5 hot spots %v lack a low+high pair; paper: ~45K and just under 1M", hot)
+	}
+	t.Logf("combined hot spots (disk 0): %v", hot)
+}

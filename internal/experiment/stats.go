@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"essio/internal/analysis"
+)
+
+// Repeated runs the same experiment across several seeds and aggregates the
+// Table 1 metrics, giving the reproduction error bars the original
+// single-run study could not report.
+type Repeated struct {
+	Kind    Kind
+	Seeds   []int64
+	Results []*Result
+
+	ReadPct   Dist
+	ReqPerSec Dist
+	PerDisk   Dist
+	DurationS Dist
+}
+
+// Dist is a small sample summary.
+type Dist struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+func newDist(samples []float64) Dist {
+	d := Dist{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	if d.N == 0 {
+		d.Min, d.Max = 0, 0
+		return d
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+		d.Min = math.Min(d.Min, s)
+		d.Max = math.Max(d.Max, s)
+	}
+	d.Mean = sum / float64(d.N)
+	var ss float64
+	for _, s := range samples {
+		ss += (s - d.Mean) * (s - d.Mean)
+	}
+	if d.N > 1 {
+		d.Std = math.Sqrt(ss / float64(d.N-1))
+	}
+	return d
+}
+
+func (d Dist) String() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.2f, %.2f]", d.Mean, d.Std, d.Min, d.Max)
+}
+
+// RunSeeds executes cfg once per seed (overriding cfg.Seed) and aggregates.
+func RunSeeds(cfg Config, seeds []int64) (*Repeated, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	rep := &Repeated{Kind: cfg.Kind, Seeds: seeds}
+	var readPcts, rates, totals, durs []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rep.Results = append(rep.Results, res)
+		s := analysis.Summarize(string(c.Kind), res.Merged, res.Duration, res.Nodes)
+		readPcts = append(readPcts, s.ReadPct)
+		rates = append(rates, s.ReqPerSec)
+		totals = append(totals, s.TotalPerDisk)
+		durs = append(durs, res.Duration.Seconds())
+	}
+	rep.ReadPct = newDist(readPcts)
+	rep.ReqPerSec = newDist(rates)
+	rep.PerDisk = newDist(totals)
+	rep.DurationS = newDist(durs)
+	return rep, nil
+}
+
+// String renders the aggregate.
+func (r *Repeated) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %d seeds:\n", r.Kind, len(r.Seeds))
+	fmt.Fprintf(&b, "  reads%%     %s\n", r.ReadPct)
+	fmt.Fprintf(&b, "  req/s/disk %s\n", r.ReqPerSec)
+	fmt.Fprintf(&b, "  total/disk %s\n", r.PerDisk)
+	fmt.Fprintf(&b, "  duration s %s\n", r.DurationS)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package extfs
+
+import (
+	"fmt"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// CheckReport summarizes a filesystem consistency scan (fsck).
+type CheckReport struct {
+	Files      int
+	Dirs       int
+	UsedBlocks int // data + indirect blocks reachable from inodes
+	MetaBlocks int // fixed metadata (superblock, bitmaps, inode tables)
+	FreeBlocks int
+	Problems   []string
+}
+
+// Ok reports whether the scan found no inconsistencies.
+func (r *CheckReport) Ok() bool { return len(r.Problems) == 0 }
+
+func (r *CheckReport) problemf(format string, args ...interface{}) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Check walks the directory tree from the root and cross-checks it against
+// the allocation bitmaps: every reachable block must be marked used, no
+// block may be referenced twice, every allocated inode must be reachable,
+// and the free counters must match the bitmaps. It is the moral equivalent
+// of fsck -n (read-only).
+func (f *FS) Check(p *sim.Proc) (*CheckReport, error) {
+	rep := &CheckReport{}
+	blockRefs := make(map[uint32]int)
+	inodeSeen := make(map[uint32]bool)
+
+	// Walk the tree.
+	var walk func(ino uint32, path string) error
+	walk = func(ino uint32, path string) error {
+		if inodeSeen[ino] {
+			rep.problemf("inode %d reachable twice (at %s)", ino, path)
+			return nil
+		}
+		inodeSeen[ino] = true
+		in, err := f.readInode(p, ino)
+		if err != nil {
+			return err
+		}
+		switch in.Mode {
+		case ModeFile:
+			rep.Files++
+		case ModeDir:
+			rep.Dirs++
+		default:
+			rep.problemf("inode %d (%s) has mode %d", ino, path, in.Mode)
+			return nil
+		}
+		err = f.forEachBlock(p, in, func(blk uint32, meta bool) error {
+			blockRefs[blk]++
+			if blockRefs[blk] > 1 {
+				rep.problemf("block %d multiply referenced (at %s)", blk, path)
+			}
+			if blk < 1 || blk >= f.sb.BlocksCount {
+				rep.problemf("block %d out of range (at %s)", blk, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if in.Mode == ModeDir {
+			ents, err := f.Readdir(p, ino)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if err := walk(e.Ino, path+"/"+e.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(RootIno, ""); err != nil {
+		return rep, err
+	}
+	rep.UsedBlocks = len(blockRefs)
+
+	// Cross-check the bitmaps.
+	freeBlocks, freeInodes := 0, 0
+	for g := range f.groups {
+		gd := &f.groups[g]
+		gstart := uint32(1) + uint32(g)*BlocksPerGroup
+		gend := gstart + BlocksPerGroup
+		if gend > f.sb.BlocksCount {
+			gend = f.sb.BlocksCount
+		}
+		metaEnd := gd.InodeTable + inodeTableBlocks
+		bm, err := f.readBlock(p, gd.BlockBitmap, trace.OriginMeta)
+		if err != nil {
+			return rep, err
+		}
+		bitmap := append([]byte(nil), bm...)
+		for blk := gstart; blk < gend; blk++ {
+			idx := blk - gstart
+			used := bitmap[idx/8]&(1<<(idx%8)) != 0
+			isMeta := blk < metaEnd || (g == 0 && blk < 3)
+			_, reachable := blockRefs[blk]
+			switch {
+			case isMeta:
+				rep.MetaBlocks++
+				if !used {
+					rep.problemf("metadata block %d marked free", blk)
+				}
+			case reachable && !used:
+				rep.problemf("reachable block %d marked free", blk)
+			case !reachable && used:
+				rep.problemf("block %d marked used but unreachable", blk)
+			case !used:
+				freeBlocks++
+			}
+		}
+		ibm, err := f.readBlock(p, gd.InodeBitmap, trace.OriginMeta)
+		if err != nil {
+			return rep, err
+		}
+		ibitmap := append([]byte(nil), ibm...)
+		for idx := uint32(0); idx < InodesPerGroup; idx++ {
+			ino := uint32(g)*InodesPerGroup + idx + 1
+			used := ibitmap[idx/8]&(1<<(idx%8)) != 0
+			if !used {
+				freeInodes++
+				if inodeSeen[ino] {
+					rep.problemf("reachable inode %d marked free", ino)
+				}
+				continue
+			}
+			if ino == 1 { // reserved
+				continue
+			}
+			if !inodeSeen[ino] {
+				rep.problemf("inode %d allocated but unreachable", ino)
+			}
+		}
+	}
+	rep.FreeBlocks = freeBlocks
+	if uint32(freeBlocks) != f.sb.FreeBlocks {
+		rep.problemf("superblock free blocks %d, bitmap says %d", f.sb.FreeBlocks, freeBlocks)
+	}
+	if uint32(freeInodes) != f.sb.FreeInodes {
+		rep.problemf("superblock free inodes %d, bitmap says %d", f.sb.FreeInodes, freeInodes)
+	}
+	return rep, nil
+}

@@ -1,0 +1,393 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// Directory entries are packed into directory blocks ext2-style: a 8-byte
+// header (inode, record length, name length, type) followed by the name,
+// with record lengths chaining entries through the block. A zero inode
+// marks reusable free space.
+const direntHeader = 8
+
+func direntNeed(name string) int { return (direntHeader + len(name) + 3) &^ 3 }
+
+// DirEntry is one name in a directory.
+type DirEntry struct {
+	Name string
+	Ino  uint32
+	Mode Mode
+}
+
+func putDirent(b []byte, ino uint32, reclen int, name string, mode Mode) {
+	binary.LittleEndian.PutUint32(b[0:], ino)
+	binary.LittleEndian.PutUint16(b[4:], uint16(reclen))
+	b[6] = byte(len(name))
+	b[7] = byte(mode)
+	copy(b[direntHeader:], name)
+}
+
+// Lookup resolves an absolute path to an inode number.
+func (f *FS) Lookup(p *sim.Proc, path string) (uint32, error) {
+	ino, _, _, err := f.namei(p, path, false)
+	return ino, err
+}
+
+// namei walks path. If wantParent is set, it resolves the parent directory
+// and returns (0 or child ino, parent ino, last component).
+func (f *FS) namei(p *sim.Proc, path string, wantParent bool) (ino, parent uint32, last string, err error) {
+	if !strings.HasPrefix(path, "/") {
+		return 0, 0, "", fmt.Errorf("extfs: path %q not absolute", path)
+	}
+	parts := make([]string, 0, 8)
+	for _, c := range strings.Split(path, "/") {
+		if c != "" && c != "." {
+			parts = append(parts, c)
+		}
+	}
+	cur := uint32(RootIno)
+	parent = RootIno
+	for i, comp := range parts {
+		if len(comp) > 255 {
+			return 0, 0, "", fmt.Errorf("extfs: component %q too long", comp)
+		}
+		lastComp := i == len(parts)-1
+		child, _, err := f.findEntry(p, cur, comp)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		if lastComp {
+			if wantParent {
+				return child, cur, comp, nil
+			}
+			if child == 0 {
+				return 0, 0, "", fmt.Errorf("extfs: %q not found", path)
+			}
+			return child, cur, comp, nil
+		}
+		if child == 0 {
+			return 0, 0, "", fmt.Errorf("extfs: %q not found", path)
+		}
+		in, err := f.readInode(p, child)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		if in.Mode != ModeDir {
+			return 0, 0, "", fmt.Errorf("extfs: %q is not a directory", comp)
+		}
+		cur = child
+	}
+	if len(parts) == 0 {
+		if wantParent {
+			return RootIno, RootIno, "", nil
+		}
+		return RootIno, RootIno, "", nil
+	}
+	return cur, parent, last, nil
+}
+
+// findEntry scans a directory for name, returning (ino, file-block index).
+func (f *FS) findEntry(p *sim.Proc, dirIno uint32, name string) (uint32, uint32, error) {
+	din, err := f.readInode(p, dirIno)
+	if err != nil {
+		return 0, 0, err
+	}
+	if din.Mode != ModeDir {
+		return 0, 0, fmt.Errorf("extfs: inode %d is not a directory", dirIno)
+	}
+	nblocks := din.Size / BlockSize
+	for fb := uint32(0); fb < nblocks; fb++ {
+		blk, _, err := f.mapBlock(p, din, fb, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if blk == 0 {
+			continue
+		}
+		data, err := f.readBlock(p, blk, trace.OriginMeta)
+		if err != nil {
+			return 0, 0, err
+		}
+		for off := 0; off+direntHeader <= BlockSize; {
+			ino := binary.LittleEndian.Uint32(data[off:])
+			reclen := int(binary.LittleEndian.Uint16(data[off+4:]))
+			if reclen < direntHeader {
+				break
+			}
+			nl := int(data[off+6])
+			if ino != 0 && nl == len(name) && string(data[off+direntHeader:off+direntHeader+nl]) == name {
+				return ino, fb, nil
+			}
+			off += reclen
+		}
+	}
+	return 0, 0, nil
+}
+
+// addEntry inserts (name, ino) into directory dirIno.
+func (f *FS) addEntry(p *sim.Proc, dirIno uint32, name string, ino uint32, mode Mode) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("extfs: bad entry name %q", name)
+	}
+	din, err := f.readInode(p, dirIno)
+	if err != nil {
+		return err
+	}
+	need := direntNeed(name)
+	nblocks := din.Size / BlockSize
+	for fb := uint32(0); fb < nblocks; fb++ {
+		blk, _, err := f.mapBlock(p, din, fb, false)
+		if err != nil {
+			return err
+		}
+		if blk == 0 {
+			continue
+		}
+		inserted := false
+		err = f.updateBlock(p, blk, trace.OriginMeta, func(data []byte) {
+			for off := 0; off+direntHeader <= BlockSize; {
+				entIno := binary.LittleEndian.Uint32(data[off:])
+				reclen := int(binary.LittleEndian.Uint16(data[off+4:]))
+				if reclen < direntHeader {
+					return
+				}
+				if entIno == 0 && reclen >= need {
+					putDirent(data[off:], ino, reclen, name, mode)
+					inserted = true
+					return
+				}
+				if entIno != 0 {
+					nl := int(data[off+6])
+					ideal := (direntHeader + nl + 3) &^ 3
+					if reclen-ideal >= need {
+						binary.LittleEndian.PutUint16(data[off+4:], uint16(ideal))
+						putDirent(data[off+ideal:], ino, reclen-ideal, name, mode)
+						inserted = true
+						return
+					}
+				}
+				off += reclen
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if inserted {
+			return nil
+		}
+	}
+	// No room: append a fresh directory block.
+	blk, _, err := f.mapBlock(p, din, nblocks, true)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, BlockSize)
+	putDirent(buf, ino, BlockSize, name, mode)
+	if err := f.bc.WriteBlock(p, f.diskBlock(blk), buf, trace.OriginMeta); err != nil {
+		return err
+	}
+	din.Size += BlockSize
+	din.Mtime = uint32(p.Now().Seconds())
+	return f.writeInode(p, dirIno, din)
+}
+
+// removeEntry deletes name from directory dirIno, returning the inode it
+// referenced.
+func (f *FS) removeEntry(p *sim.Proc, dirIno uint32, name string) (uint32, error) {
+	din, err := f.readInode(p, dirIno)
+	if err != nil {
+		return 0, err
+	}
+	nblocks := din.Size / BlockSize
+	for fb := uint32(0); fb < nblocks; fb++ {
+		blk, _, err := f.mapBlock(p, din, fb, false)
+		if err != nil {
+			return 0, err
+		}
+		if blk == 0 {
+			continue
+		}
+		var removed uint32
+		err = f.updateBlock(p, blk, trace.OriginMeta, func(data []byte) {
+			for off := 0; off+direntHeader <= BlockSize; {
+				entIno := binary.LittleEndian.Uint32(data[off:])
+				reclen := int(binary.LittleEndian.Uint16(data[off+4:]))
+				if reclen < direntHeader {
+					return
+				}
+				nl := int(data[off+6])
+				if entIno != 0 && nl == len(name) && string(data[off+direntHeader:off+direntHeader+nl]) == name {
+					binary.LittleEndian.PutUint32(data[off:], 0)
+					removed = entIno
+					return
+				}
+				off += reclen
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		if removed != 0 {
+			return removed, nil
+		}
+	}
+	return 0, fmt.Errorf("extfs: entry %q not found", name)
+}
+
+// Readdir lists a directory.
+func (f *FS) Readdir(p *sim.Proc, dirIno uint32) ([]DirEntry, error) {
+	din, err := f.readInode(p, dirIno)
+	if err != nil {
+		return nil, err
+	}
+	if din.Mode != ModeDir {
+		return nil, fmt.Errorf("extfs: inode %d is not a directory", dirIno)
+	}
+	var out []DirEntry
+	nblocks := din.Size / BlockSize
+	for fb := uint32(0); fb < nblocks; fb++ {
+		blk, _, err := f.mapBlock(p, din, fb, false)
+		if err != nil {
+			return nil, err
+		}
+		if blk == 0 {
+			continue
+		}
+		data, err := f.readBlock(p, blk, trace.OriginMeta)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off+direntHeader <= BlockSize; {
+			ino := binary.LittleEndian.Uint32(data[off:])
+			reclen := int(binary.LittleEndian.Uint16(data[off+4:]))
+			if reclen < direntHeader {
+				break
+			}
+			if ino != 0 {
+				nl := int(data[off+6])
+				out = append(out, DirEntry{
+					Name: string(data[off+direntHeader : off+direntHeader+nl]),
+					Ino:  ino,
+					Mode: Mode(data[off+7]),
+				})
+			}
+			off += reclen
+		}
+	}
+	return out, nil
+}
+
+// Create makes a regular file at path (parent must exist) and returns its
+// inode. Data blocks prefer the parent's group.
+func (f *FS) Create(p *sim.Proc, path string) (uint32, error) {
+	return f.CreateIn(p, path, -1)
+}
+
+// CreateIn makes a regular file whose data is allocated in the given block
+// group (-1 means inherit the parent's group). Pinning files into specific
+// groups is how the node image places /var/log at high sector numbers.
+func (f *FS) CreateIn(p *sim.Proc, path string, group int) (uint32, error) {
+	existing, parent, name, err := f.namei(p, path, true)
+	if err != nil {
+		return 0, err
+	}
+	if existing != 0 {
+		return 0, fmt.Errorf("extfs: %q already exists", path)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("extfs: cannot create root")
+	}
+	if group < 0 {
+		pg, _, err := f.inodeLoc(parent)
+		if err != nil {
+			return 0, err
+		}
+		group = pg
+	}
+	if group >= len(f.groups) {
+		group = len(f.groups) - 1
+	}
+	ino, err := f.allocInodeIn(p, group)
+	if err != nil {
+		return 0, err
+	}
+	in := inode{Mode: ModeFile, Links: 1, Mtime: uint32(p.Now().Seconds()), Group: uint16(group)}
+	if err := f.writeInode(p, ino, &in); err != nil {
+		return 0, err
+	}
+	if err := f.addEntry(p, parent, name, ino, ModeFile); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Mkdir creates a directory at path.
+func (f *FS) Mkdir(p *sim.Proc, path string) (uint32, error) {
+	existing, parent, name, err := f.namei(p, path, true)
+	if err != nil {
+		return 0, err
+	}
+	if existing != 0 {
+		return 0, fmt.Errorf("extfs: %q already exists", path)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("extfs: cannot create root")
+	}
+	pg, _, err := f.inodeLoc(parent)
+	if err != nil {
+		return 0, err
+	}
+	ino, err := f.allocInodeIn(p, pg)
+	if err != nil {
+		return 0, err
+	}
+	in := inode{Mode: ModeDir, Links: 2, Mtime: uint32(p.Now().Seconds()), Group: uint16(pg)}
+	if err := f.writeInode(p, ino, &in); err != nil {
+		return 0, err
+	}
+	if err := f.addEntry(p, parent, name, ino, ModeDir); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Unlink removes a regular file: drops its directory entry and, when the
+// link count reaches zero, frees its blocks and inode.
+func (f *FS) Unlink(p *sim.Proc, path string) error {
+	ino, parent, name, err := f.namei(p, path, true)
+	if err != nil {
+		return err
+	}
+	if ino == 0 {
+		return fmt.Errorf("extfs: %q not found", path)
+	}
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return err
+	}
+	if in.Mode != ModeFile {
+		return fmt.Errorf("extfs: unlink of non-file %q", path)
+	}
+	if _, err := f.removeEntry(p, parent, name); err != nil {
+		return err
+	}
+	if in.Links > 0 {
+		in.Links--
+	}
+	if in.Links == 0 {
+		if err := f.truncateInode(p, in); err != nil {
+			return err
+		}
+		in.Mode = ModeFree
+		if err := f.writeInode(p, ino, in); err != nil {
+			return err
+		}
+		return f.freeInode(p, ino)
+	}
+	return f.writeInode(p, ino, in)
+}

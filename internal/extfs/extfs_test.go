@@ -1,0 +1,698 @@
+package extfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"essio/internal/blockio"
+	"essio/internal/buffercache"
+	"essio/internal/disk"
+	"essio/internal/driver"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// testBlocks gives a 3-group (24 MB) filesystem, large enough to exercise
+// cross-group allocation but quick to format.
+const testBlocks = 3 * BlocksPerGroup
+
+type rig struct {
+	e    *sim.Engine
+	disk *disk.Disk
+	bc   *buffercache.Cache
+	fs   *FS
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	t.Cleanup(e.Close)
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e)
+	drv := driver.New(e, d, q, 0, trace.NewRing(1<<18))
+	drv.SetLevel(driver.LevelOff)
+	bc := buffercache.New(e, q, 2048)
+	r := &rig{e: e, disk: d, bc: bc}
+	r.run(t, func(p *sim.Proc) {
+		fs, err := Mkfs(p, bc, 0, testBlocks)
+		if err != nil {
+			t.Fatalf("mkfs: %v", err)
+		}
+		r.fs = fs
+	})
+	return r
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.e.Spawn("test", fn)
+	r.e.RunUntilIdle()
+}
+
+func TestMkfsAndMountRoundTrip(t *testing.T) {
+	r := newRig(t)
+	if r.fs.Groups() != 3 {
+		t.Fatalf("Groups = %d, want 3", r.fs.Groups())
+	}
+	freeBlocks, freeInodes := r.fs.FreeBlocks(), r.fs.FreeInodes()
+	r.run(t, func(p *sim.Proc) {
+		if err := r.fs.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Mount(p, r.bc, 0)
+		if err != nil {
+			t.Fatalf("mount: %v", err)
+		}
+		if m.FreeBlocks() != freeBlocks || m.FreeInodes() != freeInodes {
+			t.Fatalf("mounted free counts %d/%d, want %d/%d",
+				m.FreeBlocks(), m.FreeInodes(), freeBlocks, freeInodes)
+		}
+		st, err := m.Stat(p, RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mode != ModeDir {
+			t.Fatalf("root mode = %d", st.Mode)
+		}
+	})
+}
+
+func TestMountBadMagic(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e)
+	drv := driver.New(e, d, q, 0, trace.NewRing(16))
+	drv.SetLevel(driver.LevelOff)
+	bc := buffercache.New(e, q, 64)
+	e.Spawn("t", func(p *sim.Proc) {
+		if _, err := Mount(p, bc, 0); err == nil {
+			t.Error("mount of unformatted disk must fail")
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestCreateLookupWriteRead(t *testing.T) {
+	r := newRig(t)
+	payload := []byte("hello, beowulf")
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/data.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, payload, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.Lookup(p, "/data.txt")
+		if err != nil || got != ino {
+			t.Fatalf("Lookup = %d, %v; want %d", got, err, ino)
+		}
+		buf := make([]byte, 100)
+		n, err := r.fs.ReadAt(p, ino, 0, buf, trace.OriginData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(payload) || !bytes.Equal(buf[:n], payload) {
+			t.Fatalf("read %q (%d bytes)", buf[:n], n)
+		}
+		st, err := r.fs.Stat(p, ino)
+		if err != nil || st.Size != int64(len(payload)) {
+			t.Fatalf("Stat = %+v, %v", st, err)
+		}
+	})
+}
+
+func TestSubdirectories(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.Mkdir(p, "/var"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Mkdir(p, "/var/log"); err != nil {
+			t.Fatal(err)
+		}
+		ino, err := r.fs.Create(p, "/var/log/messages")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.Lookup(p, "/var/log/messages")
+		if err != nil || got != ino {
+			t.Fatalf("Lookup = %d, %v", got, err)
+		}
+		ents, err := r.fs.Readdir(p, RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 1 || ents[0].Name != "var" || ents[0].Mode != ModeDir {
+			t.Fatalf("root entries = %v", ents)
+		}
+	})
+}
+
+func TestLookupErrors(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.Lookup(p, "/missing"); err == nil {
+			t.Error("want error for missing file")
+		}
+		if _, err := r.fs.Lookup(p, "relative"); err == nil {
+			t.Error("want error for relative path")
+		}
+		if _, err := r.fs.Create(p, "/a/b/c"); err == nil {
+			t.Error("want error creating under missing parent")
+		}
+		if _, err := r.fs.Create(p, "/"); err == nil {
+			t.Error("want error creating root")
+		}
+		ino, err := r.fs.Create(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ino
+		if _, err := r.fs.Create(p, "/f"); err == nil {
+			t.Error("want error creating existing file")
+		}
+		if _, err := r.fs.Lookup(p, "/f/x"); err == nil {
+			t.Error("want error traversing through file")
+		}
+	})
+}
+
+func TestLargeFileIndirectBlocks(t *testing.T) {
+	r := newRig(t)
+	// 300 KB spans direct (12 KB), single indirect (+256 KB), and the
+	// start of the double indirect range.
+	const size = 300 * 1024
+	in := make([]byte, size)
+	rng := rand.New(rand.NewSource(4))
+	rng.Read(in)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := r.fs.WriteAt(p, ino, 0, in, trace.OriginData); err != nil || n != size {
+			t.Fatalf("WriteAt = %d, %v", n, err)
+		}
+		out := make([]byte, size)
+		if n, err := r.fs.ReadAt(p, ino, 0, out, trace.OriginData); err != nil || n != size {
+			t.Fatalf("ReadAt = %d, %v", n, err)
+		}
+		if !bytes.Equal(in, out) {
+			t.Fatal("large file round trip mismatch")
+		}
+	})
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	r := newRig(t)
+	payload := bytes.Repeat([]byte{0x42}, 5000)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/persist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, payload, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Remount through a *fresh* cache over the same disk, so every read
+	// must come from the platters.
+	q2 := blockio.New(r.e)
+	drv2 := driver.New(r.e, r.disk, q2, 0, trace.NewRing(1<<16))
+	drv2.SetLevel(driver.LevelOff)
+	bc2 := buffercache.New(r.e, q2, 2048)
+	r.run(t, func(p *sim.Proc) {
+		m, err := Mount(p, bc2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ino, err := m.Lookup(p, "/persist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, len(payload))
+		if n, err := m.ReadAt(p, ino, 0, out, trace.OriginData); err != nil || n != len(payload) {
+			t.Fatalf("ReadAt = %d, %v", n, err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Fatal("persisted data mismatch")
+		}
+	})
+}
+
+func TestHolesReadZero(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/sparse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write 1 byte at 50 KB; everything before is a hole.
+		if _, err := r.fs.WriteAt(p, ino, 50*1024, []byte{0xFF}, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1024)
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+		if n, err := r.fs.ReadAt(p, ino, 10*1024, buf, trace.OriginData); err != nil || n != len(buf) {
+			t.Fatalf("ReadAt = %d, %v", n, err)
+		}
+		for i, b := range buf {
+			if b != 0 {
+				t.Fatalf("hole byte %d = %x", i, b)
+			}
+		}
+	})
+}
+
+func TestReadPastEOF(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/short")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, []byte("abc"), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 10)
+		n, err := r.fs.ReadAt(p, ino, 0, buf, trace.OriginData)
+		if err != nil || n != 3 {
+			t.Fatalf("read at 0 = %d, %v", n, err)
+		}
+		n, err = r.fs.ReadAt(p, ino, 100, buf, trace.OriginData)
+		if err != nil || n != 0 {
+			t.Fatalf("read past EOF = %d, %v", n, err)
+		}
+	})
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		// Force the root directory's first block to exist before the
+		// snapshot (directories never shrink).
+		if _, err := r.fs.Create(p, "/anchor"); err != nil {
+			t.Fatal(err)
+		}
+		freeB, freeI := r.fs.FreeBlocks(), r.fs.FreeInodes()
+		ino, err := r.fs.Create(p, "/victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 64*1024), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		if r.fs.FreeBlocks() >= freeB {
+			t.Fatal("write did not consume blocks")
+		}
+		if err := r.fs.Unlink(p, "/victim"); err != nil {
+			t.Fatal(err)
+		}
+		if r.fs.FreeBlocks() != freeB || r.fs.FreeInodes() != freeI {
+			t.Fatalf("free counts %d/%d after unlink, want %d/%d",
+				r.fs.FreeBlocks(), r.fs.FreeInodes(), freeB, freeI)
+		}
+		if _, err := r.fs.Lookup(p, "/victim"); err == nil {
+			t.Fatal("unlinked file still resolvable")
+		}
+	})
+}
+
+func TestUnlinkDirectoryRejected(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.Mkdir(p, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Unlink(p, "/d"); err == nil {
+			t.Fatal("unlink of directory must fail")
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		free := r.fs.FreeBlocks()
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 20*1024), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Truncate(p, ino); err != nil {
+			t.Fatal(err)
+		}
+		if r.fs.FreeBlocks() != free {
+			t.Fatalf("FreeBlocks = %d after truncate, want %d", r.fs.FreeBlocks(), free)
+		}
+		st, err := r.fs.Stat(p, ino)
+		if err != nil || st.Size != 0 {
+			t.Fatalf("Stat = %+v, %v", st, err)
+		}
+	})
+}
+
+func TestManyDirectoryEntries(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		names := map[string]uint32{}
+		for i := 0; i < 200; i++ {
+			name := "/file_" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+			if _, ok := names[name[1:]]; ok {
+				continue
+			}
+			ino, err := r.fs.Create(p, name)
+			if err != nil {
+				t.Fatalf("create %q (#%d): %v", name, i, err)
+			}
+			names[name[1:]] = ino
+		}
+		ents, err := r.fs.Readdir(p, RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != len(names) {
+			t.Fatalf("Readdir = %d entries, want %d", len(ents), len(names))
+		}
+		for _, e := range ents {
+			if names[e.Name] != e.Ino {
+				t.Fatalf("entry %q -> %d, want %d", e.Name, e.Ino, names[e.Name])
+			}
+		}
+	})
+}
+
+func TestDirentSlotReuse(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.Create(p, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Create(p, "/b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Unlink(p, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Create(p, "/c"); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := r.fs.Readdir(p, RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 2 {
+			t.Fatalf("entries = %v", ents)
+		}
+	})
+}
+
+func TestCreateInLastGroupPlacesHighSectors(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		low, err := r.fs.Create(p, "/low")
+		if err != nil {
+			t.Fatal(err)
+		}
+		high, err := r.fs.CreateIn(p, "/high", r.fs.LastGroup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4096)
+		if _, err := r.fs.WriteAt(p, low, 0, data, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, high, 0, data, trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		lowSec, err := r.fs.BlockOfFile(p, low, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		highSec, err := r.fs.BlockOfFile(p, high, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The files must land in their respective block groups.
+		groupOfSector := func(sec uint32) int {
+			return int((sec/2 - 1) / BlocksPerGroup)
+		}
+		if g := groupOfSector(lowSec); g != 0 {
+			t.Fatalf("low file in group %d (sector %d), want 0", g, lowSec)
+		}
+		if g := groupOfSector(highSec); g != r.fs.LastGroup() {
+			t.Fatalf("high file in group %d (sector %d), want %d", g, highSec, r.fs.LastGroup())
+		}
+	})
+}
+
+func TestBlockOfFileAndFileSectors(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 8*1024), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		sec, err := r.fs.BlockOfFile(p, ino, 0)
+		if err != nil || sec == 0 {
+			t.Fatalf("BlockOfFile = %d, %v", sec, err)
+		}
+		secs, err := r.fs.FileSectors(p, ino, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(secs) != 8 {
+			t.Fatalf("FileSectors = %d entries, want 8", len(secs))
+		}
+		if secs[0] != sec {
+			t.Fatalf("FileSectors[0] = %d, BlockOfFile = %d", secs[0], sec)
+		}
+		// A hole must be skipped.
+		hole, err := r.fs.BlockOfFile(p, ino, 1<<20)
+		if err != nil || hole != 0 {
+			t.Fatalf("hole sector = %d, %v", hole, err)
+		}
+	})
+}
+
+// Property-style test: random offset writes tracked against a shadow buffer
+// always read back identically.
+func TestRandomWritesMatchShadow(t *testing.T) {
+	r := newRig(t)
+	const fileSize = 128 * 1024
+	shadow := make([]byte, fileSize)
+	rng := rand.New(rand.NewSource(11))
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			off := rng.Intn(fileSize - 4096)
+			n := rng.Intn(4096) + 1
+			chunk := make([]byte, n)
+			rng.Read(chunk)
+			if _, err := r.fs.WriteAt(p, ino, int64(off), chunk, trace.OriginData); err != nil {
+				t.Fatal(err)
+			}
+			copy(shadow[off:off+n], chunk)
+		}
+		out := make([]byte, fileSize)
+		n, err := r.fs.ReadAt(p, ino, 0, out, trace.OriginData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out[:n], shadow[:n]) {
+			t.Fatal("shadow mismatch")
+		}
+	})
+}
+
+func TestWriteToDirectoryRejected(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.WriteAt(p, RootIno, 0, []byte("x"), trace.OriginData); err == nil {
+			t.Fatal("write to directory must fail")
+		}
+		if err := r.fs.Truncate(p, RootIno); err == nil {
+			t.Fatal("truncate of directory must fail")
+		}
+	})
+}
+
+// Regression test: with a nonzero partition offset, partial-block writes
+// must address the same disk blocks as full-block writes (a missing
+// diskBlock() conversion once sent read-modify-writes to the wrong sectors).
+func TestPartitionOffsetPartialWrites(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e)
+	drv := driver.New(e, d, q, 0, trace.NewRing(1<<16))
+	drv.SetLevel(driver.LevelOff)
+	bc := buffercache.New(e, q, 2048)
+	const startBlock = 53248 // fs begins 104 MB into the disk
+	var fs *FS
+	e.Spawn("t", func(p *sim.Proc) {
+		var err error
+		fs, err = Mkfs(p, bc, startBlock, testBlocks)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ino, err := fs.Create(p, "/log")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Build a file from many small appends (partial-block writes).
+		line := []byte("0123456789abcdef0123456789abcdef\n")
+		off := int64(0)
+		for i := 0; i < 100; i++ {
+			if _, err := fs.WriteAt(p, ino, off, line, trace.OriginData); err != nil {
+				t.Error(err)
+				return
+			}
+			off += int64(len(line))
+		}
+		if err := fs.Sync(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// The first data block must live inside the partition.
+		sec, err := fs.BlockOfFile(p, ino, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sec < startBlock*2 {
+			t.Errorf("data sector %d before partition start %d", sec, startBlock*2)
+		}
+		// Read back through a cold cache to prove the bytes landed where
+		// the mapping says.
+		buf := make([]byte, len(line))
+		if !bc.Invalidate(startBlock + (sec/2 - startBlock)) {
+			// The block may be dirty from other metadata; a plain
+			// read-back via the fs is still a valid check.
+			_ = sec
+		}
+		if _, err := fs.ReadAt(p, ino, 0, buf, trace.OriginData); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(buf) != string(line) {
+			t.Errorf("read back %q", buf)
+		}
+	})
+	e.RunUntilIdle()
+	if fs == nil {
+		t.Fatal("fs not created")
+	}
+}
+
+func TestCheckCleanFilesystem(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		rep, err := r.fs.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("fresh fs inconsistent: %v", rep.Problems)
+		}
+		if rep.Dirs != 1 || rep.Files != 0 {
+			t.Fatalf("report = %+v", rep)
+		}
+	})
+}
+
+func TestCheckAfterWorkload(t *testing.T) {
+	r := newRig(t)
+	rng := rand.New(rand.NewSource(21))
+	r.run(t, func(p *sim.Proc) {
+		// Random create/write/unlink/mkdir churn.
+		var files []string
+		for i := 0; i < 120; i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // create + write
+				name := fmt.Sprintf("/f%d", i)
+				ino, err := r.fs.Create(p, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				size := rng.Intn(40 * 1024)
+				if size > 0 {
+					if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, size), trace.OriginData); err != nil {
+						t.Fatal(err)
+					}
+				}
+				files = append(files, name)
+			case 2: // unlink one
+				if len(files) > 0 {
+					k := rng.Intn(len(files))
+					if err := r.fs.Unlink(p, files[k]); err != nil {
+						t.Fatal(err)
+					}
+					files = append(files[:k], files[k+1:]...)
+				}
+			case 3: // mkdir
+				if _, err := r.fs.Mkdir(p, fmt.Sprintf("/d%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rep, err := r.fs.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("fs inconsistent after churn: %v", rep.Problems)
+		}
+		if rep.Files != len(files) {
+			t.Fatalf("fsck found %d files, want %d", rep.Files, len(files))
+		}
+	})
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, "/victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 4096), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt: clear the file's first data block in the bitmap by
+		// freeing it behind the filesystem's back.
+		in, err := r.fs.readInode(p, ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.freeBlock(p, in.Block[0]); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.fs.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ok() {
+			t.Fatal("fsck missed a reachable-but-free block")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package extfs
+
+import (
+	"fmt"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// ReadAt reads up to len(buf) bytes from the file at byte offset off,
+// returning the number of bytes read. Reads past end-of-file return 0.
+// Holes read as zeros. origin tags the physical I/O this read induces.
+func (f *FS) ReadAt(p *sim.Proc, ino uint32, off int64, buf []byte, origin trace.Origin) (int, error) {
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return 0, err
+	}
+	if in.Mode != ModeFile && in.Mode != ModeDir {
+		return 0, fmt.Errorf("extfs: read of free inode %d", ino)
+	}
+	size := int64(in.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	read := 0
+	for read < len(buf) {
+		fb := uint32((off + int64(read)) / BlockSize)
+		bo := int((off + int64(read)) % BlockSize)
+		n := BlockSize - bo
+		if n > len(buf)-read {
+			n = len(buf) - read
+		}
+		blk, _, err := f.mapBlock(p, in, fb, false)
+		if err != nil {
+			return read, err
+		}
+		if blk == 0 { // hole
+			for i := 0; i < n; i++ {
+				buf[read+i] = 0
+			}
+		} else {
+			data, err := f.readBlock(p, blk, origin)
+			if err != nil {
+				return read, err
+			}
+			copy(buf[read:read+n], data[bo:bo+n])
+		}
+		read += n
+	}
+	return read, nil
+}
+
+// WriteAt writes data at byte offset off, extending the file as needed, and
+// returns the number of bytes written.
+func (f *FS) WriteAt(p *sim.Proc, ino uint32, off int64, data []byte, origin trace.Origin) (int, error) {
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return 0, err
+	}
+	if in.Mode != ModeFile {
+		return 0, fmt.Errorf("extfs: write to non-file inode %d", ino)
+	}
+	written := 0
+	for written < len(data) {
+		pos := off + int64(written)
+		fb := uint32(pos / BlockSize)
+		bo := int(pos % BlockSize)
+		n := BlockSize - bo
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		blk, fresh, err := f.mapBlock(p, in, fb, true)
+		if err != nil {
+			return written, err
+		}
+		switch {
+		case bo == 0 && n == BlockSize:
+			// Full-block overwrite: no read-modify-write needed.
+			if err := f.bc.WriteBlock(p, f.diskBlock(blk), data[written:written+BlockSize], origin); err != nil {
+				return written, err
+			}
+		case fresh:
+			// Newly allocated block: its disk contents are garbage, so
+			// initialize it in the cache instead of reading it.
+			full := make([]byte, BlockSize)
+			copy(full[bo:bo+n], data[written:written+n])
+			if err := f.bc.WriteBlock(p, f.diskBlock(blk), full, origin); err != nil {
+				return written, err
+			}
+		default:
+			w := data[written : written+n]
+			if err := f.updateBlock(p, blk, origin, func(d []byte) {
+				copy(d[bo:bo+n], w)
+			}); err != nil {
+				return written, err
+			}
+		}
+		written += n
+	}
+	end := off + int64(written)
+	if end > int64(in.Size) {
+		in.Size = uint32(end)
+	}
+	in.Mtime = uint32(p.Now().Seconds())
+	if err := f.writeInode(p, ino, in); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Truncate discards all data of a regular file, freeing its blocks.
+func (f *FS) Truncate(p *sim.Proc, ino uint32) error {
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return err
+	}
+	if in.Mode != ModeFile {
+		return fmt.Errorf("extfs: truncate of non-file inode %d", ino)
+	}
+	if err := f.truncateInode(p, in); err != nil {
+		return err
+	}
+	in.Size = 0
+	in.Mtime = uint32(p.Now().Seconds())
+	return f.writeInode(p, ino, in)
+}
+
+// truncateInode frees every data and indirect block of an inode.
+func (f *FS) truncateInode(p *sim.Proc, in *inode) error {
+	err := f.forEachBlock(p, in, func(blk uint32, meta bool) error {
+		return f.freeBlock(p, blk)
+	})
+	if err != nil {
+		return err
+	}
+	for i := range in.Block {
+		in.Block[i] = 0
+	}
+	return nil
+}
+
+// FileSectors returns the absolute disk sectors backing file blocks
+// [fromBlock, fromBlock+count), skipping holes. The VFS read-ahead path uses
+// it to prefetch upcoming file blocks.
+func (f *FS) FileSectors(p *sim.Proc, ino uint32, fromBlock, count uint32) ([]uint32, error) {
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return nil, err
+	}
+	fileBlocks := (in.Size + BlockSize - 1) / BlockSize
+	var out []uint32
+	for fb := fromBlock; fb < fromBlock+count && fb < fileBlocks; fb++ {
+		blk, _, err := f.mapBlock(p, in, fb, false)
+		if err != nil {
+			return out, err
+		}
+		if blk != 0 {
+			out = append(out, f.BlockToSector(blk))
+		}
+	}
+	return out, nil
+}
+
+// PrefetchFile starts asynchronous reads of file blocks [fromBlock,
+// fromBlock+count) through the buffer cache.
+func (f *FS) PrefetchFile(p *sim.Proc, ino uint32, fromBlock, count uint32, origin trace.Origin) error {
+	in, err := f.readInode(p, ino)
+	if err != nil {
+		return err
+	}
+	fileBlocks := (in.Size + BlockSize - 1) / BlockSize
+	var blocks []uint32
+	for fb := fromBlock; fb < fromBlock+count && fb < fileBlocks; fb++ {
+		blk, _, err := f.mapBlock(p, in, fb, false)
+		if err != nil {
+			return err
+		}
+		if blk != 0 {
+			blocks = append(blocks, f.diskBlock(blk))
+		}
+	}
+	return f.bc.Prefetch(p, blocks, origin)
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"essio/internal/sim"
+)
+
+// CPU models the node's single 486 processor: compute requests are served
+// round-robin in fixed time quanta, so concurrent processes stretch each
+// other's virtual run time exactly as multiprogramming stretched the paper's
+// combined experiment.
+type CPU struct {
+	e       *sim.Engine
+	quantum sim.Duration
+	running bool
+	queue   []*cpuJob
+	busy    sim.Duration // accumulated busy time
+}
+
+type cpuJob struct {
+	remaining sim.Duration
+	done      *sim.Completion
+}
+
+// NewCPU returns a CPU with the given scheduling quantum.
+func NewCPU(e *sim.Engine, quantum sim.Duration) *CPU {
+	if quantum <= 0 {
+		panic("kernel: CPU quantum must be positive")
+	}
+	return &CPU{e: e, quantum: quantum}
+}
+
+// Use blocks p while d of CPU time is consumed, shared round-robin with
+// other users.
+func (c *CPU) Use(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	j := &cpuJob{remaining: d, done: sim.NewCompletion(c.e)}
+	c.queue = append(c.queue, j)
+	c.kick()
+	j.done.Wait(p)
+}
+
+// kick starts serving the head job if the CPU is idle.
+func (c *CPU) kick() {
+	if c.running || len(c.queue) == 0 {
+		return
+	}
+	c.running = true
+	j := c.queue[0]
+	c.queue = c.queue[1:]
+	slice := j.remaining
+	if slice > c.quantum {
+		slice = c.quantum
+	}
+	c.e.After(slice, func() {
+		c.busy += slice
+		j.remaining -= slice
+		c.running = false
+		if j.remaining <= 0 {
+			j.done.Complete()
+		} else {
+			c.queue = append(c.queue, j)
+		}
+		c.kick()
+	})
+}
+
+// BusyTime reports total CPU time consumed.
+func (c *CPU) BusyTime() sim.Duration { return c.busy }
+
+// QueueLen reports the number of waiting jobs (excluding the one running).
+func (c *CPU) QueueLen() int { return len(c.queue) }

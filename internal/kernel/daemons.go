@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"fmt"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+	"essio/internal/vfs"
+)
+
+// startDaemons launches the background system activity that constitutes the
+// paper's quiescent baseline: periodic dirty-buffer write-back (update),
+// system logging at low and high sector numbers (syslogd/klogd/utmp), and
+// the trace logger that drains /proc/iotrace to disk — the instrumentation's
+// own measurable self-traffic.
+func (n *Node) startDaemons() {
+	name := func(d string) string { return fmt.Sprintf("node%d/%s", n.Cfg.NodeID, d) }
+
+	// update: flush aged dirty buffers. Engine-context periodic task.
+	n.E.Every(n.Cfg.UpdateInterval, func() {
+		n.BC.WritebackAll(trace.OriginMeta)
+	})
+
+	// syslogd: append short log lines to /var/log/messages (high sectors).
+	n.E.Spawn(name("syslogd"), func(p *sim.Proc) {
+		t := vfs.NewTable(n.FS)
+		fd, err := t.Open(p, "/var/log/messages")
+		if err != nil {
+			return
+		}
+		t.SetOrigin(fd, trace.OriginLog)
+		seq := 0
+		for {
+			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.SyslogInterval) / 2))
+			p.Sleep(n.Cfg.SyslogInterval/2 + jitter)
+			seq++
+			line := fmt.Sprintf("%10.3f node%d syslogd[12]: periodic status report seq=%d load ok\n",
+				p.Now().Seconds(), n.Cfg.NodeID, seq)
+			if _, err := t.Append(p, fd, []byte(line)); err != nil {
+				return
+			}
+		}
+	})
+
+	// klogd: kernel messages to /var/log/kern.log (high sectors).
+	n.E.Spawn(name("klogd"), func(p *sim.Proc) {
+		t := vfs.NewTable(n.FS)
+		fd, err := t.Open(p, "/var/log/kern.log")
+		if err != nil {
+			return
+		}
+		t.SetOrigin(fd, trace.OriginLog)
+		seq := 0
+		for {
+			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.KlogInterval) / 2))
+			p.Sleep(n.Cfg.KlogInterval/2 + jitter)
+			seq++
+			line := fmt.Sprintf("%10.3f kernel: scsi/ide heartbeat %d buffers ok\n",
+				p.Now().Seconds(), seq)
+			if _, err := t.Append(p, fd, []byte(line)); err != nil {
+				return
+			}
+		}
+	})
+
+	// utmp/wtmp-style bookkeeping: rewrites a fixed low-sector block, the
+	// source of the baseline's low-sector horizontal line.
+	n.E.Spawn(name("utmp"), func(p *sim.Proc) {
+		t := vfs.NewTable(n.FS)
+		fd, err := t.Open(p, "/etc/utmp")
+		if err != nil {
+			return
+		}
+		t.SetOrigin(fd, trace.OriginLog)
+		rec := make([]byte, 384)
+		for {
+			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.UtmpInterval) / 2))
+			p.Sleep(n.Cfg.UtmpInterval/2 + jitter)
+			copy(rec, fmt.Sprintf("utmp@%f", p.Now().Seconds()))
+			if _, err := t.Lseek(p, fd, 0, vfs.SeekSet); err != nil {
+				return
+			}
+			if _, err := t.Write(p, fd, rec); err != nil {
+				return
+			}
+		}
+	})
+
+	// tracelogd: drain /proc/iotrace into /var/log/iotrace. This is the
+	// study's transport path; its writes are tagged OriginTrace and are
+	// themselves traced (the paper notes instrumentation logging accounts
+	// for much of the measured write traffic).
+	if !n.Cfg.DisableSelfTrace {
+		n.E.Spawn(name("tracelogd"), func(p *sim.Proc) {
+			pf, err := n.Proc.Open("iotrace")
+			if err != nil {
+				return
+			}
+			t := vfs.NewTable(n.FS)
+			fd, err := t.Open(p, "/var/log/iotrace")
+			if err != nil {
+				return
+			}
+			t.SetOrigin(fd, trace.OriginTrace)
+			buf := make([]byte, 512*trace.RecordSize)
+			for {
+				p.Sleep(n.Cfg.TraceFlushInterval)
+				for {
+					m, err := pf.Read(p, buf)
+					if err != nil || m == 0 {
+						break
+					}
+					if _, err := t.Append(p, fd, buf[:m]); err != nil {
+						return
+					}
+					if m < len(buf) {
+						break
+					}
+				}
+			}
+		})
+	}
+}

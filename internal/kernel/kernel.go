@@ -1,0 +1,318 @@
+// Package kernel assembles one Beowulf node: CPU, 16 MB of memory split
+// between the buffer cache and the paging pool, a 500 MB IDE disk behind the
+// instrumented driver, an ext2-like root filesystem, a swap partition, and
+// the background daemons (update, syslogd, klogd, tracelogd) whose activity
+// is the paper's quiescent baseline workload.
+//
+// Disk layout (absolute sectors), chosen to reproduce the paper's spatial
+// characteristics:
+//
+//	0 ..  40,959    boot/kernel reserve (no runtime traffic)
+//	40,960 .. 106,495    swap partition (32 MB; first-fit slots put the
+//	                     paging hot spot near sector ~45,000, as observed)
+//	106,496 .. 1,023,999 root filesystem (user programs and data allocate
+//	                     first-fit from the low groups; /var/log is pinned
+//	                     into the last group, so logging hits sectors just
+//	                     under 1,000,000)
+package kernel
+
+import (
+	"fmt"
+
+	"essio/internal/blockio"
+	"essio/internal/buffercache"
+	"essio/internal/disk"
+	"essio/internal/driver"
+	"essio/internal/extfs"
+	"essio/internal/procfs"
+	"essio/internal/sim"
+	"essio/internal/trace"
+	"essio/internal/vfs"
+	"essio/internal/vm"
+)
+
+// Config sets a node's hardware and policy parameters. Zero values take the
+// defaults from DefaultConfig.
+type Config struct {
+	NodeID uint8
+
+	// Hardware.
+	MemoryBytes int     // total RAM (default 16 MB)
+	MIPS        float64 // integer op rate (default 40 MIPS, 486DX4/100)
+	MFLOPS      float64 // floating-point rate (default 4 MFLOPS)
+	Disk        disk.Params
+
+	// Memory split.
+	CacheBlocks    int // buffer cache capacity in 1 KB blocks (default 2048)
+	KernelReserved int // bytes reserved for the kernel itself (default 2 MB)
+
+	// Disk layout.
+	SwapStartSector uint32
+	SwapSectors     uint32
+	FSStartSector   uint32
+	FSBlocks        uint32
+
+	// Policy.
+	Quantum            sim.Duration // CPU time slice (default 100 ms)
+	UpdateInterval     sim.Duration // dirty-buffer flush period (default 7 s)
+	SyslogInterval     sim.Duration // default 2.5 s
+	KlogInterval       sim.Duration // default 5 s
+	UtmpInterval       sim.Duration // default 5 s
+	TraceFlushInterval sim.Duration // tracelogd drain period (default 2 s)
+	TraceRingRecords   int          // kernel trace ring capacity (default 8192)
+
+	// Elevator/read-ahead knobs (for ablations).
+	MaxRequestSectors int          // 0 = blockio default; <0 disables merging
+	PlugDelay         sim.Duration // <0 disables plugging
+	ReadAheadBlocks   int          // -1 = cache default
+
+	// DisableSelfTrace turns off the tracelogd daemon so instrumentation
+	// self-traffic never reaches the disk (ablation).
+	DisableSelfTrace bool
+
+	// WriteThrough switches the buffer cache to write-through (ablation
+	// against the default write-back + update-daemon policy).
+	WriteThrough bool
+}
+
+// DefaultConfig returns the Beowulf prototype node configuration.
+func DefaultConfig(nodeID uint8) Config {
+	return Config{
+		NodeID:             nodeID,
+		MemoryBytes:        16 << 20,
+		MIPS:               40,
+		MFLOPS:             4,
+		Disk:               disk.DefaultParams(),
+		CacheBlocks:        2048,
+		KernelReserved:     2 << 20,
+		SwapStartSector:    40960,
+		SwapSectors:        65536,
+		FSStartSector:      106496,
+		FSBlocks:           (1024000 - 106496) / 2,
+		Quantum:            100 * sim.Millisecond,
+		UpdateInterval:     7 * sim.Second,
+		SyslogInterval:     2500 * sim.Millisecond,
+		KlogInterval:       5 * sim.Second,
+		UtmpInterval:       5 * sim.Second,
+		TraceFlushInterval: 2 * sim.Second,
+		TraceRingRecords:   8192,
+		ReadAheadBlocks:    -1,
+	}
+}
+
+// Collector is a driver sink that captures every record (the "measurement
+// workstation" view: lossless, unlike the in-kernel ring).
+type Collector struct {
+	recs []trace.Record
+}
+
+// Append implements driver.Sink.
+func (c *Collector) Append(r trace.Record) { c.recs = append(c.recs, r) }
+
+// Records returns the captured trace (shared slice; callers must not
+// modify).
+func (c *Collector) Records() []trace.Record { return c.recs }
+
+// Reset discards captured records.
+func (c *Collector) Reset() { c.recs = nil }
+
+// fanout duplicates driver records into several sinks.
+type fanout []driver.Sink
+
+func (f fanout) Append(r trace.Record) {
+	for _, s := range f {
+		s.Append(r)
+	}
+}
+
+// Node is one booted cluster node.
+type Node struct {
+	E   *sim.Engine
+	Cfg Config
+
+	Disk      *disk.Disk
+	Queue     *blockio.Queue
+	Ring      *trace.Ring
+	Collector *Collector
+	Driver    *driver.Driver
+	BC        *buffercache.Cache
+	FS        *extfs.FS
+	Swap      *vm.SwapArea
+	Pager     *vm.Pager
+	CPU       *CPU
+	Proc      *procfs.FS
+	// AppIO collects application-level (explicit) file operations from
+	// user processes — the library-instrumentation view the paper
+	// contrasts with its driver-level traces. Daemon I/O is system
+	// activity and is deliberately not recorded here.
+	AppIO *vfs.Collector
+
+	booted        *sim.Completion
+	procSeq       int
+	nprocs        int
+	exitedWQ      *sim.WaitQueue
+	framesPending int // user frame count, carried from NewNode to Boot
+}
+
+// NewNode wires a node's hardware and kernel structures onto engine e. Call
+// Boot to format the disk and start the daemons.
+func NewNode(e *sim.Engine, cfg Config) *Node {
+	def := DefaultConfig(cfg.NodeID)
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = def.MemoryBytes
+	}
+	if cfg.MIPS == 0 {
+		cfg.MIPS = def.MIPS
+	}
+	if cfg.MFLOPS == 0 {
+		cfg.MFLOPS = def.MFLOPS
+	}
+	if cfg.Disk.Sectors == 0 {
+		cfg.Disk = def.Disk
+	}
+	if cfg.CacheBlocks == 0 {
+		cfg.CacheBlocks = def.CacheBlocks
+	}
+	if cfg.KernelReserved == 0 {
+		cfg.KernelReserved = def.KernelReserved
+	}
+	if cfg.SwapSectors == 0 {
+		cfg.SwapStartSector = def.SwapStartSector
+		cfg.SwapSectors = def.SwapSectors
+	}
+	if cfg.FSBlocks == 0 {
+		cfg.FSStartSector = def.FSStartSector
+		cfg.FSBlocks = def.FSBlocks
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = def.Quantum
+	}
+	if cfg.UpdateInterval == 0 {
+		cfg.UpdateInterval = def.UpdateInterval
+	}
+	if cfg.SyslogInterval == 0 {
+		cfg.SyslogInterval = def.SyslogInterval
+	}
+	if cfg.KlogInterval == 0 {
+		cfg.KlogInterval = def.KlogInterval
+	}
+	if cfg.UtmpInterval == 0 {
+		cfg.UtmpInterval = def.UtmpInterval
+	}
+	if cfg.TraceFlushInterval == 0 {
+		cfg.TraceFlushInterval = def.TraceFlushInterval
+	}
+	if cfg.TraceRingRecords == 0 {
+		cfg.TraceRingRecords = def.TraceRingRecords
+	}
+
+	n := &Node{E: e, Cfg: cfg}
+	n.Disk = disk.New(e, cfg.Disk)
+	var qopts []blockio.Option
+	if cfg.MaxRequestSectors < 0 {
+		qopts = append(qopts, blockio.WithMaxSectors(0))
+	} else if cfg.MaxRequestSectors > 0 {
+		qopts = append(qopts, blockio.WithMaxSectors(cfg.MaxRequestSectors))
+	}
+	if cfg.PlugDelay < 0 {
+		qopts = append(qopts, blockio.WithPlugDelay(0))
+	} else if cfg.PlugDelay > 0 {
+		qopts = append(qopts, blockio.WithPlugDelay(cfg.PlugDelay))
+	}
+	n.Queue = blockio.New(e, qopts...)
+	n.Ring = trace.NewRing(cfg.TraceRingRecords)
+	n.Collector = &Collector{}
+	n.Driver = driver.New(e, n.Disk, n.Queue, cfg.NodeID, fanout{n.Ring, n.Collector})
+	n.BC = buffercache.New(e, n.Queue, cfg.CacheBlocks)
+	if cfg.ReadAheadBlocks >= 0 {
+		n.BC.SetReadAhead(cfg.ReadAheadBlocks)
+	}
+	if cfg.WriteThrough {
+		n.BC.SetWriteThrough(true)
+	}
+	n.Swap = vm.NewSwapArea(cfg.SwapStartSector, int(cfg.SwapSectors)/vm.SectorsPerPage)
+	frames := (cfg.MemoryBytes - cfg.KernelReserved - cfg.CacheBlocks*buffercache.BlockSize) / vm.PageSize
+	if frames < 16 {
+		panic(fmt.Sprintf("kernel: only %d user frames; memory too small", frames))
+	}
+	// The pager's filesystem is attached during Boot (after mkfs).
+	n.CPU = NewCPU(e, cfg.Quantum)
+	n.Proc = procfs.New()
+	n.AppIO = &vfs.Collector{}
+	n.booted = sim.NewCompletion(e)
+	n.exitedWQ = sim.NewWaitQueue(e)
+	n.framesPending = frames
+	return n
+}
+
+// Booted returns a completion that fires when the node finishes booting.
+func (n *Node) Booted() *sim.Completion { return n.booted }
+
+// Boot spawns the init process: format the filesystem, build the standard
+// tree, and start the daemons. Returns the node for chaining.
+func (n *Node) Boot() *Node {
+	n.E.Spawn(fmt.Sprintf("node%d/init", n.Cfg.NodeID), func(p *sim.Proc) {
+		if err := n.bootInit(p); err != nil {
+			n.booted.CompleteErr(fmt.Errorf("node %d boot: %w", n.Cfg.NodeID, err))
+			return
+		}
+		n.booted.Complete()
+	})
+	return n
+}
+
+func (n *Node) bootInit(p *sim.Proc) error {
+	fs, err := extfs.Mkfs(p, n.BC, n.Cfg.FSStartSector/buffercache.SectorsPerBlock, n.Cfg.FSBlocks)
+	if err != nil {
+		return err
+	}
+	n.FS = fs
+	n.Pager = vm.NewPager(n.E, n.Queue, n.BC, fs, n.framesPending, n.Swap)
+
+	for _, dir := range []string{"/etc", "/usr", "/usr/bin", "/home", "/var", "/var/log", "/tmp"} {
+		if _, err := fs.Mkdir(p, dir); err != nil {
+			return err
+		}
+	}
+	// System files: /etc at the low groups, logs pinned to the last group
+	// (high sectors).
+	last := fs.LastGroup()
+	if _, err := fs.CreateIn(p, "/etc/utmp", 0); err != nil {
+		return err
+	}
+	for _, f := range []string{"/var/log/messages", "/var/log/kern.log", "/var/log/iotrace"} {
+		if _, err := fs.CreateIn(p, f, last); err != nil {
+			return err
+		}
+	}
+	if err := fs.Sync(p); err != nil {
+		return err
+	}
+
+	n.Proc.Register("iotrace", procfs.NewTraceFile(n.Ring))
+	n.Proc.Register("meminfo", procfs.NewTextFile(func() string {
+		return fmt.Sprintf("frames: %d free: %d resident: %d swap: %d/%d\n",
+			n.Pager.Frames(), n.Pager.FreeFrames(), n.Pager.ResidentPages(),
+			n.Swap.InUse(), n.Swap.Slots())
+	}))
+
+	n.startDaemons()
+	return nil
+}
+
+// EnableTracing turns the driver instrumentation on at the given level via
+// the ioctl path.
+func (n *Node) EnableTracing(l driver.Level) {
+	_, _ = n.Driver.Ioctl(driver.IoctlTraceOn, int(l))
+}
+
+// DisableTracing turns instrumentation off.
+func (n *Node) DisableTracing() {
+	_, _ = n.Driver.Ioctl(driver.IoctlTraceOff, 0)
+}
+
+// Trace returns all records captured by the lossless collector.
+func (n *Node) Trace() []trace.Record { return n.Collector.Records() }
+
+// ResetTrace clears the collector (e.g. after boot, before an experiment).
+func (n *Node) ResetTrace() { n.Collector.Reset() }

@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"fmt"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+	"essio/internal/vfs"
+	"essio/internal/vm"
+)
+
+// Program describes an executable to run: its on-disk image (text +
+// initialized data, demand-paged) and its entry function.
+type Program struct {
+	Name string
+	// ImagePath is the executable file; InstallImage creates it.
+	ImagePath string
+	// TextBytes and DataBytes are the file-backed segment sizes.
+	TextBytes int
+	DataBytes int
+	// Main is the program body.
+	Main func(ctx *Process)
+}
+
+// InstallImage writes an executable image file of the program's size into
+// the filesystem (done once per node before the experiment, like copying
+// binaries onto the cluster).
+func (n *Node) InstallImage(p *sim.Proc, prog *Program) error {
+	if prog.TextBytes <= 0 {
+		return fmt.Errorf("kernel: program %q has no text", prog.Name)
+	}
+	ino, err := n.FS.Create(p, prog.ImagePath)
+	if err != nil {
+		return err
+	}
+	// Fill with a deterministic pattern chunk by chunk.
+	chunk := make([]byte, 8192)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	total := prog.TextBytes + prog.DataBytes
+	for off := 0; off < total; off += len(chunk) {
+		m := len(chunk)
+		if off+m > total {
+			m = total - off
+		}
+		if _, err := n.FS.WriteAt(p, ino, int64(off), chunk[:m], trace.OriginData); err != nil {
+			return err
+		}
+	}
+	return n.FS.Sync(p)
+}
+
+// Process is a running user program: an address space, a descriptor table,
+// and cost-model accounting against the node CPU.
+type Process struct {
+	node *Node
+	p    *sim.Proc
+	prog *Program
+	AS   *vm.AddressSpace
+	FD   *vfs.Table
+	Text *vm.Segment
+	Data *vm.Segment
+
+	textCursor int // round-robin text page toucher
+	exited     bool
+	done       *sim.Completion
+	err        error
+}
+
+// Spawn starts a program on the node. The returned process's Done
+// completion fires at exit.
+func (n *Node) Spawn(prog *Program) *Process {
+	n.procSeq++
+	ctx := &Process{
+		node: n,
+		prog: prog,
+		done: sim.NewCompletion(n.E),
+	}
+	n.nprocs++
+	n.E.Spawn(fmt.Sprintf("node%d/%s.%d", n.Cfg.NodeID, prog.Name, n.procSeq), func(p *sim.Proc) {
+		ctx.p = p
+		ctx.err = ctx.run()
+		ctx.exited = true
+		n.nprocs--
+		n.exitedWQ.WakeAll()
+		ctx.done.CompleteErr(ctx.err)
+	})
+	return ctx
+}
+
+// run sets up the address space, demand-loads the program entry, executes
+// Main, and tears everything down.
+func (c *Process) run() (err error) {
+	n := c.node
+	ino, lerr := n.FS.Lookup(c.p, c.prog.ImagePath)
+	if lerr != nil {
+		return fmt.Errorf("exec %s: %w", c.prog.Name, lerr)
+	}
+	c.AS = n.Pager.NewAddressSpace(c.prog.Name)
+	c.FD = vfs.NewTable(n.FS)
+	c.FD.SetTracer(n.AppIO)
+	c.Text = c.AS.AddFileSegment("text", ino, 0, c.prog.TextBytes)
+	if c.prog.DataBytes > 0 {
+		c.Data = c.AS.AddFileSegment("data", ino, int64(c.prog.TextBytes), c.prog.DataBytes)
+	}
+	defer func() {
+		c.AS.Release(c.p)
+		if r := recover(); r != nil {
+			err = fmt.Errorf("process %s: %v", c.prog.Name, r)
+		}
+	}()
+	// Demand-load the program: fault in text (and initialized data) pages
+	// with a little CPU between faults, producing the early burst of 4 KB
+	// paging reads the paper describes as "building the working set".
+	for off := 0; off < c.prog.TextBytes; off += vm.PageSize {
+		if err := c.Text.Touch(c.p, off, false); err != nil {
+			return err
+		}
+		n.CPU.Use(c.p, 200*sim.Microsecond)
+	}
+	if c.Data != nil {
+		for off := 0; off < c.prog.DataBytes; off += vm.PageSize {
+			if err := c.Data.Touch(c.p, off, true); err != nil {
+				return err
+			}
+			n.CPU.Use(c.p, 200*sim.Microsecond)
+		}
+	}
+	c.prog.Main(c)
+	return nil
+}
+
+// Done returns a completion firing at process exit (with its error).
+func (c *Process) Done() *sim.Completion { return c.done }
+
+// Err reports the exit error (nil while running or on clean exit).
+func (c *Process) Err() error { return c.err }
+
+// P exposes the simulated process handle.
+func (c *Process) P() *sim.Proc { return c.p }
+
+// Node returns the owning node.
+func (c *Process) Node() *Node { return c.node }
+
+// Alloc maps an anonymous data region (heap arrays).
+func (c *Process) Alloc(name string, bytes int) *vm.Segment {
+	return c.AS.AddAnonSegment(name, bytes)
+}
+
+// ComputeFlops consumes CPU time for n floating-point operations under the
+// node's MFLOPS rating, keeping a sliver of the text working set referenced.
+func (c *Process) ComputeFlops(n float64) {
+	c.compute(sim.DurationOf(n / (c.node.Cfg.MFLOPS * 1e6)))
+}
+
+// ComputeOps consumes CPU time for n integer/logic operations under the
+// node's MIPS rating.
+func (c *Process) ComputeOps(n float64) {
+	c.compute(sim.DurationOf(n / (c.node.Cfg.MIPS * 1e6)))
+}
+
+// ComputeTime consumes a raw amount of CPU time.
+func (c *Process) ComputeTime(d sim.Duration) { c.compute(d) }
+
+func (c *Process) compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	// Touch the next text page round-robin so resident code keeps its
+	// reference bit and instruction fetches of an evicted working set
+	// fault back in, as on the real machine.
+	if c.Text != nil && c.prog.TextBytes > 0 {
+		off := (c.textCursor * vm.PageSize) % c.prog.TextBytes
+		c.textCursor++
+		if err := c.Text.Touch(c.p, off, false); err != nil {
+			panic(err)
+		}
+	}
+	c.node.CPU.Use(c.p, d)
+}
+
+// Sleep suspends the process without consuming CPU.
+func (c *Process) Sleep(d sim.Duration) { c.p.Sleep(d) }
+
+// Now reports virtual time.
+func (c *Process) Now() sim.Time { return c.p.Now() }

@@ -1,0 +1,336 @@
+// Package pious implements a PIOUS-style parallel file system for the
+// simulated cluster (Moyer & Sunderam's PIOUS was the parallel I/O system
+// available on the Beowulf prototype). Files are declustered round-robin in
+// fixed stripe units across per-node data servers; clients address the
+// ensemble through PVM messages, and each server performs ordinary local
+// filesystem I/O on its segment file — so parallel-file traffic shows up in
+// every node's disk trace.
+package pious
+
+import (
+	"fmt"
+
+	"essio/internal/extfs"
+	"essio/internal/pvm"
+	"essio/internal/sim"
+	"essio/internal/vfs"
+)
+
+// DefaultStripeUnit is the declustering unit in bytes.
+const DefaultStripeUnit = 8192
+
+// Message tags used by the PIOUS protocol (reserved range).
+const (
+	tagRequest = 1<<29 + 1
+	tagReply   = 1<<29 + 2
+)
+
+type reqKind int
+
+const (
+	reqOpen reqKind = iota
+	reqIO
+	reqClose
+	reqStop
+)
+
+// request is the client->server message payload.
+type request struct {
+	kind   reqKind
+	name   string
+	create bool
+	fileID int
+	off    int64
+	data   []byte // write payload (nil for reads)
+	n      int    // read length
+}
+
+// reply is the server->client response payload.
+type reply struct {
+	n    int
+	data []byte
+	err  string
+}
+
+// Server is one node's PIOUS data server.
+type Server struct {
+	sys   *System
+	node  int
+	task  *pvm.Task
+	table *vfs.Table
+	files map[int]int // fileID -> fd
+}
+
+// System is the parallel file service: one data server per node.
+type System struct {
+	e          *sim.Engine
+	pv         *pvm.System
+	servers    []*Server
+	stripeUnit int
+	nextFileID int
+}
+
+// Option configures the system.
+type Option func(*System)
+
+// WithStripeUnit overrides the declustering unit.
+func WithStripeUnit(bytes int) Option {
+	return func(s *System) { s.stripeUnit = bytes }
+}
+
+// New starts data servers over the given per-node filesystems. Each server
+// enrolls as a PVM task on its node and serves requests until the engine
+// stops. The segment directory /pious must be creatable on every node.
+func New(e *sim.Engine, pv *pvm.System, nodeFS []*extfs.FS, opts ...Option) *System {
+	s := &System{e: e, pv: pv, stripeUnit: DefaultStripeUnit, nextFileID: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.stripeUnit <= 0 {
+		panic("pious: stripe unit must be positive")
+	}
+	for node, fs := range nodeFS {
+		srv := &Server{
+			sys: s, node: node,
+			task:  pv.Enroll(node),
+			table: vfs.NewTable(fs),
+			files: make(map[int]int),
+		}
+		s.servers = append(s.servers, srv)
+		e.Spawn(fmt.Sprintf("pious/pds%d", node), srv.serve)
+	}
+	return s
+}
+
+// Servers reports the number of data servers.
+func (s *System) Servers() int { return len(s.servers) }
+
+// StripeUnit reports the declustering unit.
+func (s *System) StripeUnit() int { return s.stripeUnit }
+
+// serve is the data server loop.
+func (v *Server) serve(p *sim.Proc) {
+	// Ensure the segment directory exists.
+	if _, err := v.table.FS().Lookup(p, "/pious"); err != nil {
+		if _, err := v.table.FS().Mkdir(p, "/pious"); err != nil {
+			return
+		}
+	}
+	for {
+		m := v.sys.pv.Recv(p, v.task, pvm.AnySource, tagRequest)
+		req := m.Payload.(request)
+		var rep reply
+		switch req.kind {
+		case reqStop:
+			return
+		case reqOpen:
+			rep = v.doOpen(p, req)
+		case reqIO:
+			rep = v.doIO(p, req)
+		case reqClose:
+			if fd, ok := v.files[req.fileID]; ok {
+				v.table.Close(fd)
+				delete(v.files, req.fileID)
+			}
+		}
+		respBytes := 16 + len(rep.data)
+		if err := v.sys.pv.Send(v.task, m.From, tagReply, respBytes, rep); err != nil {
+			return
+		}
+	}
+}
+
+func (v *Server) doOpen(p *sim.Proc, req request) reply {
+	path := fmt.Sprintf("/pious/%s.%d", req.name, v.node)
+	var fd int
+	var err error
+	if req.create {
+		fd, err = v.table.Create(p, path)
+	} else {
+		fd, err = v.table.Open(p, path)
+	}
+	if err != nil {
+		return reply{err: err.Error()}
+	}
+	v.files[req.fileID] = fd
+	return reply{}
+}
+
+func (v *Server) doIO(p *sim.Proc, req request) reply {
+	fd, ok := v.files[req.fileID]
+	if !ok {
+		return reply{err: fmt.Sprintf("pious: file %d not open on node %d", req.fileID, v.node)}
+	}
+	if _, err := v.table.Lseek(p, fd, req.off, vfs.SeekSet); err != nil {
+		return reply{err: err.Error()}
+	}
+	if req.data != nil {
+		n, err := v.table.Write(p, fd, req.data)
+		if err != nil {
+			return reply{n: n, err: err.Error()}
+		}
+		return reply{n: n}
+	}
+	buf := make([]byte, req.n)
+	n, err := v.table.Read(p, fd, buf)
+	if err != nil {
+		return reply{n: n, err: err.Error()}
+	}
+	return reply{n: n, data: buf[:n]}
+}
+
+// File is an open parallel file handle held by one client task.
+type File struct {
+	sys  *System
+	id   int
+	name string
+	pos  int64
+}
+
+// Open opens (or creates) a parallel file from client task t.
+func (s *System) Open(p *sim.Proc, t *pvm.Task, name string, create bool) (*File, error) {
+	f := &File{sys: s, id: s.nextFileID, name: name}
+	s.nextFileID++
+	for _, srv := range s.servers {
+		req := request{kind: reqOpen, name: name, create: create, fileID: f.id}
+		if err := s.pv.Send(t, srv.task.TID(), tagRequest, 64+len(name), req); err != nil {
+			return nil, err
+		}
+	}
+	for range s.servers {
+		m := s.pv.Recv(p, t, pvm.AnySource, tagReply)
+		rep := m.Payload.(reply)
+		if rep.err != "" {
+			return nil, fmt.Errorf("pious: open %q: %s", name, rep.err)
+		}
+	}
+	return f, nil
+}
+
+// Close releases the file on all servers (fire and forget, like pvm sends).
+func (f *File) Close(p *sim.Proc, t *pvm.Task) error {
+	for _, srv := range f.sys.servers {
+		req := request{kind: reqClose, fileID: f.id}
+		if err := f.sys.pv.Send(t, srv.task.TID(), tagRequest, 32, req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stripe maps a global offset to (server index, local offset).
+func (f *File) stripe(off int64) (int, int64) {
+	su := int64(f.sys.stripeUnit)
+	n := int64(len(f.sys.servers))
+	unit := off / su
+	srv := int(unit % n)
+	local := (unit/n)*su + off%su
+	return srv, local
+}
+
+// rangePieces splits [off, off+length) into per-server contiguous pieces.
+type piece struct {
+	srv      int
+	localOff int64
+	globOff  int64
+	n        int
+}
+
+func (f *File) pieces(off int64, length int) []piece {
+	var out []piece
+	for length > 0 {
+		srv, local := f.stripe(off)
+		su := f.sys.stripeUnit
+		inUnit := int(off % int64(su))
+		n := su - inUnit
+		if n > length {
+			n = length
+		}
+		out = append(out, piece{srv: srv, localOff: local, globOff: off, n: n})
+		off += int64(n)
+		length -= n
+	}
+	return out
+}
+
+// WriteAt writes data at a global offset, fanning stripe pieces out to the
+// data servers in parallel and waiting for all acknowledgements.
+func (f *File) WriteAt(p *sim.Proc, t *pvm.Task, off int64, data []byte) (int, error) {
+	ps := f.pieces(off, len(data))
+	for _, pc := range ps {
+		chunk := data[pc.globOff-off : pc.globOff-off+int64(pc.n)]
+		req := request{kind: reqIO, fileID: f.id, off: pc.localOff, data: chunk}
+		if err := f.sys.pv.Send(t, f.sys.servers[pc.srv].task.TID(), tagRequest, 48+pc.n, req); err != nil {
+			return 0, err
+		}
+	}
+	total := 0
+	for range ps {
+		m := f.sys.pv.Recv(p, t, pvm.AnySource, tagReply)
+		rep := m.Payload.(reply)
+		if rep.err != "" {
+			return total, fmt.Errorf("pious: write %q: %s", f.name, rep.err)
+		}
+		total += rep.n
+	}
+	if end := off + int64(total); end > f.pos {
+		f.pos = end
+	}
+	return total, nil
+}
+
+// ReadAt reads into buf from a global offset in parallel across servers.
+// Short segment reads (holes or EOF on a server) read as zeros, keeping the
+// aggregate length; the returned count is len(buf) unless an error occurs.
+func (f *File) ReadAt(p *sim.Proc, t *pvm.Task, off int64, buf []byte) (int, error) {
+	ps := f.pieces(off, len(buf))
+	// Requests carry a sequence via globOff; replies may arrive in any
+	// order, so match by server echo — simplest is one outstanding batch
+	// with per-piece bookkeeping keyed by arrival order of each server's
+	// FIFO channel. PVM preserves per-pair ordering, so issue and collect
+	// per server in order.
+	type pending struct{ pc piece }
+	perServer := make(map[int][]pending)
+	for _, pc := range ps {
+		req := request{kind: reqIO, fileID: f.id, off: pc.localOff, n: pc.n}
+		if err := f.sys.pv.Send(t, f.sys.servers[pc.srv].task.TID(), tagRequest, 48, req); err != nil {
+			return 0, err
+		}
+		perServer[pc.srv] = append(perServer[pc.srv], pending{pc})
+	}
+	remaining := len(ps)
+	for remaining > 0 {
+		m := f.sys.pv.Recv(p, t, pvm.AnySource, tagReply)
+		rep := m.Payload.(reply)
+		if rep.err != "" {
+			return 0, fmt.Errorf("pious: read %q: %s", f.name, rep.err)
+		}
+		// Identify which server answered.
+		srvIdx := -1
+		for i, srv := range f.sys.servers {
+			if srv.task.TID() == m.From {
+				srvIdx = i
+				break
+			}
+		}
+		if srvIdx < 0 || len(perServer[srvIdx]) == 0 {
+			return 0, fmt.Errorf("pious: stray reply from tid %d", m.From)
+		}
+		pc := perServer[srvIdx][0].pc
+		perServer[srvIdx] = perServer[srvIdx][1:]
+		dst := buf[pc.globOff-off : pc.globOff-off+int64(pc.n)]
+		for i := range dst {
+			dst[i] = 0
+		}
+		copy(dst, rep.data)
+		remaining--
+	}
+	return len(buf), nil
+}
+
+// Stop shuts down all data servers (end of experiment).
+func (s *System) Stop(t *pvm.Task) {
+	for _, srv := range s.servers {
+		_ = s.pv.Send(t, srv.task.TID(), tagRequest, 16, request{kind: reqStop})
+	}
+}

@@ -1,0 +1,284 @@
+package pious
+
+import (
+	"bytes"
+	"testing"
+
+	"essio/internal/cluster"
+	"essio/internal/pvm"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+type rig struct {
+	c   *cluster.Cluster
+	sys *System
+}
+
+func newRig(t *testing.T, nodes int, opts ...Option) *rig {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: nodes, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	sys := New(c.E, c.PVM, c.NodeFS(), opts...)
+	// Let the servers create their /pious directories.
+	c.E.Run(c.E.Now().Add(sim.Second))
+	return &rig{c: c, sys: sys}
+}
+
+// runClient executes fn as a client task on node 0 and drives the engine
+// until fn finishes (bounded).
+func (r *rig) runClient(t *testing.T, fn func(p *sim.Proc, task *pvm.Task)) {
+	t.Helper()
+	done := false
+	task := r.c.PVM.Enroll(0)
+	r.c.E.Spawn("client", func(p *sim.Proc) {
+		fn(p, task)
+		done = true
+	})
+	deadline := r.c.E.Now().Add(10 * sim.Minute)
+	for !done && r.c.E.Now() < deadline {
+		r.c.E.Run(r.c.E.Now().Add(sim.Second))
+	}
+	if !done {
+		t.Fatal("client did not finish")
+	}
+}
+
+func TestWriteReadRoundTripAcrossServers(t *testing.T) {
+	r := newRig(t, 4)
+	payload := make([]byte, 100*1024) // 100 KB spans many stripes
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "dataset", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n, err := f.WriteAt(p, task, 0, payload); err != nil || n != len(payload) {
+			t.Errorf("WriteAt = %d, %v", n, err)
+			return
+		}
+		out := make([]byte, len(payload))
+		if n, err := f.ReadAt(p, task, 0, out); err != nil || n != len(out) {
+			t.Errorf("ReadAt = %d, %v", n, err)
+			return
+		}
+		if !bytes.Equal(out, payload) {
+			t.Error("round trip mismatch")
+		}
+		f.Close(p, task)
+	})
+}
+
+func TestDeclusteringSpreadsAcrossNodes(t *testing.T) {
+	r := newRig(t, 4)
+	r.c.StartTracing()
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "spread", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.WriteAt(p, task, 0, make([]byte, 256*1024)); err != nil {
+			t.Error(err)
+		}
+	})
+	// Wait for write-back so the traffic reaches the disks.
+	r.c.E.Run(r.c.E.Now().Add(time30))
+	r.c.StopTracing()
+	nodesWithData := 0
+	for _, tr := range r.c.Traces() {
+		for _, rec := range tr {
+			if rec.Op == trace.Write && rec.Origin == trace.OriginData {
+				nodesWithData++
+				break
+			}
+		}
+	}
+	if nodesWithData != 4 {
+		t.Fatalf("parallel file data reached %d/4 node disks", nodesWithData)
+	}
+}
+
+const time30 = 30 * sim.Second
+
+func TestStripeMath(t *testing.T) {
+	r := newRig(t, 3, WithStripeUnit(1024))
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "s", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Global offsets 0,1024,2048 go to servers 0,1,2; 3072 wraps to
+		// server 0 local offset 1024.
+		cases := []struct {
+			off   int64
+			srv   int
+			local int64
+		}{
+			{0, 0, 0}, {1024, 1, 0}, {2048, 2, 0}, {3072, 0, 1024}, {3500, 0, 1452},
+		}
+		for _, cse := range cases {
+			srv, local := f.stripe(cse.off)
+			if srv != cse.srv || local != cse.local {
+				t.Errorf("stripe(%d) = (%d,%d), want (%d,%d)", cse.off, srv, local, cse.srv, cse.local)
+			}
+		}
+	})
+}
+
+func TestPiecesCoverRangeExactly(t *testing.T) {
+	r := newRig(t, 4, WithStripeUnit(2048))
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "pieces", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, span := range []struct {
+			off int64
+			n   int
+		}{{0, 100}, {1000, 5000}, {2047, 2}, {8192, 16384}} {
+			ps := f.pieces(span.off, span.n)
+			total := 0
+			next := span.off
+			for _, pc := range ps {
+				if pc.globOff != next {
+					t.Errorf("pieces(%d,%d): gap at %d", span.off, span.n, pc.globOff)
+				}
+				total += pc.n
+				next += int64(pc.n)
+			}
+			if total != span.n {
+				t.Errorf("pieces(%d,%d) cover %d bytes", span.off, span.n, total)
+			}
+		}
+	})
+}
+
+func TestOpenExistingFile(t *testing.T) {
+	r := newRig(t, 2)
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "keep", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.WriteAt(p, task, 0, []byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p, task)
+		g, err := r.sys.Open(p, task, "keep", false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, 5)
+		if _, err := g.ReadAt(p, task, 0, out); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(out) != "hello" {
+			t.Errorf("read %q", out)
+		}
+	})
+}
+
+func TestOpenMissingFileFails(t *testing.T) {
+	r := newRig(t, 2)
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		if _, err := r.sys.Open(p, task, "nope", false); err == nil {
+			t.Error("want error opening missing parallel file")
+		}
+	})
+}
+
+func TestUnwrittenRegionsReadZero(t *testing.T) {
+	r := newRig(t, 3)
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "sparse", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Write only the second stripe unit.
+		if _, err := f.WriteAt(p, task, int64(r.sys.StripeUnit()), bytes.Repeat([]byte{9}, 100)); err != nil {
+			t.Error(err)
+			return
+		}
+		out := bytes.Repeat([]byte{0xFF}, r.sys.StripeUnit())
+		if _, err := f.ReadAt(p, task, 0, out); err != nil {
+			t.Error(err)
+			return
+		}
+		for i, b := range out {
+			if b != 0 {
+				t.Errorf("byte %d = %x, want 0", i, b)
+				return
+			}
+		}
+	})
+}
+
+func TestStopShutsDownServers(t *testing.T) {
+	r := newRig(t, 2)
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "pre", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.WriteAt(p, task, 0, []byte("x")); err != nil {
+			t.Error(err)
+			return
+		}
+		r.sys.Stop(task)
+	})
+	// After Stop the server goroutines exit; the engine drains without
+	// further PIOUS activity.
+	r.c.E.Run(r.c.E.Now().Add(10 * sim.Second))
+}
+
+func TestWriteAtOffsetPreservesOtherStripes(t *testing.T) {
+	r := newRig(t, 3, WithStripeUnit(1024))
+	r.runClient(t, func(p *sim.Proc, task *pvm.Task) {
+		f, err := r.sys.Open(p, task, "patch", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		base := bytes.Repeat([]byte{0x11}, 6*1024)
+		if _, err := f.WriteAt(p, task, 0, base); err != nil {
+			t.Error(err)
+			return
+		}
+		// Overwrite a window straddling two stripe units.
+		patch := bytes.Repeat([]byte{0x22}, 1500)
+		if _, err := f.WriteAt(p, task, 700, patch); err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, 6*1024)
+		if _, err := f.ReadAt(p, task, 0, out); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range out {
+			want := byte(0x11)
+			if i >= 700 && i < 2200 {
+				want = 0x22
+			}
+			if out[i] != want {
+				t.Errorf("byte %d = %x, want %x", i, out[i], want)
+				return
+			}
+		}
+	})
+}

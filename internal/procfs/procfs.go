@@ -1,0 +1,100 @@
+// Package procfs models the proc filesystem transport the study used to
+// move trace data out of the kernel: the instrumented driver appends records
+// to an in-kernel ring (the kernel message facility), and user space reads
+// them back as a byte stream from what looks like a regular file in /proc —
+// no specialized kernel code needed, exactly as the paper describes.
+package procfs
+
+import (
+	"fmt"
+	"sort"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// File is a readable proc entry. Reads are process-context (they may sleep
+// in a fuller OS; here they complete immediately but keep the signature).
+type File interface {
+	Read(p *sim.Proc, buf []byte) (int, error)
+}
+
+// FS is one node's proc filesystem: a flat registry of named entries.
+type FS struct {
+	entries map[string]File
+}
+
+// New returns an empty proc filesystem.
+func New() *FS {
+	return &FS{entries: make(map[string]File)}
+}
+
+// Register adds an entry under a name such as "iotrace" or "meminfo".
+func (fs *FS) Register(name string, f File) {
+	fs.entries[name] = f
+}
+
+// Open looks up an entry.
+func (fs *FS) Open(name string) (File, error) {
+	f, ok := fs.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("procfs: no entry %q", name)
+	}
+	return f, nil
+}
+
+// Names lists the registered entries, sorted.
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.entries))
+	for n := range fs.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TraceFile streams binary-encoded trace records out of the kernel ring.
+// Partial records never appear: a Read returns whole records only.
+type TraceFile struct {
+	ring *trace.Ring
+}
+
+// NewTraceFile wraps a driver trace ring.
+func NewTraceFile(ring *trace.Ring) *TraceFile {
+	return &TraceFile{ring: ring}
+}
+
+// Read fills buf with as many whole encoded records as fit and are
+// available, returning the byte count (0 when the ring is empty).
+func (f *TraceFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	max := len(buf) / trace.RecordSize
+	if max == 0 {
+		return 0, fmt.Errorf("procfs: buffer smaller than one record (%d bytes)", trace.RecordSize)
+	}
+	recs := f.ring.Drain(max)
+	n := 0
+	for _, r := range recs {
+		n += r.Marshal(buf[n:])
+	}
+	return n, nil
+}
+
+// Available reports how many records are waiting.
+func (f *TraceFile) Available() int { return f.ring.Len() }
+
+// TextFile serves dynamically generated text (meminfo-style entries).
+type TextFile struct {
+	gen func() string
+}
+
+// NewTextFile wraps a generator function.
+func NewTextFile(gen func() string) *TextFile {
+	return &TextFile{gen: gen}
+}
+
+// Read copies the generated text into buf (truncating if needed).
+func (f *TextFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	s := f.gen()
+	n := copy(buf, s)
+	return n, nil
+}

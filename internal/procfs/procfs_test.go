@@ -1,0 +1,110 @@
+package procfs
+
+import (
+	"testing"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Spawn("test", fn)
+	e.RunUntilIdle()
+}
+
+func TestRegistryOpenAndNames(t *testing.T) {
+	fs := New()
+	tf := NewTraceFile(trace.NewRing(16))
+	fs.Register("iotrace", tf)
+	fs.Register("meminfo", NewTextFile(func() string { return "mem: ok" }))
+	if _, err := fs.Open("iotrace"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("want error for missing entry")
+	}
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "iotrace" || names[1] != "meminfo" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestTraceFileStreamsWholeRecords(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	ring := trace.NewRing(64)
+	for i := 0; i < 5; i++ {
+		ring.Append(trace.Record{Time: sim.Time(i), Sector: uint32(100 + i), Count: 2})
+	}
+	tf := NewTraceFile(ring)
+	if tf.Available() != 5 {
+		t.Fatalf("Available = %d", tf.Available())
+	}
+	run(t, e, func(p *sim.Proc) {
+		// Buffer holds 3 whole records plus change: only 3 must come out.
+		buf := make([]byte, 3*trace.RecordSize+7)
+		n, err := tf.Read(p, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n != 3*trace.RecordSize {
+			t.Errorf("Read = %d bytes, want 3 whole records", n)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			rec, err := trace.UnmarshalRecord(buf[i*trace.RecordSize:])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rec.Sector != uint32(100+i) {
+				t.Errorf("record %d sector = %d", i, rec.Sector)
+			}
+		}
+		// Remaining two drain on the next read.
+		n, err = tf.Read(p, buf)
+		if err != nil || n != 2*trace.RecordSize {
+			t.Errorf("second Read = %d, %v", n, err)
+		}
+		n, err = tf.Read(p, buf)
+		if err != nil || n != 0 {
+			t.Errorf("empty Read = %d, %v", n, err)
+		}
+	})
+}
+
+func TestTraceFileTinyBuffer(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	tf := NewTraceFile(trace.NewRing(4))
+	run(t, e, func(p *sim.Proc) {
+		if _, err := tf.Read(p, make([]byte, 3)); err == nil {
+			t.Error("want error for sub-record buffer")
+		}
+	})
+}
+
+func TestTextFile(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	calls := 0
+	f := NewTextFile(func() string { calls++; return "free frames: 42\n" })
+	run(t, e, func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		n, err := f.Read(p, buf)
+		if err != nil || string(buf[:n]) != "free frames: 42\n" {
+			t.Errorf("Read = %q, %v", buf[:n], err)
+		}
+		// Truncation.
+		small := make([]byte, 4)
+		n, err = f.Read(p, small)
+		if err != nil || n != 4 {
+			t.Errorf("small Read = %d, %v", n, err)
+		}
+	})
+	if calls != 2 {
+		t.Fatalf("generator called %d times", calls)
+	}
+}

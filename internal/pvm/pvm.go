@@ -1,0 +1,195 @@
+// Package pvm provides the message-passing library of the Beowulf
+// prototype, modeled on PVM 3: tasks with task identifiers, tagged
+// asynchronous sends, blocking receives with (source, tag) wildcards,
+// multicast, and a barrier built from messages. Transfers ride the shared
+// ethernet model, so communication time reflects serialization on the two
+// 10 Mb/s rails.
+package pvm
+
+import (
+	"fmt"
+
+	"essio/internal/ethernet"
+	"essio/internal/sim"
+)
+
+// TID identifies a task.
+type TID int
+
+// AnySource and AnyTag are receive wildcards.
+const (
+	AnySource TID = -1
+	AnyTag    int = -1
+)
+
+// Message is a delivered message.
+type Message struct {
+	From    TID
+	Tag     int
+	Bytes   int // modeled wire size
+	Payload interface{}
+}
+
+// Task is one endpoint (one rank on one node).
+type Task struct {
+	sys  *System
+	tid  TID
+	node int
+	mbox []Message
+	wq   *sim.WaitQueue
+}
+
+// TID returns the task identifier.
+func (t *Task) TID() TID { return t.tid }
+
+// Node returns the node index the task runs on.
+func (t *Task) Node() int { return t.node }
+
+// System is the PVM daemon ensemble for a cluster.
+type System struct {
+	e     *sim.Engine
+	net   *ethernet.Net
+	tasks map[TID]*Task
+	next  TID
+	// localCost is the per-message local delivery cost used when sender
+	// and receiver share a node (no wire traffic).
+	localCost sim.Duration
+}
+
+// New creates a PVM system over a network.
+func New(e *sim.Engine, net *ethernet.Net) *System {
+	return &System{e: e, net: net, tasks: make(map[TID]*Task), next: 1, localCost: 50 * sim.Microsecond}
+}
+
+// Enroll registers a new task on a node (pvm_mytid).
+func (s *System) Enroll(node int) *Task {
+	t := &Task{sys: s, tid: s.next, node: node, wq: sim.NewWaitQueue(s.e)}
+	s.next++
+	s.tasks[t.tid] = t
+	return t
+}
+
+// Exit removes a task (pvm_exit).
+func (s *System) Exit(t *Task) {
+	delete(s.tasks, t.tid)
+}
+
+// Tasks reports the number of enrolled tasks.
+func (s *System) Tasks() int { return len(s.tasks) }
+
+// Send transmits asynchronously (pvm_send): the payload is buffered and the
+// sender continues; delivery happens after the modeled network delay.
+func (s *System) Send(from *Task, to TID, tag int, bytes int, payload interface{}) error {
+	dst, ok := s.tasks[to]
+	if !ok {
+		return fmt.Errorf("pvm: send to unknown tid %d", to)
+	}
+	msg := Message{From: from.tid, Tag: tag, Bytes: bytes, Payload: payload}
+	deliver := func() {
+		dst.mbox = append(dst.mbox, msg)
+		dst.wq.WakeAll()
+	}
+	if dst.node == from.node {
+		s.e.After(s.localCost, deliver)
+		return nil
+	}
+	_, err := s.net.Send(bytes+64, deliver) // +64 for PVM header
+	return err
+}
+
+// Mcast sends to several destinations (pvm_mcast).
+func (s *System) Mcast(from *Task, tos []TID, tag int, bytes int, payload interface{}) error {
+	for _, to := range tos {
+		if to == from.tid {
+			continue
+		}
+		if err := s.Send(from, to, tag, bytes, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives (pvm_recv).
+// Wildcards: AnySource, AnyTag.
+func (s *System) Recv(p *sim.Proc, t *Task, src TID, tag int) Message {
+	for {
+		for i, m := range t.mbox {
+			if (src == AnySource || m.From == src) && (tag == AnyTag || m.Tag == tag) {
+				t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+				return m
+			}
+		}
+		t.wq.Sleep(p)
+	}
+}
+
+// TryRecv is the non-blocking probe-and-receive (pvm_nrecv). ok reports
+// whether a message was returned.
+func (s *System) TryRecv(t *Task, src TID, tag int) (Message, bool) {
+	for i, m := range t.mbox {
+		if (src == AnySource || m.From == src) && (tag == AnyTag || m.Tag == tag) {
+			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Group is a static task group used for barriers and exchanges.
+type Group struct {
+	sys     *System
+	members []*Task
+}
+
+// NewGroup forms a group from tasks; member order defines ranks.
+func (s *System) NewGroup(members []*Task) *Group {
+	return &Group{sys: s, members: members}
+}
+
+// Size reports the group size.
+func (g *Group) Size() int { return len(g.members) }
+
+// Rank returns t's rank within the group, or -1.
+func (g *Group) Rank(t *Task) int {
+	for i, m := range g.members {
+		if m == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Member returns the task at a rank.
+func (g *Group) Member(rank int) *Task { return g.members[rank] }
+
+// barrier tags (reserved high values).
+const (
+	tagBarrierArrive  = 1<<30 + 1
+	tagBarrierRelease = 1<<30 + 2
+)
+
+// Barrier blocks t until every group member arrives (pvm_barrier): members
+// report to rank 0, which then multicasts the release.
+func (g *Group) Barrier(p *sim.Proc, t *Task) error {
+	rank := g.Rank(t)
+	if rank < 0 {
+		return fmt.Errorf("pvm: task %d not in group", t.tid)
+	}
+	root := g.members[0]
+	if rank == 0 {
+		for i := 1; i < len(g.members); i++ {
+			g.sys.Recv(p, t, AnySource, tagBarrierArrive)
+		}
+		tos := make([]TID, 0, len(g.members)-1)
+		for _, m := range g.members[1:] {
+			tos = append(tos, m.tid)
+		}
+		return g.sys.Mcast(t, tos, tagBarrierRelease, 8, nil)
+	}
+	if err := g.sys.Send(t, root.tid, tagBarrierArrive, 8, nil); err != nil {
+		return err
+	}
+	g.sys.Recv(p, t, root.tid, tagBarrierRelease)
+	return nil
+}

@@ -1,0 +1,243 @@
+package pvm
+
+import (
+	"testing"
+
+	"essio/internal/ethernet"
+	"essio/internal/sim"
+)
+
+func newSys(t *testing.T) (*sim.Engine, *System) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	t.Cleanup(e.Close)
+	return e, New(e, ethernet.New(e, ethernet.DefaultParams()))
+}
+
+func TestSendRecvAcrossNodes(t *testing.T) {
+	e, s := newSys(t)
+	a := s.Enroll(0)
+	b := s.Enroll(1)
+	var got Message
+	var when sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		got = s.Recv(p, b, a.TID(), 7)
+		when = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		if err := s.Send(a, b.TID(), 7, 5000, "payload"); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunUntilIdle()
+	if got.Payload != "payload" || got.From != a.TID() || got.Tag != 7 {
+		t.Fatalf("got %+v", got)
+	}
+	if when <= 0 {
+		t.Fatal("cross-node message arrived instantly")
+	}
+}
+
+func TestLocalDeliveryFasterThanRemote(t *testing.T) {
+	e, s := newSys(t)
+	a := s.Enroll(0)
+	local := s.Enroll(0)
+	remote := s.Enroll(1)
+	var tLocal, tRemote sim.Time
+	e.Spawn("rl", func(p *sim.Proc) {
+		s.Recv(p, local, AnySource, AnyTag)
+		tLocal = p.Now()
+	})
+	e.Spawn("rr", func(p *sim.Proc) {
+		s.Recv(p, remote, AnySource, AnyTag)
+		tRemote = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		s.Send(a, local.TID(), 1, 5000, nil)
+		s.Send(a, remote.TID(), 1, 5000, nil)
+	})
+	e.RunUntilIdle()
+	if tLocal >= tRemote {
+		t.Fatalf("local %v not faster than remote %v", tLocal, tRemote)
+	}
+}
+
+func TestRecvFiltersBySourceAndTag(t *testing.T) {
+	e, s := newSys(t)
+	a := s.Enroll(0)
+	b := s.Enroll(1)
+	c := s.Enroll(2)
+	var order []string
+	e.Spawn("recv", func(p *sim.Proc) {
+		m := s.Recv(p, c, b.TID(), AnyTag) // must skip a's earlier message
+		order = append(order, m.Payload.(string))
+		m = s.Recv(p, c, AnySource, 9)
+		order = append(order, m.Payload.(string))
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		s.Send(a, c.TID(), 9, 100, "from-a")
+		p.Sleep(10 * sim.Millisecond)
+		s.Send(b, c.TID(), 5, 100, "from-b")
+	})
+	e.RunUntilIdle()
+	if len(order) != 2 || order[0] != "from-b" || order[1] != "from-a" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	e, s := newSys(t)
+	a := s.Enroll(0)
+	b := s.Enroll(1)
+	if _, ok := s.TryRecv(b, AnySource, AnyTag); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		s.Send(a, b.TID(), 1, 10, 42)
+	})
+	e.RunUntilIdle()
+	m, ok := s.TryRecv(b, AnySource, AnyTag)
+	if !ok || m.Payload != 42 {
+		t.Fatalf("TryRecv = %+v, %v", m, ok)
+	}
+}
+
+func TestSendToUnknownTask(t *testing.T) {
+	_, s := newSys(t)
+	a := s.Enroll(0)
+	if err := s.Send(a, TID(999), 0, 10, nil); err == nil {
+		t.Fatal("want error for unknown tid")
+	}
+}
+
+func TestMcastReachesAllButSelf(t *testing.T) {
+	e, s := newSys(t)
+	tasks := make([]*Task, 4)
+	tids := make([]TID, 4)
+	for i := range tasks {
+		tasks[i] = s.Enroll(i)
+		tids[i] = tasks[i].TID()
+	}
+	got := 0
+	for _, tk := range tasks[1:] {
+		tk := tk
+		e.Spawn("r", func(p *sim.Proc) {
+			s.Recv(p, tk, AnySource, 3)
+			got++
+		})
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		if err := s.Mcast(tasks[0], tids, 3, 100, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunUntilIdle()
+	if got != 3 {
+		t.Fatalf("mcast reached %d, want 3", got)
+	}
+	if len(tasks[0].mbox) != 0 {
+		t.Fatal("mcast delivered to sender")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e, s := newSys(t)
+	const n = 5
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = s.Enroll(i % 3)
+	}
+	g := s.NewGroup(tasks)
+	if g.Size() != n {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	var releases []sim.Time
+	var lastArrive sim.Time
+	for i, tk := range tasks {
+		i, tk := i, tk
+		e.Spawn("m", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i+1) * 100 * sim.Millisecond)
+			if p.Now() > lastArrive {
+				lastArrive = p.Now()
+			}
+			if err := g.Barrier(p, tk); err != nil {
+				t.Error(err)
+				return
+			}
+			releases = append(releases, p.Now())
+		})
+	}
+	e.RunUntilIdle()
+	if len(releases) != n {
+		t.Fatalf("%d released", len(releases))
+	}
+	for _, r := range releases {
+		if r < lastArrive {
+			t.Fatalf("release at %v before last arrival %v", r, lastArrive)
+		}
+	}
+}
+
+func TestBarrierRepeats(t *testing.T) {
+	e, s := newSys(t)
+	tasks := []*Task{s.Enroll(0), s.Enroll(1)}
+	g := s.NewGroup(tasks)
+	rounds := 0
+	for _, tk := range tasks {
+		tk := tk
+		e.Spawn("m", func(p *sim.Proc) {
+			for r := 0; r < 3; r++ {
+				if err := g.Barrier(p, tk); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			rounds++
+		})
+	}
+	e.RunUntilIdle()
+	if rounds != 2 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestBarrierNonMember(t *testing.T) {
+	e, s := newSys(t)
+	g := s.NewGroup([]*Task{s.Enroll(0)})
+	outsider := s.Enroll(1)
+	var err error
+	e.Spawn("o", func(p *sim.Proc) {
+		err = g.Barrier(p, outsider)
+	})
+	e.RunUntilIdle()
+	if err == nil {
+		t.Fatal("want error for non-member barrier")
+	}
+}
+
+func TestExitRemovesTask(t *testing.T) {
+	_, s := newSys(t)
+	a := s.Enroll(0)
+	if s.Tasks() != 1 {
+		t.Fatal("enroll failed")
+	}
+	s.Exit(a)
+	if s.Tasks() != 0 {
+		t.Fatal("exit failed")
+	}
+}
+
+func TestGroupRankAndMember(t *testing.T) {
+	_, s := newSys(t)
+	a, b := s.Enroll(0), s.Enroll(1)
+	g := s.NewGroup([]*Task{a, b})
+	if g.Rank(a) != 0 || g.Rank(b) != 1 {
+		t.Fatal("ranks wrong")
+	}
+	if g.Member(1) != b {
+		t.Fatal("member wrong")
+	}
+	if g.Rank(s.Enroll(2)) != -1 {
+		t.Fatal("outsider rank should be -1")
+	}
+}

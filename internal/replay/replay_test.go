@@ -1,0 +1,157 @@
+package replay
+
+import (
+	"testing"
+
+	"essio/internal/disk"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// burstTrace: per node, a burst of contiguous 1 KB writes every second —
+// mergeable under queueing.
+func burstTrace(nodes, bursts, perBurst int) []trace.Record {
+	var recs []trace.Record
+	for n := 0; n < nodes; n++ {
+		for b := 0; b < bursts; b++ {
+			base := uint32(100000*n + 5000*b)
+			for i := 0; i < perBurst; i++ {
+				recs = append(recs, trace.Record{
+					Time:   sim.Time(b) * sim.Time(sim.Second),
+					Sector: base + uint32(2*i),
+					Count:  2,
+					Op:     trace.Write,
+					Node:   uint8(n),
+					Origin: trace.OriginData,
+				})
+			}
+		}
+	}
+	return trace.Merge(recs)
+}
+
+func TestReplayEmpty(t *testing.T) {
+	rep, err := Replay(nil, Config{})
+	if err != nil || rep.Requests != 0 {
+		t.Fatalf("rep = %+v, %v", rep, err)
+	}
+}
+
+func TestReplayCompletesAll(t *testing.T) {
+	recs := burstTrace(2, 5, 8)
+	rep, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != len(recs) || rep.Nodes != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if rep.Elapsed <= 0 || rep.MeanWaitMs <= 0 || rep.PhysReqs == 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	// Open-loop elapsed covers the recorded span (4 s of arrivals).
+	if rep.Elapsed < 4*sim.Second {
+		t.Fatalf("elapsed %v shorter than the arrival span", rep.Elapsed)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestReplayMergingReducesPhysicalRequests(t *testing.T) {
+	recs := burstTrace(1, 4, 16)
+	merged, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmerged, err := Replay(recs, Config{MaxRequestSectors: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.PhysReqs >= unmerged.PhysReqs {
+		t.Fatalf("merged %d phys reqs, unmerged %d; merging must reduce", merged.PhysReqs, unmerged.PhysReqs)
+	}
+	if unmerged.PhysReqs != uint64(len(recs)) {
+		t.Fatalf("unmerged phys reqs = %d, want %d", unmerged.PhysReqs, len(recs))
+	}
+}
+
+func TestReplayFasterDiskLowersWait(t *testing.T) {
+	recs := burstTrace(1, 4, 16)
+	slow, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := disk.DefaultParams()
+	fast.TransferRate *= 4
+	fast.TrackSeek /= 4
+	fast.FullSeek /= 4
+	fast.RPM *= 2
+	fastRep, err := Replay(recs, Config{Disk: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRep.MeanWaitMs >= slow.MeanWaitMs {
+		t.Fatalf("fast disk wait %.2fms not below slow %.2fms", fastRep.MeanWaitMs, slow.MeanWaitMs)
+	}
+}
+
+func TestReplayClosedLoopIsDeviceBound(t *testing.T) {
+	recs := burstTrace(1, 3, 8)
+	open, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Replay(recs, Config{ClosedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed loop ignores the 1-second arrival gaps: it must finish faster
+	// than the recorded span.
+	if closed.Elapsed >= open.Elapsed {
+		t.Fatalf("closed loop %v not faster than open loop %v", closed.Elapsed, open.Elapsed)
+	}
+	if closed.Requests != len(recs) {
+		t.Fatalf("closed loop completed %d", closed.Requests)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	recs := burstTrace(2, 3, 8)
+	a, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("replay not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReplayBasicLevelRecords(t *testing.T) {
+	// Records without a size (basic instrumentation) replay as 1 KB.
+	recs := []trace.Record{
+		{Time: 0, Sector: 100, Count: 0, Op: trace.Read},
+		{Time: 1000, Sector: 200, Count: 0, Op: trace.Write},
+	}
+	rep, err := Replay(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestReplayClampsOutOfRangeSectors(t *testing.T) {
+	small := disk.DefaultParams()
+	small.Sectors = 10000
+	recs := []trace.Record{{Time: 0, Sector: 999999, Count: 8, Op: trace.Write}}
+	rep, err := Replay(recs, Config{Disk: small})
+	if err != nil || rep.Requests != 1 {
+		t.Fatalf("rep = %+v, %v", rep, err)
+	}
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order so that two
+// events scheduled for the same instant fire in the order they were
+// scheduled, which makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{} // process -> engine: "I have blocked"
+	cur    *Proc
+	procs  []*Proc
+	closed bool
+	rng    *rand.Rand
+	// stats
+	fired uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// stream is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream. It must only be
+// used from simulation context (process bodies and scheduled callbacks).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsFired reports how many events have executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// schedule enqueues fn to run at time at (engine context).
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at absolute time at. Times in the
+// past are clamped to the present.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run in engine context after d has elapsed.
+func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+
+// Every schedules fn to run in engine context every period, starting after
+// the first period elapses, until the engine stops.
+func (e *Engine) Every(period Duration, fn func()) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+}
+
+// step pops and executes the earliest event. It reports false when no events
+// remain.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.fn == nil { // cancelled
+		return true
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the clock would pass until, then sets the clock
+// to until exactly. Events scheduled at until itself still execute.
+func (e *Engine) Run(until Time) {
+	if e.closed {
+		panic("sim: Run on closed engine")
+	}
+	for len(e.events) > 0 && e.events[0].at <= until {
+		e.step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes events until none remain.
+func (e *Engine) RunUntilIdle() {
+	if e.closed {
+		panic("sim: RunUntilIdle on closed engine")
+	}
+	for e.step() {
+	}
+}
+
+// Close terminates all parked processes so their goroutines exit. The engine
+// must not be used afterwards. It is safe to call Close more than once.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if !p.done {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-e.parked
+		}
+	}
+	e.events = nil
+}
+
+// killedErr is the sentinel panic value used to unwind killed processes.
+type killedErr struct{ name string }
+
+func (k killedErr) String() string { return "sim: process " + k.name + " killed" }
+
+// Proc is a simulated process. A Proc's body function runs on its own
+// goroutine but is strictly serialized with all other simulation activity:
+// it only runs while the engine has handed control to it, and hands control
+// back whenever it blocks (Sleep, Completion.Wait, WaitQueue.Sleep, Yield).
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	killed bool
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process running fn, starting at time at.
+func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		// The final park signal is deferred so that even abnormal
+		// goroutine exits (runtime.Goexit, e.g. t.Fatal in tests)
+		// release the engine instead of deadlocking it.
+		defer func() {
+			p.done = true
+			e.parked <- struct{}{}
+		}()
+		<-p.resume
+		if p.killed {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedErr); ok {
+					return // clean unwind of a killed process
+				}
+				panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+			}
+		}()
+		fn(p)
+	}()
+	e.schedule(at, func() { e.switchTo(p) })
+	return p
+}
+
+// switchTo transfers control to p until it parks or terminates. Engine
+// context only.
+func (e *Engine) switchTo(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.cur = prev
+}
+
+// park blocks the calling process until the engine resumes it. Process
+// context only.
+func (p *Proc) park() {
+	p.e.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedErr{p.name})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	e.schedule(e.now.Add(d), func() { e.switchTo(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting every other
+// event already scheduled for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }

@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var at Time
+	e.After(5*Millisecond, func() { at = e.Now() })
+	e.RunUntilIdle()
+	if at != Time(5*Millisecond) {
+		t.Fatalf("event fired at %v, want 5ms", at)
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var order []int
+	e.After(3*Second, func() { order = append(order, 3) })
+	e.After(1*Second, func() { order = append(order, 1) })
+	e.After(2*Second, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(Second, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; same-time events must run FIFO", i, v)
+		}
+	}
+}
+
+func TestRunStopsAtBound(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	fired := 0
+	e.After(1*Second, func() { fired++ })
+	e.After(2*Second, func() { fired++ })
+	e.After(3*Second, func() { fired++ })
+	e.Run(Time(2 * Second))
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (events at t<=bound inclusive)", fired)
+	}
+	if e.Now() != Time(2*Second) {
+		t.Fatalf("Now() = %v, want exactly the bound", e.Now())
+	}
+	e.RunUntilIdle()
+	if fired != 3 {
+		t.Fatalf("fired = %d after RunUntilIdle, want 3", fired)
+	}
+}
+
+func TestRunAdvancesClockToBoundWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.Run(Time(10 * Second))
+	if e.Now() != Time(10*Second) {
+		t.Fatalf("Now() = %v, want 10s", e.Now())
+	}
+}
+
+func TestEverymRepeats(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var times []Time
+	e.Every(Second, func() { times = append(times, e.Now()) })
+	e.Run(Time(5*Second + 500*Millisecond))
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(times))
+	}
+	for i, tm := range times {
+		if tm != Time((i+1))*Time(Second) {
+			t.Fatalf("tick %d at %v", i, tm)
+		}
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(7 * Second)
+		wake = p.Now()
+	})
+	e.RunUntilIdle()
+	if wake != Time(7*Second) {
+		t.Fatalf("woke at %v, want 7s", wake)
+	}
+}
+
+func TestProcSerialized(t *testing.T) {
+	// Two processes interleaving sleeps must alternate deterministically.
+	e := NewEngine(1)
+	defer e.Close()
+	var log []string
+	mk := func(name string) func(*Proc) {
+		return func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, fmt.Sprintf("%s%d@%v", name, i, p.Now()))
+				p.Sleep(2 * Second)
+			}
+		}
+	}
+	e.Spawn("a", mk("a"))
+	e.SpawnAt(Time(Second), "b", mk("b"))
+	e.RunUntilIdle()
+	want := "[a0@0.000000s b0@1.000000s a1@2.000000s b1@3.000000s a2@4.000000s b2@5.000000s]"
+	if fmt.Sprint(log) != want {
+		t.Fatalf("log = %v\nwant  %v", log, want)
+	}
+}
+
+func TestCompletionWakesWaiters(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	c := NewCompletion(e)
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			if err := c.Wait(p); err != nil {
+				t.Errorf("Wait err = %v", err)
+			}
+			woke = append(woke, p.Now())
+		})
+	}
+	e.After(4*Second, c.Complete)
+	e.RunUntilIdle()
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != Time(4*Second) {
+			t.Fatalf("waiter woke at %v, want 4s", w)
+		}
+	}
+}
+
+func TestCompletionAfterFireIsImmediate(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	c := NewCompletion(e)
+	c.CompleteErr(fmt.Errorf("boom"))
+	var got error
+	e.Spawn("w", func(p *Proc) { got = c.Wait(p) })
+	e.RunUntilIdle()
+	if got == nil || got.Error() != "boom" {
+		t.Fatalf("Wait returned %v, want boom", got)
+	}
+}
+
+func TestCompletionDoubleCompleteKeepsFirstErr(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	c := NewCompletion(e)
+	c.CompleteErr(fmt.Errorf("first"))
+	c.CompleteErr(fmt.Errorf("second"))
+	if c.Err().Error() != "first" {
+		t.Fatalf("Err() = %v, want first", c.Err())
+	}
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	wq := NewWaitQueue(e)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			wq.Sleep(p)
+			order = append(order, name)
+		})
+	}
+	e.After(Second, func() {
+		if wq.Len() != 3 {
+			t.Errorf("Len = %d, want 3", wq.Len())
+		}
+		wq.WakeOne()
+	})
+	e.After(2*Second, func() { wq.WakeAll() })
+	e.RunUntilIdle()
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	sem := NewSemaphore(e, 2)
+	active, maxActive := 0, 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("u", func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(Second)
+			active--
+			sem.Release()
+		})
+	}
+	e.RunUntilIdle()
+	if maxActive != 2 {
+		t.Fatalf("maxActive = %d, want 2", maxActive)
+	}
+	if sem.Available() != 2 {
+		t.Fatalf("Available = %d, want 2", sem.Available())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	sem := NewSemaphore(e, 1)
+	if !sem.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded")
+	}
+	sem.Release()
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	b := NewBarrier(e, 3)
+	var released []Time
+	for i := 0; i < 3; i++ {
+		d := Duration(i+1) * Second
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(d)
+			b.Await(p)
+			released = append(released, p.Now())
+		})
+	}
+	e.RunUntilIdle()
+	if len(released) != 3 {
+		t.Fatalf("released %d, want 3", len(released))
+	}
+	for _, r := range released {
+		if r != Time(3*Second) {
+			t.Fatalf("released at %v, want 3s (last arrival)", r)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	b := NewBarrier(e, 2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				p.Sleep(Second)
+				b.Await(p)
+			}
+			rounds++
+		})
+	}
+	e.RunUntilIdle()
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want both processes through 3 rounds", rounds)
+	}
+}
+
+func TestCloseKillsParkedProcs(t *testing.T) {
+	e := NewEngine(1)
+	started, finished := 0, 0
+	e.Spawn("stuck", func(p *Proc) {
+		started++
+		NewWaitQueue(e).Sleep(p) // sleeps forever
+		finished++
+	})
+	e.RunUntilIdle()
+	e.Close()
+	if started != 1 || finished != 0 {
+		t.Fatalf("started=%d finished=%d; killed proc must not resume its body", started, finished)
+	}
+	e.Close() // double close must be safe
+}
+
+func TestDeterminismSameSeedSameTrace(t *testing.T) {
+	run := func(seed int64) []string {
+		e := NewEngine(seed)
+		defer e.Close()
+		var log []string
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("p%d", i)
+			e.Spawn(name, func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					d := Duration(e.Rand().Intn(1000)+1) * Millisecond
+					p.Sleep(d)
+					log = append(log, fmt.Sprintf("%s@%v", name, p.Now()))
+				}
+			})
+		}
+		e.RunUntilIdle()
+		return log
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different logs:\n%v\n%v", a, b)
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical logs (suspicious)")
+	}
+}
+
+func TestNegativeSleepClamped(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-5 * Second)
+		at = p.Now()
+	})
+	e.RunUntilIdle()
+	if at != 0 {
+		t.Fatalf("negative sleep advanced clock to %v", at)
+	}
+}
+
+func TestYieldRunsOthersFirst(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.RunUntilIdle()
+	if fmt.Sprint(order) != "[a1 b1 a2]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Property: any batch of sleeps wakes in sorted time order.
+func TestQuickSleepOrdering(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		if len(ds) > 64 {
+			ds = ds[:64]
+		}
+		e := NewEngine(7)
+		defer e.Close()
+		var wakes []Time
+		for _, d := range ds {
+			d := Duration(d) * Microsecond
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, p.Now())
+			})
+		}
+		e.RunUntilIdle()
+		return sort.SliceIsSorted(wakes, func(i, j int) bool { return wakes[i] < wakes[j] })
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DurationOf round-trips seconds to microsecond precision.
+func TestQuickDurationOf(t *testing.T) {
+	f := func(us uint32) bool {
+		d := Duration(us)
+		return DurationOf(d.Seconds()) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Add(500*Millisecond) != Time(2*Second) {
+		t.Fatalf("Add failed")
+	}
+	if tm.Sub(Time(Second)) != 500*Millisecond {
+		t.Fatalf("Sub failed")
+	}
+	if (2 * Second).Milliseconds() != 2000 {
+		t.Fatalf("Milliseconds failed")
+	}
+	if tm.String() != "1.500000s" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}
+
+func TestRunOnClosedEnginePanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic running a closed engine")
+		}
+	}()
+	e.Run(Time(Second))
+}
+
+func TestEveryZeroPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for zero period")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestEventsFiredCounts(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		e.After(Duration(i)*Millisecond, func() {})
+	}
+	e.RunUntilIdle()
+	if e.EventsFired() != 5 {
+		t.Fatalf("EventsFired = %d", e.EventsFired())
+	}
+}
+
+func TestOnCompleteCallbacks(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	c := NewCompletion(e)
+	got := 0
+	c.OnComplete(func(err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		got++
+	})
+	e.After(Second, c.Complete)
+	e.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("callback fired %d times", got)
+	}
+	// Registering after completion fires immediately (next event round).
+	c.OnComplete(func(error) { got++ })
+	e.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("late callback fired %d times total", got)
+	}
+}
+
+func TestSpawnAtFuture(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var started Time
+	e.SpawnAt(Time(3*Second), "late", func(p *Proc) {
+		started = p.Now()
+	})
+	e.RunUntilIdle()
+	if started != Time(3*Second) {
+		t.Fatalf("started at %v", started)
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+// Completion is a one-shot event. Processes wait on it; once Complete is
+// called all present and future waiters proceed immediately. Completions
+// carry an optional error so I/O submitters can observe failures.
+type Completion struct {
+	e         *Engine
+	done      bool
+	err       error
+	waiters   []*Proc
+	callbacks []func(error)
+}
+
+// NewCompletion returns an incomplete completion bound to e.
+func NewCompletion(e *Engine) *Completion {
+	return &Completion{e: e}
+}
+
+// Complete fires the completion with a nil error.
+func (c *Completion) Complete() { c.CompleteErr(nil) }
+
+// CompleteErr fires the completion, recording err for waiters. Completing an
+// already-complete completion is a no-op.
+func (c *Completion) CompleteErr(err error) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.err = err
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		pp := p
+		c.e.schedule(c.e.now, func() { c.e.switchTo(pp) })
+	}
+	cbs := c.callbacks
+	c.callbacks = nil
+	for _, fn := range cbs {
+		fn := fn
+		c.e.schedule(c.e.now, func() { fn(err) })
+	}
+}
+
+// OnComplete registers fn to run in engine context when the completion
+// fires. If it already fired, fn is scheduled immediately.
+func (c *Completion) OnComplete(fn func(error)) {
+	if c.done {
+		err := c.err
+		c.e.schedule(c.e.now, func() { fn(err) })
+		return
+	}
+	c.callbacks = append(c.callbacks, fn)
+}
+
+// IsComplete reports whether Complete has been called.
+func (c *Completion) IsComplete() bool { return c.done }
+
+// Err returns the error recorded at completion (nil before completion).
+func (c *Completion) Err() error { return c.err }
+
+// Wait blocks p until the completion fires and returns the recorded error.
+// If the completion already fired, Wait returns immediately.
+func (c *Completion) Wait(p *Proc) error {
+	if !c.done {
+		c.waiters = append(c.waiters, p)
+		p.park()
+	}
+	return c.err
+}
+
+// WaitQueue is a FIFO list of sleeping processes, the simulation analogue of
+// a kernel wait queue. Wakers choose how many sleepers to release.
+type WaitQueue struct {
+	e        *Engine
+	sleepers []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue bound to e.
+func NewWaitQueue(e *Engine) *WaitQueue {
+	return &WaitQueue{e: e}
+}
+
+// Len reports the number of sleeping processes.
+func (w *WaitQueue) Len() int { return len(w.sleepers) }
+
+// Sleep parks p on the queue until some waker releases it.
+func (w *WaitQueue) Sleep(p *Proc) {
+	w.sleepers = append(w.sleepers, p)
+	p.park()
+}
+
+// WakeOne releases the longest-sleeping process, reporting whether one was
+// released.
+func (w *WaitQueue) WakeOne() bool {
+	if len(w.sleepers) == 0 {
+		return false
+	}
+	p := w.sleepers[0]
+	copy(w.sleepers, w.sleepers[1:])
+	w.sleepers = w.sleepers[:len(w.sleepers)-1]
+	w.e.schedule(w.e.now, func() { w.e.switchTo(p) })
+	return true
+}
+
+// WakeAll releases every sleeping process in FIFO order.
+func (w *WaitQueue) WakeAll() {
+	for w.WakeOne() {
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup.
+type Semaphore struct {
+	count int
+	wq    *WaitQueue
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(e *Engine, count int) *Semaphore {
+	return &Semaphore{count: count, wq: NewWaitQueue(e)}
+}
+
+// Acquire takes one unit, sleeping until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count <= 0 {
+		s.wq.Sleep(p)
+	}
+	s.count--
+}
+
+// TryAcquire takes one unit if available without sleeping.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count <= 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns one unit and wakes one sleeper if any.
+func (s *Semaphore) Release() {
+	s.count++
+	s.wq.WakeOne()
+}
+
+// Available reports the current count.
+func (s *Semaphore) Available() int { return s.count }
+
+// Barrier blocks processes until a fixed number have arrived, then releases
+// them all. Reusable for successive rounds.
+type Barrier struct {
+	e       *Engine
+	parties int
+	arrived int
+	wq      *WaitQueue
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(e *Engine, parties int) *Barrier {
+	if parties <= 0 {
+		panic("sim: barrier needs at least one party")
+	}
+	return &Barrier{e: e, parties: parties, wq: NewWaitQueue(e)}
+}
+
+// Await blocks p until parties processes have called Await for this round.
+func (b *Barrier) Await(p *Proc) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.wq.WakeAll()
+		return
+	}
+	b.wq.Sleep(p)
+}

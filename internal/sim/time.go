@@ -1,0 +1,55 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine advances a virtual clock with microsecond resolution and runs
+// simulated processes as coroutine-style goroutines: exactly one process (or
+// engine callback) executes at a time, and the order of execution is fully
+// determined by (event time, scheduling sequence number). Given the same
+// seed and the same sequence of Spawn/After calls, a simulation is
+// bit-for-bit reproducible.
+package sim
+
+import "fmt"
+
+// Time is an absolute virtual time in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations, patterned after time.Duration but in virtual time.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e3 }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.6fs", d.Seconds())
+}
+
+// DurationOf converts floating-point seconds to a Duration, rounding to the
+// nearest microsecond.
+func DurationOf(seconds float64) Duration {
+	return Duration(seconds*1e6 + 0.5)
+}

@@ -1,0 +1,157 @@
+// Package svgplot renders the study's figures as standalone SVG documents —
+// the publication-quality counterpart to package asciiplot, still using only
+// the standard library.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"essio/internal/analysis"
+)
+
+// geometry shared by the plots.
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 50
+)
+
+func header(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`,
+		marginL, escape(title))
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axis draws the plot frame with min/max labels.
+func axis(b *strings.Builder, xlabel, ylabel string, minX, maxX, minY, maxY float64) {
+	pw := width - marginL - marginR
+	ph := height - marginT - marginB
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="black"/>`,
+		marginL, marginT, pw, ph)
+	fm := `<text x="%v" y="%v" font-family="sans-serif" font-size="11"%s>%s</text>`
+	fmt.Fprintf(b, fm, marginL, height-marginB+16, "", fmtNum(minX))
+	fmt.Fprintf(b, fm, width-marginR-40, height-marginB+16, "", fmtNum(maxX))
+	fmt.Fprintf(b, fm, 4, height-marginB, "", fmtNum(minY))
+	fmt.Fprintf(b, fm, 4, marginT+12, "", fmtNum(maxY))
+	fmt.Fprintf(b, fm, (width-len(xlabel)*6)/2, height-12, "", escape(xlabel))
+	fmt.Fprintf(b, `<text x="14" y="%d" font-family="sans-serif" font-size="11" transform="rotate(-90 14 %d)">%s</text>`,
+		height/2, height/2, escape(ylabel))
+}
+
+func fmtNum(v float64) string {
+	if math.Abs(v) >= 10000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Scatter renders a point cloud.
+func Scatter(title, xlabel, ylabel string, pts []analysis.Point) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	if len(pts) == 0 {
+		b.WriteString("</svg>")
+		return b.String()
+	}
+	minX, maxX := pts[0].T, pts[0].T
+	minY, maxY := pts[0].V, pts[0].V
+	for _, p := range pts {
+		minX = math.Min(minX, p.T)
+		maxX = math.Max(maxX, p.T)
+		minY = math.Min(minY, p.V)
+		maxY = math.Max(maxY, p.V)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	axis(&b, xlabel, ylabel, minX, maxX, minY, maxY)
+	pw := float64(width - marginL - marginR)
+	ph := float64(height - marginT - marginB)
+	for _, p := range pts {
+		x := float64(marginL) + pw*(p.T-minX)/(maxX-minX)
+		y := float64(height-marginB) - ph*(p.V-minY)/(maxY-minY)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.4" fill="black" fill-opacity="0.55"/>`, x, y)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// Bars renders Figure 7-style band percentages as a vertical bar chart.
+func Bars(title, xlabel string, bands []analysis.Band) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	if len(bands) == 0 {
+		b.WriteString("</svg>")
+		return b.String()
+	}
+	maxPct := 0.0
+	for _, band := range bands {
+		maxPct = math.Max(maxPct, band.Pct)
+	}
+	if maxPct == 0 {
+		maxPct = 1
+	}
+	axis(&b, xlabel, "% of requests", 0, float64(bands[len(bands)-1].Hi), 0, maxPct)
+	pw := float64(width - marginL - marginR)
+	ph := float64(height - marginT - marginB)
+	bw := pw / float64(len(bands))
+	for i, band := range bands {
+		h := ph * band.Pct / maxPct
+		x := float64(marginL) + bw*float64(i)
+		y := float64(height-marginB) - h
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#4477aa" stroke="black" stroke-width="0.5"/>`,
+			x+1, y, bw-2, h)
+		if band.Pct > 0.01 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="middle">%.1f</text>`,
+				x+bw/2, y-3, band.Pct)
+		}
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// Needles renders Figure 8-style per-sector frequency spikes.
+func Needles(title string, heat []analysis.Heat, diskSectors uint32) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	if len(heat) == 0 {
+		b.WriteString("</svg>")
+		return b.String()
+	}
+	maxV := 0.0
+	for _, h := range heat {
+		maxV = math.Max(maxV, h.PerSec)
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	axis(&b, "sector", "accesses/sec", 0, float64(diskSectors), 0, maxV)
+	pw := float64(width - marginL - marginR)
+	ph := float64(height - marginT - marginB)
+	for _, h := range heat {
+		x := float64(marginL) + pw*float64(h.Sector)/float64(diskSectors)
+		hgt := ph * h.PerSec / maxV
+		y := float64(height - marginB)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1"/>`,
+			x, y, x, y-hgt)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+
+	"essio/internal/analysis"
+)
+
+func checkSVG(t *testing.T, s string) {
+	t.Helper()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(s, "</svg>") {
+		t.Fatalf("not a complete SVG document: %.80s ... %.40s", s, s[len(s)-40:])
+	}
+	if strings.Count(s, "<svg") != 1 {
+		t.Fatal("nested svg elements")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	pts := []analysis.Point{{T: 0, V: 1}, {T: 10, V: 4}, {T: 20, V: 16}}
+	s := Scatter("Figure 3. Request Size (wavelet)", "time (s)", "KB", pts)
+	checkSVG(t, s)
+	if strings.Count(s, "<circle") != 3 {
+		t.Fatalf("want 3 points, got %d", strings.Count(s, "<circle"))
+	}
+	if !strings.Contains(s, "Figure 3") {
+		t.Fatal("title missing")
+	}
+	// Empty input still yields a valid document.
+	checkSVG(t, Scatter("empty", "x", "y", nil))
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	s := Scatter("one", "x", "y", []analysis.Point{{T: 5, V: 5}})
+	checkSVG(t, s)
+	if !strings.Contains(s, "<circle") {
+		t.Fatal("single point not rendered")
+	}
+}
+
+func TestBarsSVG(t *testing.T) {
+	bands := []analysis.Band{
+		{Lo: 0, Hi: 100000, Count: 90, Pct: 90},
+		{Lo: 100000, Hi: 200000, Count: 10, Pct: 10},
+	}
+	s := Bars("Figure 7", "sector band", bands)
+	checkSVG(t, s)
+	if strings.Count(s, "<rect") < 3 { // frame + 2 bars + background
+		t.Fatalf("bars missing:\n%s", s)
+	}
+	checkSVG(t, Bars("empty", "x", nil))
+}
+
+func TestNeedlesSVG(t *testing.T) {
+	heat := []analysis.Heat{
+		{Sector: 45000, PerSec: 2.0},
+		{Sector: 990000, PerSec: 0.5},
+	}
+	s := Needles("Figure 8", heat, 1024000)
+	checkSVG(t, s)
+	if strings.Count(s, "<line") != 2 {
+		t.Fatalf("want 2 needles, got %d", strings.Count(s, "<line"))
+	}
+	checkSVG(t, Needles("empty", nil, 1024000))
+}
+
+func TestTitleEscaping(t *testing.T) {
+	s := Scatter(`a<b>&"c"`, "x", "y", nil)
+	checkSVG(t, s)
+	if strings.Contains(s, "a<b>") {
+		t.Fatal("title not escaped")
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"essio/internal/sim"
+)
+
+// WriteText writes records as tab-separated text with a header line, the
+// interchange format for spreadsheets and plotting scripts.
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s\top\tsector\tcount\tpending\tnode\torigin"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		_, err := fmt.Fprintf(bw, "%.6f\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			r.Time.Seconds(), r.Op, r.Sector, r.Count, r.Pending, r.Node, r.Origin)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// originFromString inverts Origin.String.
+func originFromString(s string) (Origin, error) {
+	for i, name := range originNames {
+		if s == name {
+			return Origin(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown origin %q", s)
+}
+
+// ReadText parses the tab-separated format produced by WriteText.
+func ReadText(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "time_s") || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 7 {
+			return recs, fmt.Errorf("trace: line %d has %d fields, want 7", line, len(f))
+		}
+		secs, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d time: %w", line, err)
+		}
+		var rec Record
+		rec.Time = sim.Time(sim.DurationOf(secs))
+		switch f[1] {
+		case "R":
+			rec.Op = Read
+		case "W":
+			rec.Op = Write
+		default:
+			return recs, fmt.Errorf("trace: line %d op %q", line, f[1])
+		}
+		sector, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d sector: %w", line, err)
+		}
+		rec.Sector = uint32(sector)
+		count, err := strconv.ParseUint(f[3], 10, 16)
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d count: %w", line, err)
+		}
+		rec.Count = uint16(count)
+		pending, err := strconv.ParseUint(f[4], 10, 16)
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d pending: %w", line, err)
+		}
+		rec.Pending = uint16(pending)
+		node, err := strconv.ParseUint(f[5], 10, 8)
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d node: %w", line, err)
+		}
+		rec.Node = uint8(node)
+		rec.Origin, err = originFromString(f[6])
+		if err != nil {
+			return recs, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, err
+	}
+	return recs, nil
+}

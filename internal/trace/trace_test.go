@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/sim"
+)
+
+func TestRecordSizes(t *testing.T) {
+	r := Record{Count: 2}
+	if r.Bytes() != 1024 {
+		t.Fatalf("Bytes = %d, want 1024", r.Bytes())
+	}
+	if r.KB() != 1 {
+		t.Fatalf("KB = %d, want 1", r.KB())
+	}
+	r.Count = 3 // 1536 B rounds up to 2 KB
+	if r.KB() != 2 {
+		t.Fatalf("KB = %d, want 2", r.KB())
+	}
+	r = Record{Sector: 100, Count: 8}
+	if r.End() != 108 {
+		t.Fatalf("End = %d, want 108", r.End())
+	}
+}
+
+func TestOpAndOriginStrings(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Op strings wrong")
+	}
+	if OriginSwap.String() != "swap" || OriginTrace.String() != "trace" {
+		t.Fatal("Origin strings wrong")
+	}
+	if Origin(200).String() == "" {
+		t.Fatal("out-of-range origin must still format")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := Record{
+		Time: sim.Time(123456789), Sector: 987654, Count: 32,
+		Pending: 7, Op: Write, Node: 13, Origin: OriginSwap,
+	}
+	var buf [RecordSize]byte
+	n := in.Marshal(buf[:])
+	if n != RecordSize {
+		t.Fatalf("Marshal wrote %d, want %d", n, RecordSize)
+	}
+	out, err := UnmarshalRecord(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := UnmarshalRecord(make([]byte, 3)); err == nil {
+		t.Fatal("want error for short record")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(tm int64, sector uint32, count, pending uint16, op bool, node uint8, origin uint8) bool {
+		in := Record{
+			Time: sim.Time(tm) & (1<<62 - 1), Sector: sector, Count: count,
+			Pending: pending, Node: node, Origin: Origin(origin % 7),
+		}
+		if op {
+			in.Op = Write
+		}
+		var buf [RecordSize]byte
+		in.Marshal(buf[:])
+		out, err := UnmarshalRecord(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadStream(t *testing.T) {
+	recs := make([]Record, 100)
+	rng := rand.New(rand.NewSource(5))
+	for i := range recs {
+		recs[i] = Record{
+			Time:   sim.Time(i * 1000),
+			Sector: rng.Uint32() % 1024000,
+			Count:  uint16(rng.Intn(64) + 1),
+			Op:     Op(rng.Intn(2)),
+			Node:   uint8(rng.Intn(16)),
+			Origin: Origin(rng.Intn(7)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 100*RecordSize {
+		t.Fatalf("stream length = %d, want %d", buf.Len(), 100*RecordSize)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("stream round trip mismatch")
+	}
+}
+
+func TestReadTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Record{{Time: 1}, {Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadAll(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("want error for truncated stream")
+	}
+}
+
+func TestMergeSortsByTime(t *testing.T) {
+	a := []Record{{Time: 10, Node: 0}, {Time: 30, Node: 0}}
+	b := []Record{{Time: 20, Node: 1}, {Time: 30, Node: 1}}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("len = %d", len(m))
+	}
+	wantTimes := []sim.Time{10, 20, 30, 30}
+	for i, r := range m {
+		if r.Time != wantTimes[i] {
+			t.Fatalf("m[%d].Time = %d, want %d", i, r.Time, wantTimes[i])
+		}
+	}
+	// Equal times break ties by node.
+	if m[2].Node != 0 || m[3].Node != 1 {
+		t.Fatalf("tie-break by node failed: %+v %+v", m[2], m[3])
+	}
+}
+
+func TestQuickMergeSorted(t *testing.T) {
+	f := func(ts1, ts2 []uint32) bool {
+		mk := func(ts []uint32, node uint8) []Record {
+			rs := make([]Record, len(ts))
+			for i, v := range ts {
+				rs[i] = Record{Time: sim.Time(v), Node: node}
+			}
+			return rs
+		}
+		m := Merge(mk(ts1, 0), mk(ts2, 1))
+		if len(m) != len(ts1)+len(ts2) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i].Time < m[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	g := NewRing(4)
+	for i := 0; i < 3; i++ {
+		g.Append(Record{Time: sim.Time(i)})
+	}
+	if g.Len() != 3 || g.Dropped() != 0 || g.Total() != 3 {
+		t.Fatalf("Len=%d Dropped=%d Total=%d", g.Len(), g.Dropped(), g.Total())
+	}
+	out := g.Drain(2)
+	if len(out) != 2 || out[0].Time != 0 || out[1].Time != 1 {
+		t.Fatalf("Drain(2) = %v", out)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after drain = %d", g.Len())
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	g := NewRing(3)
+	for i := 0; i < 5; i++ {
+		g.Append(Record{Time: sim.Time(i)})
+	}
+	if g.Dropped() != 2 || g.Total() != 5 {
+		t.Fatalf("Dropped=%d Total=%d", g.Dropped(), g.Total())
+	}
+	out := g.Drain(0)
+	if len(out) != 3 {
+		t.Fatalf("Drain all = %d records", len(out))
+	}
+	for i, r := range out {
+		if r.Time != sim.Time(i+2) {
+			t.Fatalf("out[%d].Time = %d, want %d (oldest dropped)", i, r.Time, i+2)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	g := NewRing(4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			g.Append(Record{Time: sim.Time(round*10 + i)})
+		}
+		out := g.Drain(0)
+		if len(out) != 3 {
+			t.Fatalf("round %d: drained %d", round, len(out))
+		}
+		for i, r := range out {
+			if r.Time != sim.Time(round*10+i) {
+				t.Fatalf("round %d: out[%d] = %v", round, i, r)
+			}
+		}
+	}
+	if g.Dropped() != 0 {
+		t.Fatalf("unexpected drops: %d", g.Dropped())
+	}
+}
+
+func TestRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for capacity 0")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: sim.Time(1500000), Sector: 42, Count: 2, Op: Read, Origin: OriginData}
+	s := r.String()
+	if s == "" || s[0] == ' ' {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: sim.Time(1500000), Sector: 42, Count: 2, Pending: 3, Op: Read, Node: 5, Origin: OriginSwap},
+		{Time: sim.Time(2750000), Sector: 1023999, Count: 64, Op: Write, Origin: OriginTrace},
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip:\n got %v\nwant %v", got, recs)
+	}
+}
+
+func TestReadTextSkipsHeaderAndComments(t *testing.T) {
+	in := "time_s\top\tsector\tcount\tpending\tnode\torigin\n" +
+		"# a comment\n" +
+		"\n" +
+		"1.000000\tW\t100\t2\t0\t0\tlog\n"
+	recs, err := ReadText(strings.NewReader(in))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs = %v, %v", recs, err)
+	}
+	if recs[0].Origin != OriginLog || recs[0].Op != Write {
+		t.Fatalf("rec = %+v", recs[0])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"1.0\tW\t100\n",                    // too few fields
+		"x\tW\t100\t2\t0\t0\tlog\n",        // bad time
+		"1.0\tQ\t100\t2\t0\t0\tlog\n",      // bad op
+		"1.0\tW\tfoo\t2\t0\t0\tlog\n",      // bad sector
+		"1.0\tW\t100\t2\t0\t0\tnonsense\n", // bad origin
+		"1.0\tW\t100\t2\t0\t999\tlog\n",    // node overflow
+	}
+	for i, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: want error for %q", i, in)
+		}
+	}
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(sector uint32, count, pending uint16, op bool, node uint8, origin uint8, usec uint32) bool {
+		in := Record{
+			Time: sim.Time(usec), Sector: sector, Count: count, Pending: pending,
+			Node: node, Origin: Origin(origin % 7),
+		}
+		if op {
+			in.Op = Write
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, []Record{in}); err != nil {
+			return false
+		}
+		out, err := ReadText(&buf)
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

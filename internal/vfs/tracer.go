@@ -1,0 +1,61 @@
+package vfs
+
+import (
+	"essio/internal/sim"
+)
+
+// IOEvent is one application-visible file operation — what instrumenting
+// the I/O *library* would have captured, as the studies the paper contrasts
+// itself with did. Comparing these against the driver-level trace
+// quantifies the system traffic (paging, metadata, logging, write-back)
+// that library-level instrumentation misses.
+type IOEvent struct {
+	Time  sim.Time
+	Write bool
+	Bytes int
+	Path  string
+}
+
+// Tracer receives application-level I/O events.
+type Tracer interface {
+	RecordIO(ev IOEvent)
+}
+
+// Collector is a simple Tracer that retains every event and running totals.
+type Collector struct {
+	Events     []IOEvent
+	ReadCalls  int
+	WriteCalls int
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// RecordIO implements Tracer.
+func (c *Collector) RecordIO(ev IOEvent) {
+	c.Events = append(c.Events, ev)
+	if ev.Write {
+		c.WriteCalls++
+		c.WriteBytes += int64(ev.Bytes)
+	} else {
+		c.ReadCalls++
+		c.ReadBytes += int64(ev.Bytes)
+	}
+}
+
+// Calls reports the total number of recorded operations.
+func (c *Collector) Calls() int { return c.ReadCalls + c.WriteCalls }
+
+// Reset discards all recorded events and totals.
+func (c *Collector) Reset() { *c = Collector{} }
+
+// SetTracer attaches an application-level tracer to this descriptor table;
+// nil detaches. Only explicit Read/Write/Append calls are recorded —
+// exactly the surface a C-library instrumentation sees.
+func (t *Table) SetTracer(tr Tracer) { t.tracer = tr }
+
+func (t *Table) recordIO(p *sim.Proc, f *File, write bool, n int) {
+	if t.tracer == nil || n <= 0 {
+		return
+	}
+	t.tracer.RecordIO(IOEvent{Time: p.Now(), Write: write, Bytes: n, Path: f.name})
+}

@@ -1,0 +1,276 @@
+// Package vfs provides the file-descriptor layer over extfs: open / create /
+// read / write / lseek / fsync / close with per-file sequential read-ahead.
+//
+// Read-ahead is the mechanism behind the paper's "requests approaching
+// 16 KB" during the wavelet image read: a detected sequential stream grows
+// its prefetch window block by block up to the cache's 16 KB limit, and the
+// prefetched blocks merge in the elevator into large physical requests.
+// Competing streams disturb the pattern, which is why the paper sees the
+// request size fluctuate below the full window.
+package vfs
+
+import (
+	"fmt"
+
+	"essio/internal/extfs"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// File is an open file with a seek position and read-ahead state.
+type File struct {
+	fs   *extfs.FS
+	ino  uint32
+	pos  int64
+	name string
+
+	// Sequential read detection.
+	nextSeqBlock uint32 // block we expect next if the stream is sequential
+	raWindow     int    // current read-ahead window in blocks
+	raNext       uint32 // next block not yet prefetched
+	origin       trace.Origin
+}
+
+// Table is a per-process file descriptor table.
+type Table struct {
+	fs     *extfs.FS
+	files  map[int]*File
+	next   int
+	tracer Tracer
+}
+
+// NewTable returns an empty descriptor table over fs.
+func NewTable(fs *extfs.FS) *Table {
+	return &Table{fs: fs, files: make(map[int]*File), next: 3} // 0-2 "reserved"
+}
+
+// FS returns the underlying filesystem.
+func (t *Table) FS() *extfs.FS { return t.fs }
+
+func (t *Table) install(f *File) int {
+	fd := t.next
+	t.next++
+	t.files[fd] = f
+	return fd
+}
+
+func (t *Table) file(fd int) (*File, error) {
+	f, ok := t.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("vfs: bad file descriptor %d", fd)
+	}
+	return f, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (t *Table) Open(p *sim.Proc, path string) (int, error) {
+	ino, err := t.fs.Lookup(p, path)
+	if err != nil {
+		return -1, err
+	}
+	st, err := t.fs.Stat(p, ino)
+	if err != nil {
+		return -1, err
+	}
+	if st.Mode != extfs.ModeFile {
+		return -1, fmt.Errorf("vfs: open of non-file %q", path)
+	}
+	return t.install(&File{fs: t.fs, ino: ino, name: path, origin: trace.OriginData}), nil
+}
+
+// Create creates (or truncates) a file and opens it.
+func (t *Table) Create(p *sim.Proc, path string) (int, error) {
+	return t.CreateIn(p, path, -1)
+}
+
+// CreateIn creates a file with a block-group placement hint and opens it.
+func (t *Table) CreateIn(p *sim.Proc, path string, group int) (int, error) {
+	ino, err := t.fs.Lookup(p, path)
+	if err == nil {
+		if terr := t.fs.Truncate(p, ino); terr != nil {
+			return -1, terr
+		}
+	} else {
+		ino, err = t.fs.CreateIn(p, path, group)
+		if err != nil {
+			return -1, err
+		}
+	}
+	return t.install(&File{fs: t.fs, ino: ino, name: path, origin: trace.OriginData}), nil
+}
+
+// SetOrigin overrides the trace origin tag for I/O through this descriptor
+// (the kernel's own daemons tag their files OriginLog / OriginTrace).
+func (t *Table) SetOrigin(fd int, origin trace.Origin) error {
+	f, err := t.file(fd)
+	if err != nil {
+		return err
+	}
+	f.origin = origin
+	return nil
+}
+
+// Close removes the descriptor. Data may still be dirty in the cache.
+func (t *Table) Close(fd int) error {
+	if _, ok := t.files[fd]; !ok {
+		return fmt.Errorf("vfs: close of bad descriptor %d", fd)
+	}
+	delete(t.files, fd)
+	return nil
+}
+
+// OpenCount reports how many descriptors are open.
+func (t *Table) OpenCount() int { return len(t.files) }
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Lseek repositions the file offset and returns the new position.
+func (t *Table) Lseek(p *sim.Proc, fd int, off int64, whence int) (int64, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.pos
+	case SeekEnd:
+		st, err := t.fs.Stat(p, f.ino)
+		if err != nil {
+			return 0, err
+		}
+		base = st.Size
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	np := base + off
+	if np < 0 {
+		return 0, fmt.Errorf("vfs: seek to negative offset %d", np)
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Read reads up to len(buf) bytes at the current position, advancing it.
+// Returns 0 at end of file.
+func (t *Table) Read(p *sim.Proc, fd int, buf []byte) (int, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	f.updateReadAhead(p, len(buf))
+	n, err := t.fs.ReadAt(p, f.ino, f.pos, buf, f.origin)
+	f.pos += int64(n)
+	t.recordIO(p, f, false, n)
+	return n, err
+}
+
+// updateReadAhead detects sequential streams and prefetches ahead of pos.
+func (f *File) updateReadAhead(p *sim.Proc, want int) {
+	startBlock := uint32(f.pos / extfs.BlockSize)
+	max := 0
+	if f.fs != nil {
+		max = f.maxWindow()
+	}
+	if max == 0 {
+		return
+	}
+	if startBlock == f.nextSeqBlock && f.pos != 0 || (f.pos == 0 && startBlock == 0 && f.raWindow > 0) {
+		// Sequential continuation: grow the window.
+		f.raWindow *= 2
+		if f.raWindow > max {
+			f.raWindow = max
+		}
+	} else if f.pos == 0 || startBlock != f.nextSeqBlock {
+		// Fresh or non-sequential access: modest initial window.
+		f.raWindow = 4
+		f.raNext = startBlock
+	}
+	blocksWanted := uint32((want + extfs.BlockSize - 1) / extfs.BlockSize)
+	f.nextSeqBlock = startBlock + blocksWanted
+	// Prefetch [raNext, startBlock+wanted+window).
+	target := startBlock + blocksWanted + uint32(f.raWindow)
+	if f.raNext < startBlock {
+		f.raNext = startBlock
+	}
+	if target > f.raNext {
+		_ = f.fs.PrefetchFile(p, f.ino, f.raNext, target-f.raNext, f.origin)
+		f.raNext = target
+	}
+}
+
+// maxWindow is the cache-imposed read-ahead limit in blocks.
+func (f *File) maxWindow() int { return f.fs.ReadAheadWindow() }
+
+// Write writes data at the current position, advancing it.
+func (t *Table) Write(p *sim.Proc, fd int, data []byte) (int, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.fs.WriteAt(p, f.ino, f.pos, data, f.origin)
+	f.pos += int64(n)
+	t.recordIO(p, f, true, n)
+	return n, err
+}
+
+// Append writes data at end of file regardless of the current position and
+// leaves the position after the appended bytes (O_APPEND semantics).
+func (t *Table) Append(p *sim.Proc, fd int, data []byte) (int, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	st, err := t.fs.Stat(p, f.ino)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.fs.WriteAt(p, f.ino, st.Size, data, f.origin)
+	f.pos = st.Size + int64(n)
+	t.recordIO(p, f, true, n)
+	return n, err
+}
+
+// Fsync flushes all dirty cache buffers to disk (whole-cache sync, as early
+// kernels did).
+func (t *Table) Fsync(p *sim.Proc, fd int) error {
+	if _, err := t.file(fd); err != nil {
+		return err
+	}
+	return t.fs.Sync(p)
+}
+
+// Stat stats an open descriptor.
+func (t *Table) Stat(p *sim.Proc, fd int) (extfs.Stat, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return extfs.Stat{}, err
+	}
+	return t.fs.Stat(p, f.ino)
+}
+
+// Ino exposes the inode behind a descriptor (the VM maps executables by
+// inode).
+func (t *Table) Ino(fd int) (uint32, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.ino, nil
+}
+
+// Pos reports the current file position.
+func (t *Table) Pos(fd int) (int64, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.pos, nil
+}

@@ -1,0 +1,476 @@
+// Package vm implements the node's virtual memory system: 4 KB demand
+// paging over a fixed pool of physical page frames, with file-backed pages
+// read through the buffer cache (text/initialized data) and anonymous pages
+// written to a dedicated swap partition on eviction.
+//
+// This subsystem generates the paper's 4 KB request class: every hard page
+// fault and every swap-out is one 4 KB disk request. The swap slot allocator
+// is deliberately first-fit, which concentrates swap traffic into the low
+// slots of the partition and produces the disk hot spot the paper's temporal
+// locality analysis finds near sector 45,000.
+package vm
+
+import (
+	"fmt"
+
+	"essio/internal/blockio"
+	"essio/internal/buffercache"
+	"essio/internal/extfs"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// PageSize is the page size in bytes.
+const PageSize = 4096
+
+// SectorsPerPage is how many disk sectors one page covers.
+const SectorsPerPage = PageSize / trace.SectorSize
+
+// blocksPerPage is how many buffer-cache blocks one page covers.
+const blocksPerPage = PageSize / buffercache.BlockSize
+
+// backing says where a non-resident page's contents live.
+type backing uint8
+
+const (
+	backZero backing = iota // never written: zero-fill on fault, no I/O
+	backFile                // read from the segment's file
+	backSwap                // read from its swap slot
+)
+
+// page is the per-page state.
+type page struct {
+	seg        *Segment
+	idx        int
+	resident   bool
+	dirty      bool
+	referenced bool
+	busy       bool
+	back       backing
+	swapSlot   int32
+	wq         *sim.WaitQueue
+}
+
+// Stats counts paging activity.
+type Stats struct {
+	ZeroFills  uint64 // anonymous first touches (no I/O)
+	FileFaults uint64 // 4 KB reads from files
+	SwapIns    uint64 // 4 KB reads from swap
+	SwapOuts   uint64 // 4 KB writes to swap
+	DropClean  uint64 // clean evictions (no I/O)
+	Faults     uint64 // total hard+soft faults (non-resident touches)
+}
+
+// SwapArea manages slots in the swap partition.
+type SwapArea struct {
+	startSector uint32
+	slots       int
+	used        []bool
+	inUse       int
+}
+
+// NewSwapArea returns a swap area of the given size starting at an absolute
+// disk sector.
+func NewSwapArea(startSector uint32, slots int) *SwapArea {
+	if slots <= 0 {
+		panic("vm: swap area needs at least one slot")
+	}
+	return &SwapArea{startSector: startSector, slots: slots, used: make([]bool, slots)}
+}
+
+// alloc finds a free slot first-fit; -1 when full.
+func (s *SwapArea) alloc() int32 {
+	for i, u := range s.used {
+		if !u {
+			s.used[i] = true
+			s.inUse++
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+func (s *SwapArea) release(slot int32) {
+	if slot >= 0 && s.used[slot] {
+		s.used[slot] = false
+		s.inUse--
+	}
+}
+
+// SectorOf maps a slot to its absolute disk sector.
+func (s *SwapArea) SectorOf(slot int32) uint32 {
+	return s.startSector + uint32(slot)*SectorsPerPage
+}
+
+// InUse reports the number of allocated slots.
+func (s *SwapArea) InUse() int { return s.inUse }
+
+// Slots reports the total slot count.
+func (s *SwapArea) Slots() int { return s.slots }
+
+// Pager is one node's physical memory and paging engine.
+type Pager struct {
+	e       *sim.Engine
+	q       *blockio.Queue     // swap I/O goes straight to the block layer
+	bc      *buffercache.Cache // file-backed faults go through the cache
+	fs      *extfs.FS
+	frames  int
+	free    int
+	clock   []*page // resident pages, circular scan
+	hand    int
+	swap    *SwapArea
+	waitq   *sim.WaitQueue
+	stats   Stats
+	scratch []byte
+}
+
+// NewPager builds a pager with the given number of physical frames. fs may
+// be nil if no file-backed segments will be mapped.
+func NewPager(e *sim.Engine, q *blockio.Queue, bc *buffercache.Cache, fs *extfs.FS, frames int, swap *SwapArea) *Pager {
+	if frames < 2 {
+		panic("vm: need at least 2 frames")
+	}
+	return &Pager{
+		e: e, q: q, bc: bc, fs: fs,
+		frames: frames, free: frames,
+		swap:    swap,
+		waitq:   sim.NewWaitQueue(e),
+		scratch: make([]byte, PageSize),
+	}
+}
+
+// Stats returns a copy of the paging statistics.
+func (pg *Pager) Stats() Stats { return pg.stats }
+
+// FreeFrames reports currently free physical frames.
+func (pg *Pager) FreeFrames() int { return pg.free }
+
+// Frames reports the total physical frames.
+func (pg *Pager) Frames() int { return pg.frames }
+
+// ResidentPages reports the number of resident pages.
+func (pg *Pager) ResidentPages() int { return len(pg.clock) }
+
+// AddressSpace is a process's set of mapped segments.
+type AddressSpace struct {
+	pg   *Pager
+	name string
+	segs []*Segment
+}
+
+// NewAddressSpace creates an empty address space.
+func (pg *Pager) NewAddressSpace(name string) *AddressSpace {
+	return &AddressSpace{pg: pg, name: name}
+}
+
+// Segment is a contiguous mapped region.
+type Segment struct {
+	as       *AddressSpace
+	name     string
+	pages    []*page
+	ino      uint32 // file backing (0 = anonymous)
+	offset   int64  // file offset of page 0
+	size     int
+	released bool
+}
+
+// Name returns the segment name.
+func (s *Segment) Name() string { return s.name }
+
+// Pages reports the page count.
+func (s *Segment) Pages() int { return len(s.pages) }
+
+// Size reports the mapped size in bytes.
+func (s *Segment) Size() int { return s.size }
+
+// AddAnonSegment maps size bytes of zero-fill anonymous memory (heap, bss,
+// stack).
+func (as *AddressSpace) AddAnonSegment(name string, size int) *Segment {
+	return as.addSegment(name, 0, 0, size)
+}
+
+// AddFileSegment maps size bytes of the file at ino starting at offset
+// (program text and initialized data, demand-loaded).
+func (as *AddressSpace) AddFileSegment(name string, ino uint32, offset int64, size int) *Segment {
+	return as.addSegment(name, ino, offset, size)
+}
+
+func (as *AddressSpace) addSegment(name string, ino uint32, offset int64, size int) *Segment {
+	if size <= 0 {
+		panic("vm: segment size must be positive")
+	}
+	npages := (size + PageSize - 1) / PageSize
+	s := &Segment{as: as, name: name, ino: ino, offset: offset, size: size}
+	s.pages = make([]*page, npages)
+	for i := range s.pages {
+		b := backZero
+		if ino != 0 {
+			b = backFile
+		}
+		s.pages[i] = &page{seg: s, idx: i, back: b, swapSlot: -1, wq: sim.NewWaitQueue(as.pg.e)}
+	}
+	as.segs = append(as.segs, s)
+	return s
+}
+
+// Touch accesses the page containing byte offset off. write marks it dirty.
+// A fault blocks the caller for the duration of the paging I/O.
+func (s *Segment) Touch(p *sim.Proc, off int, write bool) error {
+	if s.released {
+		return fmt.Errorf("vm: touch of released segment %q", s.name)
+	}
+	if off < 0 || off >= s.size {
+		return fmt.Errorf("vm: touch at %d outside segment %q of %d bytes", off, s.name, s.size)
+	}
+	return s.as.pg.touchPage(p, s.pages[off/PageSize], write)
+}
+
+// TouchRange accesses every page overlapping [off, off+length).
+func (s *Segment) TouchRange(p *sim.Proc, off, length int, write bool) error {
+	if length <= 0 {
+		return nil
+	}
+	first := off / PageSize
+	last := (off + length - 1) / PageSize
+	for i := first; i <= last; i++ {
+		if i < 0 || i >= len(s.pages) {
+			return fmt.Errorf("vm: range [%d,+%d) outside segment %q", off, length, s.name)
+		}
+		if err := s.as.pg.touchPage(p, s.pages[i], write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resident reports whether the page containing off is in memory (tests).
+func (s *Segment) Resident(off int) bool {
+	return s.pages[off/PageSize].resident
+}
+
+// Release unmaps every segment, freeing frames and swap slots. Busy pages
+// (paging I/O in flight) are waited out.
+func (as *AddressSpace) Release(p *sim.Proc) {
+	for _, s := range as.segs {
+		s.release(p)
+	}
+	as.pg.waitq.WakeAll()
+	as.segs = nil
+}
+
+// Release unmaps one segment (free/munmap of a large allocation), freeing
+// its frames and swap slots. Touching the segment afterwards is an error.
+func (s *Segment) Release(p *sim.Proc) {
+	s.release(p)
+	for i, seg := range s.as.segs {
+		if seg == s {
+			s.as.segs = append(s.as.segs[:i], s.as.segs[i+1:]...)
+			break
+		}
+	}
+	s.as.pg.waitq.WakeAll()
+}
+
+func (s *Segment) release(p *sim.Proc) {
+	for _, pa := range s.pages {
+		for pa.busy {
+			pa.wq.Sleep(p)
+		}
+		if pa.resident {
+			s.as.pg.removeResident(pa)
+			s.as.pg.free++
+		}
+		if pa.swapSlot >= 0 {
+			s.as.pg.swap.release(pa.swapSlot)
+			pa.swapSlot = -1
+		}
+		pa.resident = false
+		pa.dirty = false
+	}
+	s.released = true
+}
+
+// touchPage is the fault handler.
+func (pg *Pager) touchPage(p *sim.Proc, pa *page, write bool) error {
+	for pa.busy {
+		pa.wq.Sleep(p)
+	}
+	if pa.resident {
+		pa.referenced = true
+		if write {
+			pa.dirty = true
+		}
+		return nil
+	}
+	pg.stats.Faults++
+	pa.busy = true
+	err := pg.pageIn(p, pa)
+	pa.busy = false
+	pa.wq.WakeAll()
+	if err != nil {
+		return err
+	}
+	pa.resident = true
+	pa.referenced = true
+	pa.dirty = write
+	pg.addResident(pa)
+	return nil
+}
+
+// pageIn obtains a frame and loads the page contents.
+func (pg *Pager) pageIn(p *sim.Proc, pa *page) error {
+	if err := pg.getFrame(p); err != nil {
+		return err
+	}
+	switch pa.back {
+	case backZero:
+		pg.stats.ZeroFills++
+		return nil
+	case backFile:
+		pg.stats.FileFaults++
+		return pg.readFilePage(p, pa)
+	case backSwap:
+		pg.stats.SwapIns++
+		sector := pg.swap.SectorOf(pa.swapSlot)
+		done, err := pg.q.Submit(sector, pg.scratch, false, trace.OriginSwap)
+		if err != nil {
+			pg.free++
+			return err
+		}
+		if err := done.Wait(p); err != nil {
+			pg.free++
+			return err
+		}
+		// Early-Linux style: the swap slot is released on swap-in and
+		// re-allocated at the next swap-out.
+		pg.swap.release(pa.swapSlot)
+		pa.swapSlot = -1
+		pa.back = backZero
+		return nil
+	}
+	return fmt.Errorf("vm: unknown backing %d", pa.back)
+}
+
+// readFilePage reads one page from the segment's file through the buffer
+// cache. The blocks are prefetched in one burst so contiguous blocks merge
+// into a single 4 KB physical request.
+func (pg *Pager) readFilePage(p *sim.Proc, pa *page) error {
+	if pg.fs == nil {
+		return fmt.Errorf("vm: file-backed segment %q without filesystem", pa.seg.name)
+	}
+	off := pa.seg.offset + int64(pa.idx)*PageSize
+	fileBlock := uint32(off / buffercache.BlockSize)
+	if err := pg.fs.PrefetchFile(p, pa.seg.ino, fileBlock, blocksPerPage, trace.OriginPaging); err != nil {
+		pg.free++
+		return err
+	}
+	n := pa.seg.size - pa.idx*PageSize
+	if n > PageSize {
+		n = PageSize
+	}
+	if _, err := pg.fs.ReadAt(p, pa.seg.ino, off, pg.scratch[:n], trace.OriginPaging); err != nil {
+		pg.free++
+		return err
+	}
+	return nil
+}
+
+// getFrame secures one free frame, evicting via the clock algorithm when
+// none are free.
+func (pg *Pager) getFrame(p *sim.Proc) error {
+	for pg.free == 0 {
+		if err := pg.evictOne(p); err != nil {
+			return err
+		}
+	}
+	pg.free--
+	return nil
+}
+
+// evictOne runs the clock (second chance) scan and evicts one page.
+func (pg *Pager) evictOne(p *sim.Proc) error {
+	if len(pg.clock) == 0 {
+		// All frames are transiently held by in-flight faults; wait.
+		pg.waitq.Sleep(p)
+		return nil
+	}
+	// Bounded sweep: after two full passes everything has lost its
+	// reference bit, so the scan must find a victim.
+	for sweep := 0; sweep < 2*len(pg.clock)+1; sweep++ {
+		if pg.hand >= len(pg.clock) {
+			pg.hand = 0
+		}
+		pa := pg.clock[pg.hand]
+		if pa.busy {
+			pg.hand++
+			continue
+		}
+		if pa.referenced {
+			pa.referenced = false
+			pg.hand++
+			continue
+		}
+		// Victim found.
+		if !pa.dirty {
+			pg.stats.DropClean++
+			pg.removeResident(pa)
+			pa.resident = false
+			pg.free++
+			pg.waitq.WakeAll()
+			return nil
+		}
+		return pg.swapOut(p, pa)
+	}
+	// Everything busy: wait for some I/O to finish.
+	pg.waitq.Sleep(p)
+	return nil
+}
+
+// swapOut writes a dirty page to swap and frees its frame.
+func (pg *Pager) swapOut(p *sim.Proc, pa *page) error {
+	if pg.swap == nil {
+		return fmt.Errorf("vm: dirty page in %q with no swap configured", pa.seg.name)
+	}
+	slot := pg.swap.alloc()
+	if slot < 0 {
+		return fmt.Errorf("vm: out of swap space (%d slots)", pg.swap.Slots())
+	}
+	pa.busy = true
+	done, err := pg.q.Submit(pg.swap.SectorOf(slot), pg.scratch, true, trace.OriginSwap)
+	if err == nil {
+		err = done.Wait(p)
+	}
+	pa.busy = false
+	pa.wq.WakeAll()
+	if err != nil {
+		pg.swap.release(slot)
+		return err
+	}
+	pg.stats.SwapOuts++
+	pa.swapSlot = slot
+	pa.back = backSwap
+	pa.dirty = false
+	pg.removeResident(pa)
+	pa.resident = false
+	pg.free++
+	pg.waitq.WakeAll()
+	return nil
+}
+
+// addResident inserts a page into the clock list.
+func (pg *Pager) addResident(pa *page) {
+	pg.clock = append(pg.clock, pa)
+}
+
+// removeResident deletes a page from the clock list.
+func (pg *Pager) removeResident(pa *page) {
+	for i, q := range pg.clock {
+		if q == pa {
+			pg.clock = append(pg.clock[:i], pg.clock[i+1:]...)
+			if pg.hand > i {
+				pg.hand--
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/blockio"
+	"essio/internal/buffercache"
+	"essio/internal/disk"
+	"essio/internal/driver"
+	"essio/internal/extfs"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+type rig struct {
+	e         *sim.Engine
+	q         *blockio.Queue
+	ring      *trace.Ring
+	bc        *buffercache.Cache
+	fs        *extfs.FS
+	pg        *Pager
+	pagerDisk *disk.Disk
+}
+
+// newRig builds a pager with the given frame count over a real disk stack.
+func newRig(t *testing.T, frames int, withFS bool) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	t.Cleanup(e.Close)
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e)
+	ring := trace.NewRing(1 << 18)
+	drv := driver.New(e, d, q, 0, ring)
+	drv.SetLevel(driver.LevelFull)
+	bc := buffercache.New(e, q, 1024)
+	r := &rig{e: e, q: q, ring: ring, bc: bc, pagerDisk: d}
+	if withFS {
+		e.Spawn("mkfs", func(p *sim.Proc) {
+			fs, err := extfs.Mkfs(p, bc, 0, 2*extfs.BlocksPerGroup)
+			if err != nil {
+				t.Errorf("mkfs: %v", err)
+				return
+			}
+			r.fs = fs
+		})
+		e.RunUntilIdle()
+		ring.Drain(0) // discard mkfs traffic
+	}
+	swap := NewSwapArea(900000, 2048) // 8 MB swap high on the disk
+	r.pg = NewPager(e, q, bc, r.fs, frames, swap)
+	return r
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.e.Spawn("test", fn)
+	r.e.RunUntilIdle()
+}
+
+// countOrigin tallies drained trace records by origin.
+func countOrigin(recs []trace.Record) map[trace.Origin]int {
+	m := map[trace.Origin]int{}
+	for _, rec := range recs {
+		m[rec.Origin]++
+	}
+	return m
+}
+
+func TestZeroFillNoIO(t *testing.T) {
+	r := newRig(t, 64, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 10*PageSize)
+		for i := 0; i < 10; i++ {
+			if err := seg.Touch(p, i*PageSize, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n := len(r.ring.Drain(0)); n != 0 {
+		t.Fatalf("zero-fill generated %d disk requests, want 0", n)
+	}
+	s := r.pg.Stats()
+	if s.ZeroFills != 10 || s.Faults != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestResidentTouchIsFree(t *testing.T) {
+	r := newRig(t, 64, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", PageSize)
+		for i := 0; i < 100; i++ {
+			if err := seg.Touch(p, 0, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if s := r.pg.Stats(); s.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", s.Faults)
+	}
+}
+
+func TestSwapOutProducesPageSizedWrites(t *testing.T) {
+	// 8 frames, 16 dirty pages: must swap, each I/O exactly 4 KB.
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 16*PageSize)
+		for i := 0; i < 16; i++ {
+			if err := seg.Touch(p, i*PageSize, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	recs := r.ring.Drain(0)
+	if len(recs) == 0 {
+		t.Fatal("no swap traffic despite memory pressure")
+	}
+	for _, rec := range recs {
+		if rec.Origin != trace.OriginSwap {
+			t.Fatalf("unexpected origin %v", rec.Origin)
+		}
+		if rec.Op != trace.Write {
+			t.Fatalf("first pass should only swap out, got %v", rec)
+		}
+		if rec.KB() != 4 {
+			t.Fatalf("swap request = %d KB, want 4", rec.KB())
+		}
+	}
+	if s := r.pg.Stats(); s.SwapOuts == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestThrashingSwapsInAndOut(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 16*PageSize)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 16; i++ {
+				if err := seg.Touch(p, i*PageSize, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	s := r.pg.Stats()
+	if s.SwapIns == 0 || s.SwapOuts == 0 {
+		t.Fatalf("stats = %+v; want both swap directions", s)
+	}
+	recs := r.ring.Drain(0)
+	reads, writes := 0, 0
+	for _, rec := range recs {
+		if rec.Op == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+}
+
+func TestCleanPagesDropWithoutIO(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 32*PageSize)
+		// Read-only touches: pages are clean, eviction must be free.
+		for i := 0; i < 32; i++ {
+			if err := seg.Touch(p, i*PageSize, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n := len(r.ring.Drain(0)); n != 0 {
+		t.Fatalf("clean eviction generated %d I/Os", n)
+	}
+	if s := r.pg.Stats(); s.DropClean == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClockPrefersUnreferenced(t *testing.T) {
+	r := newRig(t, 4, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 8*PageSize)
+		// Fill memory with pages 0-3.
+		for i := 0; i < 4; i++ {
+			if err := seg.Touch(p, i*PageSize, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// First eviction round clears every reference bit and evicts
+		// one page (all were equally referenced — clock cannot tell
+		// them apart yet).
+		if err := seg.Touch(p, 4*PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+		// Now give page 1 a second chance by re-referencing it...
+		if !seg.Resident(1 * PageSize) {
+			t.Skip("page 1 was the first-round victim; scenario needs it resident")
+		}
+		if err := seg.Touch(p, 1*PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+		// ...and fault in another page. The victim must be one of the
+		// unreferenced pages, never the freshly referenced page 1.
+		if err := seg.Touch(p, 5*PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+		if !seg.Resident(1 * PageSize) {
+			t.Fatal("referenced page evicted while unreferenced pages were available")
+		}
+	})
+}
+
+func TestFileBackedFaultReadsFromFile(t *testing.T) {
+	r := newRig(t, 64, true)
+	var ino uint32
+	r.run(t, func(p *sim.Proc) {
+		var err error
+		ino, err = r.fs.Create(p, "/prog")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 8*PageSize), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Fault through a cold buffer cache so paging must hit the disk:
+	// remount on a fresh stack over the same platters.
+	q2 := blockio.New(r.e)
+	ring2 := trace.NewRing(1 << 16)
+	drv2 := driver.New(r.e, r.pagerDisk, q2, 0, ring2)
+	drv2.SetLevel(driver.LevelFull)
+	bc2 := buffercache.New(r.e, q2, 1024)
+	r.run(t, func(p *sim.Proc) {
+		fs2, err := extfs.Mount(p, bc2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg2 := NewPager(r.e, q2, bc2, fs2, 64, NewSwapArea(900000, 256))
+		ring2.Drain(0) // drop mount traffic
+		as := pg2.NewAddressSpace("a")
+		text := as.AddFileSegment("text", ino, 0, 8*PageSize)
+		for i := 0; i < 8; i++ {
+			if err := text.Touch(p, i*PageSize, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s := pg2.Stats(); s.FileFaults != 8 {
+			t.Errorf("FileFaults = %d, want 8", s.FileFaults)
+		}
+	})
+	recs := ring2.Drain(0)
+	if len(recs) == 0 {
+		t.Fatal("no paging I/O for file-backed faults")
+	}
+	// Metadata reads (inode table, bitmaps) are expected on a cold cache;
+	// everything else must be paging reads, and contiguously allocated
+	// file blocks must arrive as 4 KB requests.
+	four := 0
+	for _, rec := range recs {
+		if rec.Origin == trace.OriginMeta {
+			continue
+		}
+		if rec.Origin != trace.OriginPaging || rec.Op != trace.Read {
+			t.Fatalf("unexpected record %v", rec)
+		}
+		if rec.KB() == 4 {
+			four++
+		}
+	}
+	if four == 0 {
+		t.Fatalf("no 4 KB paging requests observed: %v", recs)
+	}
+}
+
+func TestFileFaultHitsBufferCache(t *testing.T) {
+	r := newRig(t, 64, true)
+	var ino uint32
+	r.run(t, func(p *sim.Proc) {
+		var err error
+		ino, err = r.fs.Create(p, "/prog")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.WriteAt(p, ino, 0, make([]byte, 2*PageSize), trace.OriginData); err != nil {
+			t.Fatal(err)
+		}
+		// Do not sync: contents are still in the buffer cache, so the
+		// fault should be served without disk reads.
+	})
+	r.ring.Drain(0)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		text := as.AddFileSegment("text", ino, 0, 2*PageSize)
+		if err := text.TouchRange(p, 0, 2*PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, rec := range r.ring.Drain(0) {
+		if rec.Op == trace.Read {
+			t.Fatalf("cache-resident file fault caused a disk read: %v", rec)
+		}
+	}
+}
+
+func TestSwapSlotReuseCreatesHotSpot(t *testing.T) {
+	r := newRig(t, 4, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 12*PageSize)
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < 12; i++ {
+				if err := seg.Touch(p, i*PageSize, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	// First-fit slot allocation keeps swap traffic near the area start.
+	recs := r.ring.Drain(0)
+	maxSector := uint32(0)
+	for _, rec := range recs {
+		if rec.Sector > maxSector {
+			maxSector = rec.Sector
+		}
+	}
+	areaStart := uint32(900000)
+	if maxSector >= areaStart+uint32(64*SectorsPerPage) {
+		t.Fatalf("swap traffic spread to sector %d; first-fit should stay near %d", maxSector, areaStart)
+	}
+	if r.pg.swapAreaInUse() > 12 {
+		t.Fatalf("slots in use = %d, want <= working set", r.pg.swapAreaInUse())
+	}
+}
+
+// swapAreaInUse is a test hook.
+func (pg *Pager) swapAreaInUse() int { return pg.swap.InUse() }
+
+func TestReleaseFreesEverything(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 16*PageSize)
+		for i := 0; i < 16; i++ {
+			if err := seg.Touch(p, i*PageSize, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		as.Release(p)
+	})
+	if r.pg.FreeFrames() != r.pg.Frames() {
+		t.Fatalf("FreeFrames = %d, want all %d back", r.pg.FreeFrames(), r.pg.Frames())
+	}
+	if r.pg.swapAreaInUse() != 0 {
+		t.Fatalf("swap slots leaked: %d", r.pg.swapAreaInUse())
+	}
+	if r.pg.ResidentPages() != 0 {
+		t.Fatalf("resident pages leaked: %d", r.pg.ResidentPages())
+	}
+}
+
+func TestTwoAddressSpacesCompete(t *testing.T) {
+	r := newRig(t, 8, false)
+	done := 0
+	r.e.Spawn("a", func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 8*PageSize)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 8; i++ {
+				if err := seg.Touch(p, i*PageSize, true); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		done++
+	})
+	r.e.Spawn("b", func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("b")
+		seg := as.AddAnonSegment("heap", 8*PageSize)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 8; i++ {
+				if err := seg.Touch(p, i*PageSize, true); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		done++
+	})
+	r.e.RunUntilIdle()
+	if done != 2 {
+		t.Fatalf("done = %d; paging under competition deadlocked?", done)
+	}
+	if s := r.pg.Stats(); s.SwapOuts == 0 {
+		t.Fatalf("no swapping under 2x overcommit: %+v", s)
+	}
+}
+
+func TestTouchOutOfRange(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", PageSize)
+		if err := seg.Touch(p, PageSize, false); err == nil {
+			t.Error("want error touching past segment end")
+		}
+		if err := seg.Touch(p, -1, false); err == nil {
+			t.Error("want error for negative offset")
+		}
+		if err := seg.TouchRange(p, 0, 2*PageSize, false); err == nil {
+			t.Error("want error for range past end")
+		}
+	})
+}
+
+func TestOutOfSwapFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	d := disk.New(e, disk.DefaultParams())
+	q := blockio.New(e)
+	drv := driver.New(e, d, q, 0, trace.NewRing(4096))
+	drv.SetLevel(driver.LevelOff)
+	bc := buffercache.New(e, q, 64)
+	pg := NewPager(e, q, bc, nil, 2, NewSwapArea(900000, 2))
+	var firstErr error
+	e.Spawn("t", func(p *sim.Proc) {
+		as := pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("heap", 16*PageSize)
+		for i := 0; i < 16; i++ {
+			if err := seg.Touch(p, i*PageSize, true); err != nil {
+				firstErr = err
+				return
+			}
+		}
+	})
+	e.RunUntilIdle()
+	if firstErr == nil {
+		t.Fatal("want out-of-swap error")
+	}
+}
+
+func TestPagerPanicsOnTinyConfig(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for frames < 2")
+		}
+	}()
+	NewPager(e, blockio.New(e), nil, nil, 1, nil)
+}
+
+// Property: under random touch/release sequences the pager's frame
+// accounting never leaks — free + resident always equals the total, no page
+// is both resident and swap-backed, and releasing everything restores all
+// frames and swap slots.
+func TestQuickPagerInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := sim.NewEngine(31)
+		defer e.Close()
+		d := disk.New(e, disk.DefaultParams())
+		q := blockio.New(e)
+		drv := driver.New(e, d, q, 0, trace.NewRing(1<<14))
+		drv.SetLevel(driver.LevelOff)
+		bc := buffercache.New(e, q, 64)
+		pg := NewPager(e, q, bc, nil, 16, NewSwapArea(900000, 512))
+		ok := true
+		e.Spawn("t", func(p *sim.Proc) {
+			as := pg.NewAddressSpace("q")
+			segs := []*Segment{
+				as.AddAnonSegment("a", 12*PageSize),
+				as.AddAnonSegment("b", 12*PageSize),
+			}
+			n := len(ops)
+			if n > 80 {
+				n = 80
+			}
+			for i := 0; i < n; i++ {
+				op := ops[i]
+				seg := segs[int(op)%len(segs)]
+				page := (int(op) / 2) % 12
+				if err := seg.Touch(p, page*PageSize, op%3 == 0); err != nil {
+					ok = false
+					return
+				}
+				if pg.FreeFrames()+pg.ResidentPages() != pg.Frames() {
+					ok = false
+					return
+				}
+			}
+			as.Release(p)
+			if pg.FreeFrames() != pg.Frames() || pg.ResidentPages() != 0 {
+				ok = false
+			}
+			if pg.swapAreaInUse() != 0 {
+				ok = false
+			}
+		})
+		e.RunUntilIdle()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentReleaseThenTouchFails(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.run(t, func(p *sim.Proc) {
+		as := r.pg.NewAddressSpace("a")
+		seg := as.AddAnonSegment("x", 4*PageSize)
+		if err := seg.TouchRange(p, 0, 4*PageSize, true); err != nil {
+			t.Fatal(err)
+		}
+		before := r.pg.FreeFrames()
+		seg.Release(p)
+		if r.pg.FreeFrames() != before+4 {
+			t.Fatalf("FreeFrames %d -> %d; release must return 4 frames", before, r.pg.FreeFrames())
+		}
+		if err := seg.Touch(p, 0, false); err == nil {
+			t.Fatal("touch of released segment must fail")
+		}
+		// Remaining segments in the AS stay usable.
+		other := as.AddAnonSegment("y", PageSize)
+		if err := other.Touch(p, 0, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
