@@ -34,9 +34,12 @@ import (
 )
 
 // runExperiment executes one full-scale experiment per benchmark iteration
-// and reports Table 1 metrics.
+// and reports Table 1 metrics, allocation counts, and the number of trace
+// records resident in memory at once (per-node buffers plus the merged
+// copy) — the quantity the streaming pipeline exists to bound.
 func runExperiment(b *testing.B, cfg essio.Config) *essio.Result {
 	b.Helper()
+	b.ReportAllocs()
 	var res *essio.Result
 	for i := 0; i < b.N; i++ {
 		r, err := essio.Run(cfg)
@@ -51,7 +54,19 @@ func runExperiment(b *testing.B, cfg essio.Config) *essio.Result {
 	b.ReportMetric(s.ReqPerSec, "req/s/disk")
 	b.ReportMetric(s.TotalPerDisk, "total/disk")
 	b.ReportMetric(res.Duration.Seconds(), "virtsec")
+	b.ReportMetric(recordsResident(res), "records-resident")
 	return res
+}
+
+// recordsResident counts the trace records a Result holds in memory: the
+// per-node capture buffers plus the materialized merged view. A consumer
+// that analyzes through Result.Source() instead of Merged halves this.
+func recordsResident(res *essio.Result) float64 {
+	n := len(res.Merged)
+	for _, t := range res.PerNode {
+		n += len(t)
+	}
+	return float64(n)
 }
 
 func reportClasses(b *testing.B, res *essio.Result) {
@@ -468,5 +483,84 @@ func BenchmarkReplayThroughput(b *testing.B) {
 		if _, err := replay.Replay(recs, replay.Config{ClosedLoop: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Streaming pipeline benchmarks -----------------------------------------
+//
+// These quantify the memory win of the Source/Sink path: the batch variants
+// materialize a merged slice before analyzing, while the streaming variants
+// hold one buffered record per input and fold each record into accumulators
+// as it is produced.
+
+// benchTraces builds nNodes per-node traces of perNode records each, sorted
+// by time within each node like real driver captures.
+func benchTraces(nNodes, perNode int) [][]trace.Record {
+	traces := make([][]trace.Record, nNodes)
+	for n := range traces {
+		recs := make([]trace.Record, perNode)
+		for i := range recs {
+			recs[i] = trace.Record{
+				Time:   sim.Time(i*nNodes+n) * sim.Time(sim.Millisecond),
+				Node:   uint8(n),
+				Sector: uint32((i * 64) % 200000),
+				Count:  uint16(2 + i%8),
+				Op:     trace.Op(i % 2),
+				Origin: trace.OriginData,
+			}
+		}
+		traces[n] = recs
+	}
+	return traces
+}
+
+func BenchmarkMergeBatch(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := trace.Merge(traces...)
+		if len(merged) != 16*4096 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+func BenchmarkMergeStreaming(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		sink := trace.SinkFunc(func(trace.Record) error { n++; return nil })
+		if _, err := trace.Copy(sink, trace.MergeSlices(traces...)); err != nil {
+			b.Fatal(err)
+		}
+		if n != 16*4096 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+func BenchmarkCharacterizeBatch(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	merged := trace.Merge(traces...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = essio.Characterize("bench", merged, 70*sim.Second, 16, 4194304)
+	}
+}
+
+func BenchmarkCharacterizeStreaming(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := essio.NewProfiler("bench", 70*sim.Second, 16, 4194304)
+		if _, err := trace.Copy(p, trace.MergeSlices(traces...)); err != nil {
+			b.Fatal(err)
+		}
+		_ = p.Profile()
 	}
 }

@@ -1,5 +1,7 @@
 // Command essanalyze computes the study's characterization metrics from a
-// binary trace file written by esstrace.
+// binary trace file written by esstrace. The file is decoded incrementally
+// and every requested metric is an accumulator fed from the same single
+// pass, so traces of any length are processed in bounded memory.
 //
 // Usage:
 //
@@ -34,32 +36,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "essanalyze: -i is required")
 		os.Exit(2)
 	}
+	if *format != "bin" && *format != "text" {
+		fmt.Fprintf(os.Stderr, "essanalyze: unknown -format %q (want bin or text)\n", *format)
+		os.Exit(2)
+	}
 	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essanalyze:", err)
 		os.Exit(1)
 	}
-	var recs []essio.Record
+	defer f.Close()
+	var src essio.TraceSource
 	if *format == "text" {
-		recs, err = essio.ReadTraceText(f)
+		src = essio.NewTraceTextReader(f)
 	} else {
-		recs, err = essio.ReadTrace(f)
+		src = essio.NewTraceReader(f)
 	}
-	f.Close()
+
+	// One streaming pass feeds every requested accumulator at once; the
+	// trace is never resident in memory.
+	sum := essio.NewSummaryAcc(*label, 0, *nodes)
+	sinks := []essio.TraceSink{sum}
+	var histAcc *essio.SizeHistAcc
+	if *hist {
+		histAcc = essio.NewSizeHistAcc()
+		sinks = append(sinks, histAcc)
+	}
+	var bandsAcc *essio.BandsAcc
+	if *spatial {
+		bandsAcc = essio.NewBandsAcc(100000, uint32(*diskSectors))
+		sinks = append(sinks, bandsAcc)
+	}
+	var heatAcc *essio.HeatAcc
+	var interAcc *essio.InterAccessAcc
+	if *temporal {
+		heatAcc = essio.NewHeatAcc()
+		interAcc = essio.NewInterAccessAcc()
+		sinks = append(sinks, heatAcc, interAcc)
+	}
+	var pendAcc *essio.PendingAcc
+	if *queue {
+		pendAcc = essio.NewPendingAcc()
+		sinks = append(sinks, pendAcc)
+	}
+	var origAcc *essio.OriginAcc
+	if *origins {
+		origAcc = essio.NewOriginAcc()
+		sinks = append(sinks, origAcc)
+	}
+
+	n, err := essio.CopyTrace(essio.TeeSinks(sinks...), src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essanalyze:", err)
 		os.Exit(1)
 	}
-	if len(recs) == 0 {
+	if n == 0 {
 		fmt.Println("empty trace")
 		return
 	}
-	duration := recs[len(recs)-1].Time - recs[0].Time
-	s := essio.Summarize(*label, recs, essio.Duration(duration), *nodes)
-	fmt.Println(s)
+	duration := sum.Span()
+	sum.SetDuration(duration)
+	fmt.Println(sum.Summary())
 
 	if *hist {
-		h := essio.SizeHistogram(recs)
+		h := histAcc.Histogram()
 		sizes := make([]int, 0, len(h))
 		for kb := range h {
 			sizes = append(sizes, kb)
@@ -71,7 +111,7 @@ func main() {
 		}
 	}
 	if *spatial {
-		bands := essio.SpatialBands(recs, 100000, uint32(*diskSectors))
+		bands := bandsAcc.Bands()
 		fmt.Println("spatial locality (100K-sector bands):")
 		for _, b := range bands {
 			if b.Count > 0 {
@@ -81,25 +121,22 @@ func main() {
 		fmt.Printf("  80%% of requests in %.0f%% of bands\n", 100*essio.Pareto(bands, 0.8))
 	}
 	if *temporal {
-		heat := essio.TemporalHeat(recs, essio.Duration(duration))
+		heat := heatAcc.Heat(duration)
 		fmt.Println("hottest sectors:")
 		for _, h := range essio.Hottest(heat, 10) {
 			fmt.Printf("  sector %7d: %6d accesses (%.3f/s)\n", h.Sector, h.Count, h.PerSec)
 		}
-		mean, sectors := essio.InterAccess(recs)
+		mean, sectors := interAcc.Result()
 		fmt.Printf("  mean inter-access time %.2fs over %d revisited sectors\n", mean.Seconds(), sectors)
 	}
 	if *queue {
-		q := essio.PendingStats(recs)
+		q := pendAcc.Stats()
 		fmt.Printf("driver queue: mean depth %.2f, max %d, busy on %.0f%% of issues\n",
 			q.MeanPending, q.MaxPending, 100*q.BusyFrac)
 	}
 	if *origins {
 		fmt.Println("origins:")
-		counts := map[essio.Origin]int{}
-		for _, r := range recs {
-			counts[r.Origin]++
-		}
+		counts := origAcc.Breakdown()
 		keys := make([]int, 0, len(counts))
 		for o := range counts {
 			keys = append(keys, int(o))

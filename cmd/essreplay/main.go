@@ -36,7 +36,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "essreplay:", err)
 		os.Exit(1)
 	}
-	recs, err := essio.ReadTrace(f)
+	// Replay needs the request sequence, so collect it from the
+	// incremental decoder in one streaming pass.
+	recs, err := essio.CollectTrace(essio.NewTraceReader(f))
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essreplay:", err)

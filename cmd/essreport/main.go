@@ -88,14 +88,22 @@ func main() {
 	if *table1 {
 		kinds = []essio.Kind{essio.Baseline, essio.PPM, essio.Wavelet, essio.NBody}
 	}
-	results := map[essio.Kind]*essio.Result{}
-	for _, k := range kinds {
-		res, err := runOne(k, *nodes, *seed, *small)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "essreport:", err)
-			os.Exit(1)
+	// The experiments are independent deterministic simulations, so they
+	// run concurrently on a worker pool.
+	fmt.Fprintf(os.Stderr, "running %d experiments concurrently (%d nodes each)...\n", len(kinds), *nodes)
+	results, err := essio.RunAll(kinds, func(k essio.Kind) essio.Config {
+		var cfg essio.Config
+		if *small {
+			cfg = essio.SmallConfig(k, *nodes)
+		} else {
+			cfg = essio.Config{Kind: k, Nodes: *nodes}
 		}
-		results[k] = res
+		cfg.Seed = *seed
+		return cfg
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essreport:", err)
+		os.Exit(1)
 	}
 
 	fmt.Println(essio.Table1(results))

@@ -42,41 +42,56 @@ func main() {
 	s := essio.Summarize(*kind, res.Merged, res.Duration, res.Nodes)
 	fmt.Println(s)
 
+	// Trace files are written by streaming the k-way per-node merge
+	// through an incremental encoder — no second merged copy in memory.
 	if *out != "" {
-		f, err := os.Create(*out)
+		n, err := writeStream(*out, res, func(f *os.File) flushSink {
+			return essio.NewTraceWriter(f)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esstrace:", err)
 			os.Exit(1)
 		}
-		if err := essio.WriteTrace(f, res.Merged); err != nil {
-			fmt.Fprintln(os.Stderr, "esstrace:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "esstrace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d records to %s\n", len(res.Merged), *out)
+		fmt.Printf("wrote %d records to %s\n", n, *out)
 	}
 	if *outText != "" {
-		f, err := os.Create(*outText)
+		n, err := writeStream(*outText, res, func(f *os.File) flushSink {
+			return essio.NewTraceTextWriter(f)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esstrace:", err)
 			os.Exit(1)
 		}
-		if err := essio.WriteTraceText(f, res.Merged); err != nil {
-			fmt.Fprintln(os.Stderr, "esstrace:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "esstrace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d records to %s (text)\n", len(res.Merged), *outText)
+		fmt.Printf("wrote %d records to %s (text)\n", n, *outText)
 	}
 	if *text {
 		for _, r := range res.Merged {
 			fmt.Println(r)
 		}
 	}
+}
+
+// flushSink is a streaming encoder: a record sink with a final flush.
+type flushSink interface {
+	essio.TraceSink
+	Flush() error
+}
+
+// writeStream creates path and pumps the result's streaming trace view
+// through the encoder mk builds over the file.
+func writeStream(path string, res *essio.Result, mk func(*os.File) flushSink) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sink := mk(f)
+	n, err := essio.CopyTrace(sink, res.Source())
+	if err != nil {
+		return n, err
+	}
+	if err := sink.Flush(); err != nil {
+		return n, err
+	}
+	return n, f.Close()
 }

@@ -69,9 +69,26 @@ func SmallConfig(kind Kind, nodes int) Config { return experiment.SmallConfig(ki
 // Repeated aggregates one experiment across several seeds.
 type Repeated = experiment.Repeated
 
-// RunSeeds executes cfg once per seed and aggregates Table 1 metrics.
+// RunSeeds executes cfg once per seed on a bounded worker pool (seeds run
+// concurrently; results and aggregates are in seed order) and aggregates
+// Table 1 metrics.
 func RunSeeds(cfg Config, seeds []int64) (*Repeated, error) {
 	return experiment.RunSeeds(cfg, seeds)
+}
+
+// IndexedError reports which config of a concurrent batch failed.
+type IndexedError = experiment.IndexedError
+
+// RunConcurrent executes several experiment configs on a bounded worker
+// pool and returns results in input order; the lowest-index failure wins.
+func RunConcurrent(cfgs []Config, workers int) ([]*Result, error) {
+	return experiment.RunConcurrent(cfgs, workers)
+}
+
+// RunAll executes one experiment per kind concurrently and returns the
+// results keyed by kind; mk builds the config for each kind.
+func RunAll(kinds []Kind, mk func(Kind) Config) (map[Kind]*Result, error) {
+	return experiment.RunAll(kinds, mk)
 }
 
 // Table1 renders the paper's Table 1 from a set of experiment results.
@@ -166,6 +183,79 @@ var (
 	ReadTrace      = trace.ReadAll
 	WriteTraceText = trace.WriteText
 	ReadTraceText  = trace.ReadText
+)
+
+// Streaming trace pipeline: pull Sources, push Sinks, and incremental
+// analysis accumulators. One pass over a Source — a trace file, a k-way
+// node merge, a Result view — can feed any number of accumulators through
+// TeeSinks, in bounded memory regardless of trace length.
+type (
+	// TraceSource is a pull iterator over trace records (io.EOF ends it).
+	TraceSource = trace.Source
+	// TraceSink is a push consumer of trace records.
+	TraceSink = trace.Sink
+	// TraceCollector is a Sink materializing the stream as a slice.
+	TraceCollector = trace.Collector
+	// TraceWriter is the streaming binary encoder (a Sink; call Flush).
+	TraceWriter = trace.Writer
+	// TraceTextWriter is the streaming text encoder (a Sink; call Flush).
+	TraceTextWriter = trace.TextWriter
+
+	// SummaryAcc incrementally builds a Table 1 row.
+	SummaryAcc = analysis.SummaryAcc
+	// SizeHistAcc incrementally counts requests per KB class.
+	SizeHistAcc = analysis.SizeHistAcc
+	// SizeClassAcc incrementally buckets the paper's size categories.
+	SizeClassAcc = analysis.SizeClassAcc
+	// OriginAcc incrementally counts ground-truth origins.
+	OriginAcc = analysis.OriginAcc
+	// BandsAcc incrementally builds the spatial-locality bands.
+	BandsAcc = analysis.BandsAcc
+	// HeatAcc incrementally counts per-sector accesses.
+	HeatAcc = analysis.HeatAcc
+	// InterAccessAcc incrementally averages same-sector revisit gaps.
+	InterAccessAcc = analysis.InterAccessAcc
+	// PendingAcc incrementally summarizes driver queue depth.
+	PendingAcc = analysis.PendingAcc
+	// Profiler incrementally builds a complete workload Profile.
+	Profiler = core.Profiler
+)
+
+// Streaming constructors and pipeline plumbing.
+var (
+	// NewTraceReader decodes the binary format one record per Next.
+	NewTraceReader = trace.NewReader
+	// NewTraceWriter encodes the binary format incrementally.
+	NewTraceWriter = trace.NewWriter
+	// NewTraceTextReader parses the tab-separated format incrementally.
+	NewTraceTextReader = trace.NewTextReader
+	// NewTraceTextWriter writes the tab-separated format incrementally.
+	NewTraceTextWriter = trace.NewTextWriter
+	// SliceTraceSource adapts an in-memory trace to a Source.
+	SliceTraceSource = trace.SliceSource
+	// CollectTrace drains a Source into a slice.
+	CollectTrace = trace.Collect
+	// CopyTrace pumps a Source into a Sink.
+	CopyTrace = trace.Copy
+	// TeeSinks fans one stream out to several sinks.
+	TeeSinks = trace.Tee
+	// MergeTraceSources k-way-merges ordered sources in (Time, Node,
+	// Sector) order, holding one record per input.
+	MergeTraceSources = trace.MergeSources
+	// MergeTraceSlices streams the k-way merge of in-memory traces.
+	MergeTraceSlices = trace.MergeSlices
+
+	// Accumulator constructors (each result method finalizes the metric).
+	NewSummaryAcc     = analysis.NewSummaryAcc
+	NewSizeHistAcc    = analysis.NewSizeHistAcc
+	NewSizeClassAcc   = analysis.NewSizeClassAcc
+	NewOriginAcc      = analysis.NewOriginAcc
+	NewBandsAcc       = analysis.NewBandsAcc
+	NewHeatAcc        = analysis.NewHeatAcc
+	NewInterAccessAcc = analysis.NewInterAccessAcc
+	NewPendingAcc     = analysis.NewPendingAcc
+	// NewProfiler streams the full characterization in one pass.
+	NewProfiler = core.NewProfiler
 )
 
 // Cluster access for custom workloads (see examples/customapp).

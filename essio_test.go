@@ -102,3 +102,45 @@ func TestDefaultParamsExported(t *testing.T) {
 		t.Fatalf("node config = %+v", cfg)
 	}
 }
+
+// TestPublicAPIStreaming exercises the streaming surface through the
+// facade and pins the acceptance criterion of the pipeline refactor:
+// traces written and analyzed through the Source/Sink path are
+// byte-identical / value-identical to the batch path.
+func TestPublicAPIStreaming(t *testing.T) {
+	res, err := essio.Run(essio.SmallConfig(essio.Wavelet, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch encode vs streaming encode of the same trace: same bytes.
+	var batch bytes.Buffer
+	if err := essio.WriteTrace(&batch, res.Merged); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	w := essio.NewTraceWriter(&streamed)
+	n, err := essio.CopyTrace(w, res.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(res.Merged) {
+		t.Fatalf("streamed %d records, merged has %d", n, len(res.Merged))
+	}
+	if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+		t.Fatal("streaming encoder output differs from batch encoder")
+	}
+
+	// Streaming decode + single-pass analysis vs the batch metrics.
+	sum := essio.NewSummaryAcc("wavelet", res.Duration, res.Nodes)
+	hist := essio.NewSizeHistAcc()
+	if _, err := essio.CopyTrace(essio.TeeSinks(sum, hist), essio.NewTraceReader(&streamed)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Summary(), essio.Summarize("wavelet", res.Merged, res.Duration, res.Nodes); got != want {
+		t.Fatalf("streamed summary %+v != batch %+v", got, want)
+	}
+}

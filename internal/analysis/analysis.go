@@ -29,28 +29,21 @@ type Summary struct {
 	TotalPerDisk float64
 }
 
-// Summarize builds a Table 1 row from a merged multi-node trace.
+// Summarize builds a Table 1 row from a merged multi-node trace. It is
+// the batch form of the streaming SummaryAcc.
 func Summarize(label string, recs []trace.Record, duration sim.Duration, nodes int) Summary {
-	s := Summary{Label: label, Nodes: nodes, Duration: duration}
+	a := NewSummaryAcc(label, duration, nodes)
+	feed(a, recs)
+	return a.Summary()
+}
+
+// feed pushes a slice through a sink; accumulators never fail.
+func feed(s trace.Sink, recs []trace.Record) {
 	for _, r := range recs {
-		if r.Op == trace.Read {
-			s.Reads++
-		} else {
-			s.Writes++
+		if err := s.Add(r); err != nil {
+			panic("analysis: accumulator failed: " + err.Error())
 		}
 	}
-	total := s.Reads + s.Writes
-	if total > 0 {
-		s.ReadPct = 100 * float64(s.Reads) / float64(total)
-		s.WritePct = 100 * float64(s.Writes) / float64(total)
-	}
-	if nodes > 0 {
-		s.TotalPerDisk = float64(total) / float64(nodes)
-		if duration > 0 {
-			s.ReqPerSec = s.TotalPerDisk / duration.Seconds()
-		}
-	}
-	return s
 }
 
 func (s Summary) String() string {
@@ -91,13 +84,12 @@ func SectorSeries(recs []trace.Record) []Point {
 	return out
 }
 
-// SizeHistogram counts requests per KB size class.
+// SizeHistogram counts requests per KB size class. It is the batch form
+// of the streaming SizeHistAcc.
 func SizeHistogram(recs []trace.Record) map[int]int {
-	h := make(map[int]int)
-	for _, r := range recs {
-		h[r.KB()]++
-	}
-	return h
+	a := NewSizeHistAcc()
+	feed(a, recs)
+	return a.Histogram()
 }
 
 // SizeClasses buckets requests into the paper's three primary categories
@@ -110,32 +102,21 @@ type SizeClasses struct {
 	Other   int
 }
 
-// ClassifySizes computes the size-class split.
+// ClassifySizes computes the size-class split. It is the batch form of
+// the streaming SizeClassAcc.
 func ClassifySizes(recs []trace.Record) SizeClasses {
-	var c SizeClasses
-	for _, r := range recs {
-		switch kb := r.KB(); {
-		case kb <= 1:
-			c.Block1K++
-		case kb == 4:
-			c.Page4K++
-		case kb >= 8:
-			c.Large++
-		default:
-			c.Other++
-		}
-	}
-	return c
+	a := NewSizeClassAcc()
+	feed(a, recs)
+	return a.Classes()
 }
 
 // OriginBreakdown counts requests per ground-truth origin, used to validate
-// the size-based inference.
+// the size-based inference. It is the batch form of the streaming
+// OriginAcc.
 func OriginBreakdown(recs []trace.Record) map[trace.Origin]int {
-	m := make(map[trace.Origin]int)
-	for _, r := range recs {
-		m[r.Origin]++
-	}
-	return m
+	a := NewOriginAcc()
+	feed(a, recs)
+	return a.Breakdown()
 }
 
 // Band is one spatial-locality bucket (Figure 7).
@@ -147,31 +128,11 @@ type Band struct {
 
 // SpatialBands buckets requests into fixed-width sector bands over the
 // whole disk (the paper uses 100 K-sector bands on a ~1 M-sector disk).
+// It is the batch form of the streaming BandsAcc.
 func SpatialBands(recs []trace.Record, bandSectors, diskSectors uint32) []Band {
-	if bandSectors == 0 {
-		panic("analysis: zero band width")
-	}
-	nb := int((diskSectors + bandSectors - 1) / bandSectors)
-	bands := make([]Band, nb)
-	for i := range bands {
-		bands[i].Lo = uint32(i) * bandSectors
-		bands[i].Hi = bands[i].Lo + bandSectors
-	}
-	total := 0
-	for _, r := range recs {
-		bi := int(r.Sector / bandSectors)
-		if bi >= nb {
-			bi = nb - 1
-		}
-		bands[bi].Count++
-		total++
-	}
-	if total > 0 {
-		for i := range bands {
-			bands[i].Pct = 100 * float64(bands[i].Count) / float64(total)
-		}
-	}
-	return bands
+	a := NewBandsAcc(bandSectors, diskSectors)
+	feed(a, recs)
+	return a.Bands()
 }
 
 // Pareto reports the smallest fraction of bands that carries the given
@@ -206,12 +167,17 @@ type Heat struct {
 }
 
 // TemporalHeat computes access frequency per starting sector, averaged over
-// the run, exactly as the paper presents temporal locality.
+// the run, exactly as the paper presents temporal locality. It is the
+// batch form of the streaming HeatAcc.
 func TemporalHeat(recs []trace.Record, duration sim.Duration) []Heat {
-	counts := make(map[uint32]int)
-	for _, r := range recs {
-		counts[r.Sector]++
-	}
+	a := NewHeatAcc()
+	feed(a, recs)
+	return a.Heat(duration)
+}
+
+// heatFromCounts finalizes a per-sector count map into the sorted Heat
+// slice both TemporalHeat and HeatAcc return.
+func heatFromCounts(counts map[uint32]int, duration sim.Duration) []Heat {
 	out := make([]Heat, 0, len(counts))
 	secs := duration.Seconds()
 	for sec, c := range counts {
@@ -245,22 +211,9 @@ func Hottest(heat []Heat, k int) []Heat {
 // same sector, over sectors accessed at least twice (the paper's "average
 // time between consecutive accesses to the same sector" metric).
 func InterAccess(recs []trace.Record) (mean sim.Duration, sectors int) {
-	last := make(map[uint32]sim.Time)
-	var total sim.Duration
-	n := 0
-	seen := make(map[uint32]bool)
-	for _, r := range recs {
-		if t, ok := last[r.Sector]; ok {
-			total += r.Time.Sub(t)
-			n++
-			seen[r.Sector] = true
-		}
-		last[r.Sector] = r.Time
-	}
-	if n == 0 {
-		return 0, 0
-	}
-	return total / sim.Duration(n), len(seen)
+	a := NewInterAccessAcc()
+	feed(a, recs)
+	return a.Result()
 }
 
 // Window restricts a trace to records in [from, to).
@@ -297,25 +250,11 @@ func FilterNode(recs []trace.Record, node uint8) []trace.Record {
 }
 
 // RatePerSecond buckets requests into 1-second bins (activity profiles).
+// It is the batch form of the streaming RateAcc.
 func RatePerSecond(recs []trace.Record) []Point {
-	if len(recs) == 0 {
-		return nil
-	}
-	t0 := recs[0].Time
-	bins := make(map[int]int)
-	maxBin := 0
-	for _, r := range recs {
-		b := int(r.Time.Sub(t0).Seconds())
-		bins[b]++
-		if b > maxBin {
-			maxBin = b
-		}
-	}
-	out := make([]Point, maxBin+1)
-	for i := range out {
-		out[i] = Point{T: float64(i), V: float64(bins[i])}
-	}
-	return out
+	a := NewRateAcc()
+	feed(a, recs)
+	return a.Points()
 }
 
 // QueueStats summarizes the driver-queue depth the instrumentation records
@@ -328,24 +267,10 @@ type QueueStats struct {
 	BusyFrac float64
 }
 
-// PendingStats computes queue-depth statistics from a trace.
+// PendingStats computes queue-depth statistics from a trace. It is the
+// batch form of the streaming PendingAcc.
 func PendingStats(recs []trace.Record) QueueStats {
-	var q QueueStats
-	if len(recs) == 0 {
-		return q
-	}
-	var sum, busy int
-	for _, r := range recs {
-		p := int(r.Pending)
-		sum += p
-		if p > q.MaxPending {
-			q.MaxPending = p
-		}
-		if p > 0 {
-			busy++
-		}
-	}
-	q.MeanPending = float64(sum) / float64(len(recs))
-	q.BusyFrac = float64(busy) / float64(len(recs))
-	return q
+	a := NewPendingAcc()
+	feed(a, recs)
+	return a.Stats()
 }

@@ -1,0 +1,299 @@
+// Streaming accumulators: every metric of the package rebuilt as an
+// incremental trace.Sink, so a single pass over a trace Source — a file
+// reader, a k-way node merge — computes any combination of metrics in
+// bounded memory. The slice-based functions of analysis.go are thin
+// wrappers over these.
+
+package analysis
+
+import (
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// SummaryAcc incrementally builds a Table 1 Summary. It also tracks the
+// observed time span so callers analyzing a bare trace file can use
+// Span() when no external duration is known.
+type SummaryAcc struct {
+	s           Summary
+	first, last sim.Time
+	any         bool
+}
+
+// NewSummaryAcc returns an accumulator for a Table 1 row over the given
+// observation duration and node count.
+func NewSummaryAcc(label string, duration sim.Duration, nodes int) *SummaryAcc {
+	return &SummaryAcc{s: Summary{Label: label, Nodes: nodes, Duration: duration}}
+}
+
+// Add counts one record.
+func (a *SummaryAcc) Add(r trace.Record) error {
+	if r.Op == trace.Read {
+		a.s.Reads++
+	} else {
+		a.s.Writes++
+	}
+	if !a.any || r.Time < a.first {
+		a.first = r.Time
+	}
+	if !a.any || r.Time > a.last {
+		a.last = r.Time
+	}
+	a.any = true
+	return nil
+}
+
+// Span reports the observed time span between the earliest and latest
+// record seen.
+func (a *SummaryAcc) Span() sim.Duration { return a.last.Sub(a.first) }
+
+// SetDuration overrides the observation duration before Summary is read.
+func (a *SummaryAcc) SetDuration(d sim.Duration) { a.s.Duration = d }
+
+// Summary finalizes the row.
+func (a *SummaryAcc) Summary() Summary {
+	s := a.s
+	total := s.Reads + s.Writes
+	if total > 0 {
+		s.ReadPct = 100 * float64(s.Reads) / float64(total)
+		s.WritePct = 100 * float64(s.Writes) / float64(total)
+	}
+	if s.Nodes > 0 {
+		s.TotalPerDisk = float64(total) / float64(s.Nodes)
+		if s.Duration > 0 {
+			s.ReqPerSec = s.TotalPerDisk / s.Duration.Seconds()
+		}
+	}
+	return s
+}
+
+// SizeHistAcc incrementally counts requests per KB size class.
+type SizeHistAcc struct {
+	h map[int]int
+}
+
+// NewSizeHistAcc returns an empty size histogram accumulator.
+func NewSizeHistAcc() *SizeHistAcc { return &SizeHistAcc{h: make(map[int]int)} }
+
+// Add counts one record.
+func (a *SizeHistAcc) Add(r trace.Record) error {
+	a.h[r.KB()]++
+	return nil
+}
+
+// Histogram returns the counts per KB class.
+func (a *SizeHistAcc) Histogram() map[int]int { return a.h }
+
+// SizeClassAcc incrementally buckets requests into the paper's size
+// categories.
+type SizeClassAcc struct {
+	c SizeClasses
+}
+
+// NewSizeClassAcc returns an empty size-class accumulator.
+func NewSizeClassAcc() *SizeClassAcc { return &SizeClassAcc{} }
+
+// Add classifies one record.
+func (a *SizeClassAcc) Add(r trace.Record) error {
+	switch kb := r.KB(); {
+	case kb <= 1:
+		a.c.Block1K++
+	case kb == 4:
+		a.c.Page4K++
+	case kb >= 8:
+		a.c.Large++
+	default:
+		a.c.Other++
+	}
+	return nil
+}
+
+// Classes returns the size-class split.
+func (a *SizeClassAcc) Classes() SizeClasses { return a.c }
+
+// OriginAcc incrementally counts requests per ground-truth origin.
+type OriginAcc struct {
+	m map[trace.Origin]int
+}
+
+// NewOriginAcc returns an empty origin accumulator.
+func NewOriginAcc() *OriginAcc { return &OriginAcc{m: make(map[trace.Origin]int)} }
+
+// Add counts one record.
+func (a *OriginAcc) Add(r trace.Record) error {
+	a.m[r.Origin]++
+	return nil
+}
+
+// Breakdown returns the counts per origin.
+func (a *OriginAcc) Breakdown() map[trace.Origin]int { return a.m }
+
+// BandsAcc incrementally buckets requests into fixed-width sector bands
+// (Figure 7).
+type BandsAcc struct {
+	bandSectors uint32
+	bands       []Band
+	total       int
+}
+
+// NewBandsAcc returns a spatial-band accumulator over a disk of
+// diskSectors sectors split into bandSectors-wide bands.
+func NewBandsAcc(bandSectors, diskSectors uint32) *BandsAcc {
+	if bandSectors == 0 {
+		panic("analysis: zero band width")
+	}
+	nb := int((diskSectors + bandSectors - 1) / bandSectors)
+	bands := make([]Band, nb)
+	for i := range bands {
+		bands[i].Lo = uint32(i) * bandSectors
+		bands[i].Hi = bands[i].Lo + bandSectors
+	}
+	return &BandsAcc{bandSectors: bandSectors, bands: bands}
+}
+
+// Add buckets one record.
+func (a *BandsAcc) Add(r trace.Record) error {
+	bi := int(r.Sector / a.bandSectors)
+	if bi >= len(a.bands) {
+		bi = len(a.bands) - 1
+	}
+	a.bands[bi].Count++
+	a.total++
+	return nil
+}
+
+// Bands finalizes the percentages and returns the band distribution.
+func (a *BandsAcc) Bands() []Band {
+	out := append([]Band(nil), a.bands...)
+	if a.total > 0 {
+		for i := range out {
+			out[i].Pct = 100 * float64(out[i].Count) / float64(a.total)
+		}
+	}
+	return out
+}
+
+// HeatAcc incrementally counts accesses per starting sector (Figure 8).
+type HeatAcc struct {
+	counts map[uint32]int
+}
+
+// NewHeatAcc returns an empty temporal-heat accumulator.
+func NewHeatAcc() *HeatAcc { return &HeatAcc{counts: make(map[uint32]int)} }
+
+// Add counts one record.
+func (a *HeatAcc) Add(r trace.Record) error {
+	a.counts[r.Sector]++
+	return nil
+}
+
+// Heat finalizes per-sector access frequency averaged over duration.
+func (a *HeatAcc) Heat(duration sim.Duration) []Heat {
+	return heatFromCounts(a.counts, duration)
+}
+
+// RateAcc incrementally buckets requests into 1-second bins anchored at
+// the first record seen (activity profiles).
+type RateAcc struct {
+	t0     sim.Time
+	any    bool
+	bins   map[int]int
+	maxBin int
+}
+
+// NewRateAcc returns an empty request-rate accumulator.
+func NewRateAcc() *RateAcc { return &RateAcc{bins: make(map[int]int)} }
+
+// Add bins one record.
+func (a *RateAcc) Add(r trace.Record) error {
+	if !a.any {
+		a.any = true
+		a.t0 = r.Time
+	}
+	b := int(r.Time.Sub(a.t0).Seconds())
+	a.bins[b]++
+	if b > a.maxBin {
+		a.maxBin = b
+	}
+	return nil
+}
+
+// Points finalizes the per-second request counts.
+func (a *RateAcc) Points() []Point {
+	if !a.any {
+		return nil
+	}
+	out := make([]Point, a.maxBin+1)
+	for i := range out {
+		out[i] = Point{T: float64(i), V: float64(a.bins[i])}
+	}
+	return out
+}
+
+// PendingAcc incrementally summarizes the driver-queue depth recorded with
+// every request.
+type PendingAcc struct {
+	q         QueueStats
+	sum, busy int
+	n         int
+}
+
+// NewPendingAcc returns an empty queue-depth accumulator.
+func NewPendingAcc() *PendingAcc { return &PendingAcc{} }
+
+// Add counts one record.
+func (a *PendingAcc) Add(r trace.Record) error {
+	p := int(r.Pending)
+	a.sum += p
+	if p > a.q.MaxPending {
+		a.q.MaxPending = p
+	}
+	if p > 0 {
+		a.busy++
+	}
+	a.n++
+	return nil
+}
+
+// Stats finalizes the queue-depth statistics.
+func (a *PendingAcc) Stats() QueueStats {
+	q := a.q
+	if a.n > 0 {
+		q.MeanPending = float64(a.sum) / float64(a.n)
+		q.BusyFrac = float64(a.busy) / float64(a.n)
+	}
+	return q
+}
+
+// InterAccessAcc incrementally computes the mean time between consecutive
+// accesses to the same sector.
+type InterAccessAcc struct {
+	last  map[uint32]sim.Time
+	seen  map[uint32]bool
+	total sim.Duration
+	n     int
+}
+
+// NewInterAccessAcc returns an empty inter-access accumulator.
+func NewInterAccessAcc() *InterAccessAcc {
+	return &InterAccessAcc{last: make(map[uint32]sim.Time), seen: make(map[uint32]bool)}
+}
+
+// Add observes one record.
+func (a *InterAccessAcc) Add(r trace.Record) error {
+	if t, ok := a.last[r.Sector]; ok {
+		a.total += r.Time.Sub(t)
+		a.n++
+		a.seen[r.Sector] = true
+	}
+	a.last[r.Sector] = r.Time
+	return nil
+}
+
+// Result finalizes the mean gap and the number of revisited sectors.
+func (a *InterAccessAcc) Result() (mean sim.Duration, sectors int) {
+	if a.n == 0 {
+		return 0, 0
+	}
+	return a.total / sim.Duration(a.n), len(a.seen)
+}

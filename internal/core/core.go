@@ -53,65 +53,14 @@ type Profile struct {
 // bandWidth is the paper's spatial bucket size.
 const bandWidth = 100000
 
-// Characterize computes a Profile from a merged multi-node trace.
+// Characterize computes a Profile from a merged multi-node trace. It is
+// the batch form of the streaming Profiler sink.
 func Characterize(label string, recs []trace.Record, duration sim.Duration, nodes int, diskSectors uint32) *Profile {
-	p := &Profile{
-		Label:       label,
-		Nodes:       nodes,
-		Duration:    duration,
-		DiskSectors: diskSectors,
-		Summary:     analysis.Summarize(label, recs, duration, nodes),
-		Classes:     analysis.ClassifySizes(recs),
-		Origins:     analysis.OriginBreakdown(recs),
-	}
-	p.Bands = analysis.SpatialBands(recs, bandWidth, diskSectors)
-	p.ParetoFrac = analysis.Pareto(p.Bands, 0.8)
-	node0 := analysis.FilterNode(recs, 0)
-	p.Hottest = analysis.Hottest(analysis.TemporalHeat(node0, duration), 5)
-	p.MeanInterAccess, _ = analysis.InterAccess(node0)
-	p.SeqFraction = seqFraction(recs, nodes)
-	p.BurstIndex = burstIndex(recs)
-	p.Queue = analysis.PendingStats(recs)
-	return p
-}
-
-// seqFraction measures back-to-back physical sequentiality per disk.
-func seqFraction(recs []trace.Record, nodes int) float64 {
-	lastEnd := make(map[uint8]uint32)
-	seq, total := 0, 0
+	p := NewProfiler(label, duration, nodes, diskSectors)
 	for _, r := range recs {
-		if end, ok := lastEnd[r.Node]; ok {
-			total++
-			if r.Sector == end {
-				seq++
-			}
-		}
-		lastEnd[r.Node] = r.End()
+		p.Add(r)
 	}
-	if total == 0 {
-		return 0
-	}
-	return float64(seq) / float64(total)
-}
-
-// burstIndex is peak-to-mean of the 1-second arrival process.
-func burstIndex(recs []trace.Record) float64 {
-	rates := analysis.RatePerSecond(recs)
-	if len(rates) == 0 {
-		return 0
-	}
-	var sum, peak float64
-	for _, pt := range rates {
-		sum += pt.V
-		if pt.V > peak {
-			peak = pt.V
-		}
-	}
-	mean := sum / float64(len(rates))
-	if mean == 0 {
-		return 0
-	}
-	return peak / mean
+	return p.Profile()
 }
 
 // String renders the profile as a report block.

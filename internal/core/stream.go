@@ -1,0 +1,121 @@
+// The streaming characterizer: a trace.Sink that builds the full Profile
+// in one incremental pass, so full-scale traces can be profiled straight
+// from a file or a live node merge without materializing them.
+
+package core
+
+import (
+	"essio/internal/analysis"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// Profiler accumulates a complete workload Profile record by record. It
+// implements trace.Sink; feed it a trace (in time order, as drivers emit
+// it) and call Profile once the stream ends. Characterize is its batch
+// form.
+type Profiler struct {
+	label       string
+	nodes       int
+	duration    sim.Duration
+	diskSectors uint32
+
+	summary *analysis.SummaryAcc
+	classes *analysis.SizeClassAcc
+	origins *analysis.OriginAcc
+	bands   *analysis.BandsAcc
+	rate    *analysis.RateAcc
+	pending *analysis.PendingAcc
+
+	// Temporal locality is a per-disk property; node 0 is the
+	// representative disk, as in the paper's Figure 8.
+	node0Heat  *analysis.HeatAcc
+	node0Inter *analysis.InterAccessAcc
+
+	// Back-to-back physical sequentiality per disk.
+	lastEnd       map[uint8]uint32
+	seq, seqTotal int
+}
+
+// NewProfiler returns a streaming characterizer for one traced workload.
+func NewProfiler(label string, duration sim.Duration, nodes int, diskSectors uint32) *Profiler {
+	return &Profiler{
+		label:       label,
+		nodes:       nodes,
+		duration:    duration,
+		diskSectors: diskSectors,
+		summary:     analysis.NewSummaryAcc(label, duration, nodes),
+		classes:     analysis.NewSizeClassAcc(),
+		origins:     analysis.NewOriginAcc(),
+		bands:       analysis.NewBandsAcc(bandWidth, diskSectors),
+		rate:        analysis.NewRateAcc(),
+		pending:     analysis.NewPendingAcc(),
+		node0Heat:   analysis.NewHeatAcc(),
+		node0Inter:  analysis.NewInterAccessAcc(),
+		lastEnd:     make(map[uint8]uint32),
+	}
+}
+
+// Add folds one record into every metric of the profile.
+func (p *Profiler) Add(r trace.Record) error {
+	p.summary.Add(r)
+	p.classes.Add(r)
+	p.origins.Add(r)
+	p.bands.Add(r)
+	p.rate.Add(r)
+	p.pending.Add(r)
+	if r.Node == 0 {
+		p.node0Heat.Add(r)
+		p.node0Inter.Add(r)
+	}
+	if end, ok := p.lastEnd[r.Node]; ok {
+		p.seqTotal++
+		if r.Sector == end {
+			p.seq++
+		}
+	}
+	p.lastEnd[r.Node] = r.End()
+	return nil
+}
+
+// Profile finalizes the characterization.
+func (p *Profiler) Profile() *Profile {
+	prof := &Profile{
+		Label:       p.label,
+		Nodes:       p.nodes,
+		Duration:    p.duration,
+		DiskSectors: p.diskSectors,
+		Summary:     p.summary.Summary(),
+		Classes:     p.classes.Classes(),
+		Origins:     p.origins.Breakdown(),
+		Queue:       p.pending.Stats(),
+	}
+	prof.Bands = p.bands.Bands()
+	prof.ParetoFrac = analysis.Pareto(prof.Bands, 0.8)
+	prof.Hottest = analysis.Hottest(p.node0Heat.Heat(p.duration), 5)
+	prof.MeanInterAccess, _ = p.node0Inter.Result()
+	if p.seqTotal > 0 {
+		prof.SeqFraction = float64(p.seq) / float64(p.seqTotal)
+	}
+	prof.BurstIndex = burstFromRates(p.rate.Points())
+	return prof
+}
+
+// burstFromRates is peak-to-mean of a 1-second arrival profile.
+func burstFromRates(rates []analysis.Point) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	var sum, peak float64
+	for _, pt := range rates {
+		sum += pt.V
+		if pt.V > peak {
+			peak = pt.V
+		}
+	}
+	mean := sum / float64(len(rates))
+	if mean == 0 {
+		return 0
+	}
+	return peak / mean
+}

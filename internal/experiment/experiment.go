@@ -84,6 +84,14 @@ type Result struct {
 	AppEvents []vfs.IOEvent
 }
 
+// Source returns a streaming view of the merged trace: a k-way merge over
+// the per-node traces, yielding records in the same (Time, Node, Sector)
+// order as Merged without materializing another combined copy. Each call
+// returns an independent iterator.
+func (r *Result) Source() trace.Source {
+	return trace.MergeSlices(r.PerNode...)
+}
+
 func (c *Config) fill() {
 	if c.Nodes == 0 {
 		c.Nodes = 16

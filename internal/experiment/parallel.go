@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// IndexedError reports which config of a concurrent batch failed.
+type IndexedError struct {
+	// Index is the position of the failed config in the input slice.
+	Index int
+	Err   error
+}
+
+func (e *IndexedError) Error() string { return fmt.Sprintf("run %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying run error.
+func (e *IndexedError) Unwrap() error { return e.Err }
+
+// RunConcurrent executes each config on a bounded worker pool — every
+// simulated cluster is an independent deterministic engine, so runs are
+// embarrassingly parallel — and returns results in input order. workers
+// <= 0 uses GOMAXPROCS.
+//
+// On failure the remaining unstarted configs are cancelled and the error
+// of the lowest-index failure is returned as an *IndexedError, regardless
+// of the order in which workers observed failures: workers claim configs
+// in ascending index order, so every config below a failed index has
+// already run to completion, making the reported failure deterministic.
+// The result slice still carries every successful run.
+func RunConcurrent(cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	errs := make([]error, len(cfgs))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) || failed.Load() {
+					return
+				}
+				n := inFlight.Add(1)
+				for p := peak.Load(); n > p && !peak.CompareAndSwap(p, n); p = peak.Load() {
+				}
+				res, err := Run(cfgs[i])
+				inFlight.Add(-1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	lastPeakWorkers.Store(peak.Load())
+	for i, err := range errs {
+		if err != nil {
+			return results, &IndexedError{Index: i, Err: err}
+		}
+	}
+	return results, nil
+}
+
+// lastPeakWorkers records the peak number of simultaneously running
+// experiments of the most recent RunConcurrent call; tests use it to
+// assert the pool actually overlaps work.
+var lastPeakWorkers atomic.Int64
+
+// RunAll executes one experiment per kind concurrently (the paper's five
+// by default) and returns the results keyed by kind. mk builds the config
+// for each kind.
+func RunAll(kinds []Kind, mk func(Kind) Config) (map[Kind]*Result, error) {
+	cfgs := make([]Config, len(kinds))
+	for i, k := range kinds {
+		cfgs[i] = mk(k)
+		cfgs[i].Kind = k
+	}
+	results, err := RunConcurrent(cfgs, 0)
+	if err != nil {
+		var ie *IndexedError
+		if errors.As(err, &ie) {
+			return nil, fmt.Errorf("experiment %s: %w", kinds[ie.Index], ie.Err)
+		}
+		return nil, err
+	}
+	out := make(map[Kind]*Result, len(kinds))
+	for i, k := range kinds {
+		out[k] = results[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// quickBaseline is a baseline run small enough for multi-seed tests but
+// long enough that pooled workers overlap.
+func quickBaseline(nodes int) Config {
+	return Config{Kind: Baseline, Nodes: nodes, BaselineDuration: 120 * sim.Second}
+}
+
+// TestRunSeedsParallelMatchesSerial checks the worker-pool scheduler
+// reproduces the serial per-seed results exactly: same aggregates, same
+// per-seed traces byte for byte.
+func TestRunSeedsParallelMatchesSerial(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	cfg := quickBaseline(2)
+
+	rep, err := RunSeeds(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(seeds) {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		serial, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := rep.Results[i], serial
+		if got.Kind != want.Kind || got.Duration != want.Duration {
+			t.Fatalf("seed %d meta diverged: %+v vs %+v", seed, got.Kind, want.Kind)
+		}
+		if !reflect.DeepEqual(got.Merged, want.Merged) {
+			t.Fatalf("seed %d merged trace diverged under parallel run", seed)
+		}
+	}
+	if rep.PerDisk.N != len(seeds) || rep.DurationS.N != len(seeds) {
+		t.Fatalf("aggregate sample sizes: %+v %+v", rep.PerDisk, rep.DurationS)
+	}
+}
+
+// TestRunSeedsRunsConcurrently asserts the pool actually overlaps seeds
+// (the acceptance criterion that >=4 seeds demonstrably run concurrently).
+func TestRunSeedsRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >=2 CPUs to observe overlap")
+	}
+	if _, err := RunSeeds(quickBaseline(2), []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if peak := lastPeakWorkers.Load(); peak < 2 {
+		t.Fatalf("peak in-flight seeds = %d, want >= 2", peak)
+	}
+}
+
+// TestRunSeedsErrorDeterministic: when seeds fail, the reported error must
+// always be the lowest failing seed, no matter how the pool schedules.
+func TestRunSeedsErrorDeterministic(t *testing.T) {
+	cfg := Config{Kind: Kind("bogus"), Nodes: 2}
+	for i := 0; i < 10; i++ {
+		_, err := RunSeeds(cfg, []int64{3, 5, 7, 9})
+		if err == nil {
+			t.Fatal("want error for unknown kind")
+		}
+		if !strings.Contains(err.Error(), "seed 3:") {
+			t.Fatalf("want lowest seed reported, got: %v", err)
+		}
+	}
+}
+
+// TestRunConcurrentIndexedError checks the failure index is exact and
+// successful runs are still returned.
+func TestRunConcurrentIndexedError(t *testing.T) {
+	cfgs := []Config{
+		quickBaseline(1),
+		{Kind: Kind("bogus"), Nodes: 1},
+	}
+	results, err := RunConcurrent(cfgs, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var ie *IndexedError
+	if !errors.As(err, &ie) || ie.Index != 1 {
+		t.Fatalf("want IndexedError{Index: 1}, got %v", err)
+	}
+	if results[0] == nil {
+		t.Fatal("successful run before the failure must be returned")
+	}
+	if results[1] != nil {
+		t.Fatal("failed run must not produce a result")
+	}
+}
+
+// TestRunConcurrentCancelsAfterFailure: with one worker, everything after
+// the failing config is never started.
+func TestRunConcurrentCancelsAfterFailure(t *testing.T) {
+	cfgs := []Config{
+		{Kind: Kind("bogus"), Nodes: 1},
+		quickBaseline(1),
+		quickBaseline(1),
+	}
+	results, err := RunConcurrent(cfgs, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Fatal("configs after a failure should be cancelled, not run")
+	}
+}
+
+// TestRunConcurrentEmpty pins the degenerate inputs.
+func TestRunConcurrentEmpty(t *testing.T) {
+	results, err := RunConcurrent(nil, 4)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v %v", results, err)
+	}
+	if _, err := RunSeeds(quickBaseline(1), nil); err == nil {
+		t.Fatal("no seeds must error")
+	}
+}
+
+// TestResultSourceMatchesMerged checks Result.Source streams exactly the
+// records of the materialized Merged slice, in the same order.
+func TestResultSourceMatchesMerged(t *testing.T) {
+	res, err := Run(quickBaseline(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := trace.Collect(res.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Merged) {
+		t.Fatalf("streamed %d records, merged %d", len(streamed), len(res.Merged))
+	}
+	for i := range streamed {
+		if streamed[i] != res.Merged[i] {
+			t.Fatalf("record %d diverges: %v vs %v", i, streamed[i], res.Merged[i])
+		}
+	}
+	// A second Source call must yield an independent, equal stream.
+	again, err := trace.Collect(res.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, again) {
+		t.Fatal("Source is not repeatable")
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -55,22 +56,33 @@ func (d Dist) String() string {
 	return fmt.Sprintf("%.2f ± %.2f [%.2f, %.2f]", d.Mean, d.Std, d.Min, d.Max)
 }
 
-// RunSeeds executes cfg once per seed (overriding cfg.Seed) and aggregates.
+// RunSeeds executes cfg once per seed (overriding cfg.Seed) on a bounded
+// worker pool — each seed's simulation engine is independent and
+// deterministic, so seeds run concurrently — and aggregates the results
+// in seed order. The first failing seed cancels the remaining work; when
+// seeds are given in ascending order the reported failure is always the
+// lowest failing seed (see RunConcurrent).
 func RunSeeds(cfg Config, seeds []int64) (*Repeated, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiment: no seeds given")
 	}
-	rep := &Repeated{Kind: cfg.Kind, Seeds: seeds}
-	var readPcts, rates, totals, durs []float64
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		res, err := Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
+	cfgs := make([]Config, len(seeds))
+	for i, seed := range seeds {
+		cfgs[i] = cfg
+		cfgs[i].Seed = seed
+	}
+	results, err := RunConcurrent(cfgs, 0)
+	if err != nil {
+		var ie *IndexedError
+		if errors.As(err, &ie) {
+			return nil, fmt.Errorf("seed %d: %w", seeds[ie.Index], ie.Err)
 		}
-		rep.Results = append(rep.Results, res)
-		s := analysis.Summarize(string(c.Kind), res.Merged, res.Duration, res.Nodes)
+		return nil, err
+	}
+	rep := &Repeated{Kind: cfg.Kind, Seeds: seeds, Results: results}
+	var readPcts, rates, totals, durs []float64
+	for _, res := range results {
+		s := analysis.Summarize(string(cfg.Kind), res.Merged, res.Duration, res.Nodes)
 		readPcts = append(readPcts, s.ReadPct)
 		rates = append(rates, s.ReqPerSec)
 		totals = append(totals, s.TotalPerDisk)

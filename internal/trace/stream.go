@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Source is a pull iterator over trace records. Next returns io.EOF once
+// the stream is exhausted; any other error is terminal. Sources let the
+// capture→analysis path process traces of arbitrary length in bounded
+// memory: readers decode incrementally, merges hold one record per input,
+// and accumulators consume records as they appear.
+type Source interface {
+	Next() (Record, error)
+}
+
+// Sink is a push consumer of trace records. Analysis accumulators, trace
+// writers, and fan-out tees all implement Sink so a single pass over a
+// Source can feed every consumer at once.
+type Sink interface {
+	Add(Record) error
+}
+
+// sliceSource iterates over an in-memory trace.
+type sliceSource struct {
+	recs []Record
+	i    int
+}
+
+// SliceSource adapts an in-memory trace to the Source interface.
+func SliceSource(recs []Record) Source { return &sliceSource{recs: recs} }
+
+func (s *sliceSource) Next() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// Collector is a Sink that materializes the stream as a slice, the adapter
+// back to the batch world.
+type Collector struct {
+	Recs []Record
+}
+
+// Add appends r.
+func (c *Collector) Add(r Record) error {
+	c.Recs = append(c.Recs, r)
+	return nil
+}
+
+// Collect drains src into a slice.
+func Collect(src Source) ([]Record, error) {
+	var c Collector
+	if _, err := Copy(&c, src); err != nil {
+		return c.Recs, err
+	}
+	return c.Recs, nil
+}
+
+// Copy streams every record from src into dst and reports how many records
+// were transferred. It stops at the first error from either side.
+func Copy(dst Sink, src Source) (int, error) {
+	n := 0
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Add(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Record) error
+
+// Add calls f(r).
+func (f SinkFunc) Add(r Record) error { return f(r) }
+
+// tee fans each record out to several sinks.
+type tee struct {
+	sinks []Sink
+}
+
+// Tee returns a Sink that forwards every record to each sink in order, so
+// one pass over a trace feeds any number of accumulators.
+func Tee(sinks ...Sink) Sink { return &tee{sinks: sinks} }
+
+func (t *tee) Add(r Record) error {
+	for _, s := range t.sinks {
+		if err := s.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// less is the trace ordering: (Time, Node, Sector).
+func less(a, b Record) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Sector < b.Sector
+}
+
+// mergeItem is one heap entry of the k-way merge.
+type mergeItem struct {
+	rec Record
+	src int
+}
+
+// mergeHeap orders items by (Time, Node, Sector) with ties broken by source
+// index, which makes the merge reproduce a stable sort of the concatenated
+// inputs exactly.
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if less(h[i].rec, h[j].rec) {
+		return true
+	}
+	if less(h[j].rec, h[i].rec) {
+		return false
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// mergeSource streams the k-way merge, holding one record per live input.
+type mergeSource struct {
+	srcs []Source
+	h    mergeHeap
+	init bool
+}
+
+// MergeSources returns a Source yielding the records of all inputs merged
+// by (Time, Node, Sector). Each input must already be ordered by that key
+// (per-node driver traces are, since rings preserve arrival order); ties
+// across inputs resolve in input order, matching the stable sort the
+// batch Merge performs. Memory use is one buffered record per input
+// regardless of trace length.
+func MergeSources(srcs ...Source) Source { return &mergeSource{srcs: srcs} }
+
+func (m *mergeSource) Next() (Record, error) {
+	if !m.init {
+		m.init = true
+		m.h = make(mergeHeap, 0, len(m.srcs))
+		for i, s := range m.srcs {
+			r, err := s.Next()
+			if err == io.EOF {
+				continue
+			}
+			if err != nil {
+				return Record{}, err
+			}
+			m.h = append(m.h, mergeItem{rec: r, src: i})
+		}
+		heap.Init(&m.h)
+	}
+	if len(m.h) == 0 {
+		return Record{}, io.EOF
+	}
+	it := m.h[0]
+	r, err := m.srcs[it.src].Next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&m.h)
+	case err != nil:
+		return Record{}, err
+	default:
+		m.h[0] = mergeItem{rec: r, src: it.src}
+		heap.Fix(&m.h, 0)
+	}
+	return it.rec, nil
+}
+
+// sortedByKey reports whether recs is already ordered by (Time, Node,
+// Sector).
+func sortedByKey(recs []Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if less(recs[i], recs[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeSlices returns a streaming k-way merge over in-memory per-node
+// traces. Inputs that are not already key-ordered are stably sorted on a
+// private copy first, so the merged order is identical to Merge for any
+// input.
+func MergeSlices(traces ...[]Record) Source {
+	srcs := make([]Source, len(traces))
+	for i, t := range traces {
+		if !sortedByKey(t) {
+			t = append([]Record(nil), t...)
+			sort.SliceStable(t, func(a, b int) bool { return less(t[a], t[b]) })
+		}
+		srcs[i] = SliceSource(t)
+	}
+	return MergeSources(srcs...)
+}
+
+// Reader decodes the binary trace format incrementally: one record per
+// Next call, without slurping the whole file.
+type Reader struct {
+	br  *bufio.Reader
+	buf [recordSize]byte
+}
+
+// NewReader returns a streaming decoder for the binary trace format.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next decodes the next record, returning io.EOF at a clean end of stream.
+func (d *Reader) Next() (Record, error) {
+	_, err := io.ReadFull(d.br, d.buf[:])
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read: %w", err)
+	}
+	return UnmarshalRecord(d.buf[:])
+}
+
+// Writer encodes records to the binary trace format incrementally. It is a
+// Sink; call Flush when the stream ends.
+type Writer struct {
+	bw  *bufio.Writer
+	buf [recordSize]byte
+}
+
+// NewWriter returns a streaming encoder for the binary trace format.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Add encodes one record.
+func (t *Writer) Add(r Record) error {
+	r.Marshal(t.buf[:])
+	if _, err := t.bw.Write(t.buf[:]); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered encoding to the underlying writer.
+func (t *Writer) Flush() error { return t.bw.Flush() }

@@ -10,21 +10,62 @@ import (
 	"essio/internal/sim"
 )
 
-// WriteText writes records as tab-separated text with a header line, the
-// interchange format for spreadsheets and plotting scripts.
-func WriteText(w io.Writer, recs []Record) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "time_s\top\tsector\tcount\tpending\tnode\torigin"); err != nil {
-		return err
-	}
-	for _, r := range recs {
-		_, err := fmt.Fprintf(bw, "%.6f\t%s\t%d\t%d\t%d\t%d\t%s\n",
-			r.Time.Seconds(), r.Op, r.Sector, r.Count, r.Pending, r.Node, r.Origin)
-		if err != nil {
+// textHeader is the column header line of the tab-separated format.
+const textHeader = "time_s\top\tsector\tcount\tpending\tnode\torigin"
+
+// TextWriter encodes records as tab-separated text incrementally. It is a
+// Sink; the header line is written before the first record and Flush must
+// be called when the stream ends.
+type TextWriter struct {
+	bw     *bufio.Writer
+	header bool
+}
+
+// NewTextWriter returns a streaming encoder for the tab-separated format.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{bw: bufio.NewWriter(w)}
+}
+
+// Add writes one record (and the header, on first use).
+func (t *TextWriter) Add(r Record) error {
+	if !t.header {
+		if err := t.writeHeader(); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	_, err := fmt.Fprintf(t.bw, "%.6f\t%s\t%d\t%d\t%d\t%d\t%s\n",
+		r.Time.Seconds(), r.Op, r.Sector, r.Count, r.Pending, r.Node, r.Origin)
+	return err
+}
+
+func (t *TextWriter) writeHeader() error {
+	t.header = true
+	_, err := fmt.Fprintln(t.bw, textHeader)
+	return err
+}
+
+// Flush writes the header (if no record was ever added) and any buffered
+// text to the underlying writer.
+func (t *TextWriter) Flush() error {
+	if !t.header {
+		if err := t.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return t.bw.Flush()
+}
+
+// WriteText writes records as tab-separated text with a header line, the
+// interchange format for spreadsheets and plotting scripts. It is the
+// batch form of the streaming TextWriter sink.
+func WriteText(w io.Writer, recs []Record) error {
+	tw := NewTextWriter(w)
+	for _, r := range recs {
+		if err := tw.Add(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
 }
 
 // originFromString inverts Origin.String.
@@ -37,64 +78,93 @@ func originFromString(s string) (Origin, error) {
 	return 0, fmt.Errorf("trace: unknown origin %q", s)
 }
 
-// ReadText parses the tab-separated format produced by WriteText.
-func ReadText(r io.Reader) ([]Record, error) {
+// parseTextLine decodes one data line. skip is true for blank, header, and
+// comment lines.
+func parseTextLine(text string, line int) (rec Record, skip bool, err error) {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "time_s") || strings.HasPrefix(text, "#") {
+		return Record{}, true, nil
+	}
+	f := strings.Split(text, "\t")
+	if len(f) != 7 {
+		return Record{}, false, fmt.Errorf("trace: line %d has %d fields, want 7", line, len(f))
+	}
+	secs, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d time: %w", line, err)
+	}
+	rec.Time = sim.Time(sim.DurationOf(secs))
+	switch f[1] {
+	case "R":
+		rec.Op = Read
+	case "W":
+		rec.Op = Write
+	default:
+		return Record{}, false, fmt.Errorf("trace: line %d op %q", line, f[1])
+	}
+	sector, err := strconv.ParseUint(f[2], 10, 32)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d sector: %w", line, err)
+	}
+	rec.Sector = uint32(sector)
+	count, err := strconv.ParseUint(f[3], 10, 16)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d count: %w", line, err)
+	}
+	rec.Count = uint16(count)
+	pending, err := strconv.ParseUint(f[4], 10, 16)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d pending: %w", line, err)
+	}
+	rec.Pending = uint16(pending)
+	node, err := strconv.ParseUint(f[5], 10, 8)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d node: %w", line, err)
+	}
+	rec.Node = uint8(node)
+	rec.Origin, err = originFromString(f[6])
+	if err != nil {
+		return Record{}, false, fmt.Errorf("trace: line %d: %w", line, err)
+	}
+	return rec, false, nil
+}
+
+// TextReader parses the tab-separated format incrementally: one record per
+// Next call, skipping headers and comments, without reading the whole file
+// first.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader returns a streaming parser for the tab-separated format.
+func NewTextReader(r io.Reader) *TextReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	var recs []Record
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "time_s") || strings.HasPrefix(text, "#") {
+	return &TextReader{sc: sc}
+}
+
+// Next parses the next data line, returning io.EOF at end of input.
+func (t *TextReader) Next() (Record, error) {
+	for t.sc.Scan() {
+		t.line++
+		rec, skip, err := parseTextLine(t.sc.Text(), t.line)
+		if err != nil {
+			return Record{}, err
+		}
+		if skip {
 			continue
 		}
-		f := strings.Split(text, "\t")
-		if len(f) != 7 {
-			return recs, fmt.Errorf("trace: line %d has %d fields, want 7", line, len(f))
-		}
-		secs, err := strconv.ParseFloat(f[0], 64)
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d time: %w", line, err)
-		}
-		var rec Record
-		rec.Time = sim.Time(sim.DurationOf(secs))
-		switch f[1] {
-		case "R":
-			rec.Op = Read
-		case "W":
-			rec.Op = Write
-		default:
-			return recs, fmt.Errorf("trace: line %d op %q", line, f[1])
-		}
-		sector, err := strconv.ParseUint(f[2], 10, 32)
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d sector: %w", line, err)
-		}
-		rec.Sector = uint32(sector)
-		count, err := strconv.ParseUint(f[3], 10, 16)
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d count: %w", line, err)
-		}
-		rec.Count = uint16(count)
-		pending, err := strconv.ParseUint(f[4], 10, 16)
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d pending: %w", line, err)
-		}
-		rec.Pending = uint16(pending)
-		node, err := strconv.ParseUint(f[5], 10, 8)
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d node: %w", line, err)
-		}
-		rec.Node = uint8(node)
-		rec.Origin, err = originFromString(f[6])
-		if err != nil {
-			return recs, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		recs = append(recs, rec)
+		return rec, nil
 	}
-	if err := sc.Err(); err != nil {
-		return recs, err
+	if err := t.sc.Err(); err != nil {
+		return Record{}, err
 	}
-	return recs, nil
+	return Record{}, io.EOF
+}
+
+// ReadText parses the tab-separated format produced by WriteText. It is
+// the batch form of the streaming TextReader source.
+func ReadText(r io.Reader) ([]Record, error) {
+	return Collect(NewTextReader(r))
 }

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"essio/internal/sim"
 )
@@ -145,59 +144,38 @@ func UnmarshalRecord(buf []byte) (Record, error) {
 	}, nil
 }
 
-// WriteAll encodes records to w in the binary trace format.
+// WriteAll encodes records to w in the binary trace format. It is the
+// batch form of the streaming Writer sink.
 func WriteAll(w io.Writer, recs []Record) error {
-	var buf [recordSize]byte
+	tw := NewWriter(w)
 	for _, r := range recs {
-		r.Marshal(buf[:])
-		if _, err := w.Write(buf[:]); err != nil {
-			return fmt.Errorf("trace: write: %w", err)
+		if err := tw.Add(r); err != nil {
+			return err
 		}
 	}
-	return nil
+	return tw.Flush()
 }
 
-// ReadAll decodes all records from r until EOF.
+// ReadAll decodes all records from r until EOF. It is the batch form of
+// the streaming Reader source.
 func ReadAll(r io.Reader) ([]Record, error) {
-	var recs []Record
-	var buf [recordSize]byte
-	for {
-		_, err := io.ReadFull(r, buf[:])
-		if err == io.EOF {
-			return recs, nil
-		}
-		if err != nil {
-			return recs, fmt.Errorf("trace: read: %w", err)
-		}
-		rec, err := UnmarshalRecord(buf[:])
-		if err != nil {
-			return recs, err
-		}
-		recs = append(recs, rec)
-	}
+	return Collect(NewReader(r))
 }
 
 // Merge combines per-node traces into one slice sorted by (Time, Node,
-// Sector). Sorting is stable with respect to input order of equal keys.
+// Sector), stable with respect to input order of equal keys. It is the
+// batch form of the streaming k-way MergeSlices/MergeSources merge.
 func Merge(traces ...[]Record) []Record {
 	total := 0
 	for _, t := range traces {
 		total += len(t)
 	}
-	out := make([]Record, 0, total)
-	for _, t := range traces {
-		out = append(out, t...)
+	out := Collector{Recs: make([]Record, 0, total)}
+	// Slice sources never fail, so the merge cannot either.
+	if _, err := Copy(&out, MergeSlices(traces...)); err != nil {
+		panic("trace: merge: " + err.Error())
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
-		}
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Sector < out[j].Sector
-	})
-	return out
+	return out.Recs
 }
 
 // Ring is a bounded in-kernel trace buffer, the analogue of the kernel
