@@ -28,7 +28,7 @@ func main() {
 	temporal := flag.Bool("temporal", false, "print hottest sectors")
 	origins := flag.Bool("origins", false, "print ground-truth origin breakdown")
 	queue := flag.Bool("queue", false, "print driver queue-depth statistics")
-	format := flag.String("format", "bin", "input format: bin or text")
+	format := flag.String("format", "auto", "input format: auto, bin, or text")
 	diskSectors := flag.Uint("disk", 1024000, "disk size in sectors")
 	flag.Parse()
 
@@ -36,22 +36,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "essanalyze: -i is required")
 		os.Exit(2)
 	}
-	if *format != "bin" && *format != "text" {
-		fmt.Fprintf(os.Stderr, "essanalyze: unknown -format %q (want bin or text)\n", *format)
-		os.Exit(2)
-	}
-	f, err := os.Open(*in)
+	src, err := essio.OpenTraceFile(*in, *format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essanalyze:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	defer f.Close()
-	var src essio.TraceSource
-	if *format == "text" {
-		src = essio.NewTraceTextReader(f)
-	} else {
-		src = essio.NewTraceReader(f)
-	}
+	defer src.Close()
 
 	// One streaming pass feeds every requested accumulator at once; the
 	// trace is never resident in memory.

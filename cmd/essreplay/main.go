@@ -25,21 +25,22 @@ func main() {
 	xfer := flag.Float64("xfer", 0, "override media transfer rate (bytes/s)")
 	seekScale := flag.Float64("seek", 1, "scale seek times by this factor")
 	rpm := flag.Float64("rpm", 0, "override spindle speed")
+	format := flag.String("format", "auto", "input format: auto, bin, or text")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "essreplay: -i is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	src, err := essio.OpenTraceFile(*in, *format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essreplay:", err)
 		os.Exit(1)
 	}
 	// Replay needs the request sequence, so collect it from the
 	// incremental decoder in one streaming pass.
-	recs, err := essio.CollectTrace(essio.NewTraceReader(f))
-	f.Close()
+	recs, err := essio.CollectTrace(src)
+	src.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essreplay:", err)
 		os.Exit(1)

@@ -1,0 +1,261 @@
+// Command esssynth fits generative workload models from captured traces,
+// generates synthetic traces from them, and validates how close two
+// workloads are — the reconstruction step that turns the study's
+// characterization into a reusable load generator.
+//
+// Usage:
+//
+//	esssynth fit -i combined.trc -o combined.model.json
+//	esssynth generate -m combined.model.json -o synth.trc -duration 7000 -seed 1
+//	esssynth generate -m combined.model.json -o big.trc -duration 700 -nodes 64 -rate 2
+//	esssynth validate -a combined.trc -b synth.trc
+//
+// fit reads any trace the pipeline can decode (binary or text, sniffed by
+// default) and writes the model as JSON, suitable for diffing and version
+// control. generate samples a seeded, deterministic synthetic trace with
+// optional scaling (duration, node count, rate multiplier, read-fraction
+// override). validate fits both inputs (trace files, or .json model
+// files, mixed freely) and reports the model distance — KS on sizes and
+// inter-arrivals, chi-square on spatial bands, relative errors on
+// mix/rate — failing with exit status 1 when the distance exceeds
+// tolerance.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"essio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fit":
+		err = runFit(os.Args[2:])
+	case "generate":
+		err = runGenerate(os.Args[2:])
+	case "validate":
+		err = runValidate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "esssynth: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esssynth:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  esssynth fit      -i trace -o model.json [-format auto|bin|text] [-label L] [-nodes N] [-disk SECTORS] [-band SECTORS]
+  esssynth generate -m model.json -o trace -duration SECONDS [-format bin|text] [-seed N] [-nodes N] [-rate X] [-readfrac F] [-max N]
+  esssynth validate -a trace-or-model -b trace-or-model [-disk SECTORS] [-band SECTORS] [-sizeks F] [-minbandp F]`)
+}
+
+func runFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	out := fs.String("o", "", "output model JSON file (required, - for stdout)")
+	format := fs.String("format", "auto", "input format: auto, bin, or text")
+	label := fs.String("label", "", "model label (default: input file name)")
+	nodes := fs.Int("nodes", 0, "node count (0 = infer from trace)")
+	disk := fs.Uint("disk", 1024000, "disk size in sectors")
+	band := fs.Uint("band", 0, "spatial band width in sectors (0 = 100000)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("fit: -i and -o are required")
+	}
+	if *label == "" {
+		*label = *in
+	}
+
+	src, err := essio.OpenTraceFile(*in, *format)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	m, err := essio.FitModel(*label, src, *nodes, uint32(*disk), uint32(*band))
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, m)
+	return nil
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	modelPath := fs.String("m", "", "input model JSON file (required)")
+	out := fs.String("o", "", "output trace file (required, - for stdout)")
+	format := fs.String("format", "bin", "output format: bin or text")
+	seed := fs.Uint64("seed", 1, "random seed (same seed, same trace)")
+	duration := fs.Float64("duration", 0, "generated span in seconds (required unless -max)")
+	nodes := fs.Int("nodes", 0, "node count (0 = model's)")
+	rate := fs.Float64("rate", 1, "request-rate multiplier")
+	readfrac := fs.Float64("readfrac", -1, "override read fraction in [0,1] (-1 = keep model's)")
+	max := fs.Int("max", 0, "stop after this many records (0 = no cap)")
+	fs.Parse(args)
+	if *modelPath == "" || *out == "" {
+		return fmt.Errorf("generate: -m and -o are required")
+	}
+	if *duration <= 0 && *max <= 0 {
+		return fmt.Errorf("generate: one of -duration or -max is required (the trace is unbounded otherwise)")
+	}
+
+	m, err := readModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	opts := essio.SynthOptions{
+		Seed:           *seed,
+		Duration:       essio.DurationOf(*duration),
+		Nodes:          *nodes,
+		RateMultiplier: *rate,
+	}
+	if *readfrac >= 0 {
+		opts.OverrideReadFraction = true
+		opts.ReadFraction = *readfrac
+	}
+	g, err := essio.NewSynth(m, opts)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var n int
+	switch *format {
+	case "bin":
+		tw := essio.NewTraceWriter(w)
+		n, err = copyMax(tw, g, *max)
+		if err == nil {
+			err = tw.Flush()
+		}
+	case "text":
+		tw := essio.NewTraceTextWriter(w)
+		n, err = copyMax(tw, g, *max)
+		if err == nil {
+			err = tw.Flush()
+		}
+	default:
+		return fmt.Errorf("generate: unknown -format %q (want bin or text)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d records from %s (seed %d)\n", n, m.Label, *seed)
+	return nil
+}
+
+// copyMax pumps src into dst, stopping after max records when max > 0.
+func copyMax(dst essio.TraceSink, src essio.TraceSource, max int) (int, error) {
+	if max <= 0 {
+		return essio.CopyTrace(dst, src)
+	}
+	n := 0
+	for n < max {
+		r, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := dst.Add(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	a := fs.String("a", "", "reference trace or model JSON (required)")
+	b := fs.String("b", "", "candidate trace or model JSON (required)")
+	disk := fs.Uint("disk", 1024000, "disk size in sectors (for trace inputs)")
+	band := fs.Uint("band", 0, "band width in sectors (0 = 100000)")
+	sizeKS := fs.Float64("sizeks", 0, "override size KS tolerance (0 = default)")
+	minBandP := fs.Float64("minbandp", 0, "override minimum band p-value (0 = default)")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		return fmt.Errorf("validate: -a and -b are required")
+	}
+
+	ma, err := loadModelOrFit(*a, uint32(*disk), uint32(*band))
+	if err != nil {
+		return err
+	}
+	mb, err := loadModelOrFit(*b, uint32(*disk), uint32(*band))
+	if err != nil {
+		return err
+	}
+
+	d := essio.ModelDistance(ma, mb)
+	fmt.Println(d)
+	tol := essio.DefaultModelTolerance()
+	if *sizeKS > 0 {
+		tol.SizeKS = *sizeKS
+	}
+	if *minBandP > 0 {
+		tol.MinBandP = *minBandP
+	}
+	return d.Check(tol)
+}
+
+// readModel loads a model JSON file.
+func readModel(path string) (*essio.WorkloadModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return essio.ReadModelJSON(f)
+}
+
+// loadModelOrFit treats .json paths as saved models and anything else as
+// a trace file to fit on the fly.
+func loadModelOrFit(path string, disk, band uint32) (*essio.WorkloadModel, error) {
+	if strings.HasSuffix(path, ".json") {
+		return readModel(path)
+	}
+	src, err := essio.OpenTraceFile(path, "auto")
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return essio.FitModel(path, src, 0, disk, band)
+}

@@ -22,6 +22,8 @@
 package essio
 
 import (
+	"io"
+
 	"essio/internal/analysis"
 	"essio/internal/apps/nbody"
 	"essio/internal/apps/ppm"
@@ -31,10 +33,12 @@ import (
 	"essio/internal/disk"
 	"essio/internal/experiment"
 	"essio/internal/kernel"
+	"essio/internal/model"
 	"essio/internal/pious"
 	"essio/internal/pvm"
 	"essio/internal/replay"
 	"essio/internal/sim"
+	"essio/internal/synth"
 	"essio/internal/trace"
 	"essio/internal/vfs"
 )
@@ -350,3 +354,92 @@ func ReplayTrace(recs []Record, cfg ReplayConfig) (ReplayReport, error) {
 
 // DefaultDiskParams is the Beowulf node drive model.
 func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
+
+// Trace file access: the shared open/sniff path of essanalyze, essreplay,
+// and esssynth.
+type (
+	// TraceFileSource is a Source reading a trace file (call Close).
+	TraceFileSource = trace.FileSource
+)
+
+// Trace file format names for OpenTraceFile.
+const (
+	TraceFormatBinary = trace.FormatBinary
+	TraceFormatText   = trace.FormatText
+	TraceFormatAuto   = trace.FormatAuto
+)
+
+// OpenTraceFile opens a trace file as a streaming source; format is
+// "bin", "text", or "auto"/"" to sniff the encoding.
+func OpenTraceFile(path, format string) (*TraceFileSource, error) {
+	return trace.OpenFileSource(path, format)
+}
+
+// Workload modeling and synthetic trace generation: fit a generative
+// WorkloadModel from any trace source in one streaming pass, sample
+// unbounded synthetic traces from it with scaling knobs, and measure how
+// far two workloads diverge (see cmd/esssynth and examples/synthesis).
+type (
+	// WorkloadModel is a fitted, JSON-serializable workload description.
+	WorkloadModel = model.WorkloadModel
+	// ModelHistBin is one value/probability cell of a model histogram.
+	ModelHistBin = model.HistBin
+	// ModelOrigin is one component of the per-origin request mixture.
+	ModelOrigin = model.OriginModel
+	// ModelBand is one spatial band of the fitted placement distribution.
+	ModelBand = model.BandModel
+	// ModelArrival is the fitted burst-modulated arrival process.
+	ModelArrival = model.ArrivalModel
+	// ModelFitter is a Sink that fits a WorkloadModel incrementally.
+	ModelFitter = model.Fitter
+	// ModelDistanceReport quantifies divergence between two models.
+	ModelDistanceReport = model.DistanceReport
+	// ModelTolerance bounds an acceptable ModelDistanceReport.
+	ModelTolerance = model.Tolerance
+	// SynthOptions scales a synthetic trace generator.
+	SynthOptions = synth.Options
+	// SynthGenerator is a seeded deterministic synthetic trace Source.
+	SynthGenerator = synth.Generator
+)
+
+// NewModelFitter returns a streaming Sink fitting a WorkloadModel; pass
+// nodes 0 to infer the node count and bandSectors 0 for the paper's
+// 100000-sector bands.
+func NewModelFitter(label string, nodes int, diskSectors, bandSectors uint32) *ModelFitter {
+	return model.NewFitter(label, nodes, diskSectors, bandSectors)
+}
+
+// FitModel drains a trace source into a fitted WorkloadModel.
+func FitModel(label string, src TraceSource, nodes int, diskSectors, bandSectors uint32) (*WorkloadModel, error) {
+	return model.Fit(label, src, nodes, diskSectors, bandSectors)
+}
+
+// FitModelSlice fits a WorkloadModel from an in-memory trace.
+func FitModelSlice(label string, recs []Record, nodes int, diskSectors, bandSectors uint32) *WorkloadModel {
+	return model.FitSlice(label, recs, nodes, diskSectors, bandSectors)
+}
+
+// ReadModelJSON decodes and validates a WorkloadModel JSON document.
+func ReadModelJSON(r io.Reader) (*WorkloadModel, error) { return model.ReadJSON(r) }
+
+// ModelDistance compares two workload models: KS distances on size and
+// inter-arrival distributions, chi-square on spatial bands, relative
+// errors on mix and rate.
+func ModelDistance(a, b *WorkloadModel) ModelDistanceReport { return model.Distance(a, b) }
+
+// DefaultModelTolerance bounds a routine fit-generate-refit round trip.
+func DefaultModelTolerance() ModelTolerance { return model.DefaultTolerance() }
+
+// NewSynth builds a seeded deterministic generator sampling the model; a
+// zero Duration streams without bound.
+func NewSynth(m *WorkloadModel, opts SynthOptions) (*SynthGenerator, error) {
+	return synth.New(m, opts)
+}
+
+// GenerateSynth samples n records from the model as an in-memory trace.
+func GenerateSynth(m *WorkloadModel, opts SynthOptions, n int) ([]Record, error) {
+	return synth.Generate(m, opts, n)
+}
+
+// DurationOf converts seconds to virtual Duration.
+func DurationOf(seconds float64) Duration { return sim.DurationOf(seconds) }

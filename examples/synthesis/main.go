@@ -1,0 +1,90 @@
+// Synthesis: the full workload-reconstruction loop. Measure the paper's
+// combined experiment (E4), fit a generative WorkloadModel from the
+// driver trace, sample a synthetic trace ten times longer than the
+// measurement, validate that the synthetic load is statistically
+// indistinguishable from the measured one, and replay both against an
+// alternative disk to show the synthetic stream drives the same tuning
+// conclusions — without rerunning the applications.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"essio"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full 16-node paper configuration")
+	save := flag.String("save", "", "also write the fitted model JSON to this file")
+	flag.Parse()
+
+	// 1. Measure: run the combined workload and merge the node traces.
+	cfg := essio.SmallConfig(essio.Combined, 4)
+	if *full {
+		cfg = essio.Config{Kind: essio.Combined, Nodes: 16}
+	}
+	res, err := essio.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(essio.Summarize("measured", res.Merged, res.Duration, res.Nodes))
+
+	// 2. Fit: one streaming pass over the merged trace yields the model.
+	m := essio.FitModelSlice("combined", res.Merged, res.Nodes, res.DiskSectors, 0)
+	fmt.Printf("\nfitted model: %v\n", m)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("model written to %s\n", *save)
+	}
+
+	// 3. Generate: a seeded synthetic trace 10x the measured span. The
+	// generator is a TraceSource, so it feeds any pipeline consumer.
+	span := 10 * res.Duration
+	gen, err := essio.NewSynth(m, essio.SynthOptions{Seed: 1, Duration: span})
+	if err != nil {
+		log.Fatal(err)
+	}
+	synth, err := essio.CollectTrace(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerated %d records over %v (10x the measured %v)\n",
+		len(synth), span, res.Duration)
+
+	// 4. Validate: refit on the synthetic stream and compare models.
+	refit := essio.FitModelSlice("synthetic", synth, res.Nodes, res.DiskSectors, 0)
+	d := essio.ModelDistance(m, refit)
+	fmt.Printf("\nmodel distance (measured vs synthetic):\n%v\n", d)
+	if err := d.Check(essio.DefaultModelTolerance()); err != nil {
+		log.Fatal("validation failed: ", err)
+	}
+	fmt.Println("within tolerance: the synthetic load is statistically faithful")
+
+	// 5. Replay both against a faster drive: the tuning question the study
+	// asks ("what would this workload do on different hardware?") gets the
+	// same answer from the synthetic stream.
+	fast := essio.DefaultDiskParams()
+	fast.TransferRate *= 4
+	fast.TrackSeek /= 2
+	fast.FullSeek /= 2
+	for _, tc := range []struct {
+		name string
+		recs []essio.Record
+	}{{"measured", res.Merged}, {"synthetic", synth}} {
+		rep, err := essio.ReplayTrace(tc.recs, essio.ReplayConfig{Disk: fast})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreplay of %s trace on 4x-transfer drive:\n%v\n", tc.name, rep)
+	}
+}

@@ -1,0 +1,297 @@
+// Goodness-of-fit between two fitted workload models: the validation layer
+// that closes the fit → generate → re-fit loop. Distance compares the
+// distributions a generator is supposed to reproduce — request sizes,
+// inter-arrival gaps, spatial bands — with the statistics appropriate to
+// each (Kolmogorov–Smirnov for the continuous-ish distributions,
+// chi-square for the banded categorical one, relative error for scalar
+// rates).
+
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DistanceReport quantifies how far apart two workload models are.
+type DistanceReport struct {
+	// SizeKS is the Kolmogorov–Smirnov distance between the aggregate
+	// request-size distributions (sup-norm of the CDF difference, in
+	// [0,1]).
+	SizeKS float64
+	// InterArrivalKS is the KS distance between the log-bucketed
+	// inter-arrival distributions of the merged streams.
+	InterArrivalKS float64
+	// BandChi2 is the chi-square statistic of B's spatial band counts
+	// against A's band distribution, with BandDF degrees of freedom and
+	// upper-tail p-value BandP. Under the hypothesis that B's requests
+	// were drawn from A's band distribution, BandP is uniform on (0,1);
+	// values near zero reject the fit.
+	BandChi2 float64
+	BandDF   int
+	BandP    float64
+	// ReadFracErr is |readFraction(A) − readFraction(B)|.
+	ReadFracErr float64
+	// RateErr is the relative error of B's mean request rate against
+	// A's, after normalizing both to per-node rates so traces generated
+	// at different node counts compare fairly.
+	RateErr float64
+	// SeqErr is |seqP(A) − seqP(B)|, the sequential-continuation
+	// mismatch.
+	SeqErr float64
+}
+
+func (r DistanceReport) String() string {
+	return fmt.Sprintf("size KS %.4f | inter-arrival KS %.4f | band chi2 %.1f (df %d, p %.3f) | read-frac err %.4f | rate err %.1f%% | seq err %.4f",
+		r.SizeKS, r.InterArrivalKS, r.BandChi2, r.BandDF, r.BandP, r.ReadFracErr, 100*r.RateErr, r.SeqErr)
+}
+
+// Tolerance bounds a DistanceReport; zero fields accept anything.
+type Tolerance struct {
+	SizeKS         float64
+	InterArrivalKS float64
+	MinBandP       float64
+	ReadFracErr    float64
+	RateErr        float64
+	SeqErr         float64
+}
+
+// DefaultTolerance is the acceptance bound used by cmd/esssynth validate
+// and the self-consistency tests: KS ≤ 0.1 on sizes (the paper's size
+// classes are the primary characterization), looser bounds on the noisier
+// statistics.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		SizeKS:         0.10,
+		InterArrivalKS: 0.20,
+		MinBandP:       1e-3,
+		ReadFracErr:    0.05,
+		RateErr:        0.25,
+		SeqErr:         0.10,
+	}
+}
+
+// Check reports nil when r is within tol, or an error naming every
+// exceeded bound.
+func (r DistanceReport) Check(tol Tolerance) error {
+	var fails []string
+	if tol.SizeKS > 0 && r.SizeKS > tol.SizeKS {
+		fails = append(fails, fmt.Sprintf("size KS %.4f > %.4f", r.SizeKS, tol.SizeKS))
+	}
+	if tol.InterArrivalKS > 0 && r.InterArrivalKS > tol.InterArrivalKS {
+		fails = append(fails, fmt.Sprintf("inter-arrival KS %.4f > %.4f", r.InterArrivalKS, tol.InterArrivalKS))
+	}
+	if tol.MinBandP > 0 && r.BandP < tol.MinBandP {
+		fails = append(fails, fmt.Sprintf("band p-value %.2g < %.2g", r.BandP, tol.MinBandP))
+	}
+	if tol.ReadFracErr > 0 && r.ReadFracErr > tol.ReadFracErr {
+		fails = append(fails, fmt.Sprintf("read-frac err %.4f > %.4f", r.ReadFracErr, tol.ReadFracErr))
+	}
+	if tol.RateErr > 0 && r.RateErr > tol.RateErr {
+		fails = append(fails, fmt.Sprintf("rate err %.1f%% > %.1f%%", 100*r.RateErr, 100*tol.RateErr))
+	}
+	if tol.SeqErr > 0 && r.SeqErr > tol.SeqErr {
+		fails = append(fails, fmt.Sprintf("seq err %.4f > %.4f", r.SeqErr, tol.SeqErr))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("model: distance exceeds tolerance: %s", strings.Join(fails, "; "))
+	}
+	return nil
+}
+
+// Distance computes the goodness-of-fit of model b against reference
+// model a. The comparison is symmetric except for the band chi-square,
+// which tests b's observed band counts against a's distribution.
+func Distance(a, b *WorkloadModel) DistanceReport {
+	var r DistanceReport
+	r.SizeKS = ksDistance(a.sizeDist(), b.sizeDist())
+	r.InterArrivalKS = ksDistance(a.InterArrivalUS, b.InterArrivalUS)
+	r.BandChi2, r.BandDF, r.BandP = bandChi2(a, b)
+	r.ReadFracErr = math.Abs(a.ReadFraction - b.ReadFraction)
+	ra := a.perNodeRate()
+	rb := b.perNodeRate()
+	if ra > 0 {
+		r.RateErr = math.Abs(ra-rb) / ra
+	} else if rb > 0 {
+		r.RateErr = 1
+	}
+	r.SeqErr = math.Abs(a.SeqP - b.SeqP)
+	return r
+}
+
+// perNodeRate is the mean request rate per node, the node-count-invariant
+// form of MeanRate.
+func (m *WorkloadModel) perNodeRate() float64 {
+	if m.Nodes == 0 {
+		return m.MeanRate
+	}
+	return m.MeanRate / float64(m.Nodes)
+}
+
+// sizeDist collapses the per-origin mixture into one aggregate
+// request-size distribution.
+func (m *WorkloadModel) sizeDist() []HistBin {
+	agg := make(map[int]float64)
+	for _, o := range m.Origins {
+		for _, b := range o.SizeSectors {
+			agg[b.V] += o.P * b.P
+		}
+	}
+	out := make([]HistBin, 0, len(agg))
+	for v, p := range agg {
+		out = append(out, HistBin{V: v, P: p})
+	}
+	sortBinsByV(out)
+	return out
+}
+
+// ksDistance is the Kolmogorov–Smirnov statistic between two discrete
+// distributions given as sorted histograms: the maximum absolute CDF
+// difference over the union of their supports.
+func ksDistance(a, b []HistBin) float64 {
+	vals := make([]int, 0, len(a)+len(b))
+	for _, x := range a {
+		vals = append(vals, x.V)
+	}
+	for _, x := range b {
+		vals = append(vals, x.V)
+	}
+	sort.Ints(vals)
+
+	var max, ca, cb float64
+	ia, ib := 0, 0
+	prev := math.MinInt64
+	for _, v := range vals {
+		if v == prev {
+			continue
+		}
+		prev = v
+		for ia < len(a) && a[ia].V <= v {
+			ca += a[ia].P
+			ia++
+		}
+		for ib < len(b) && b[ib].V <= v {
+			cb += b[ib].P
+			ib++
+		}
+		if d := math.Abs(ca - cb); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// bandChi2 tests b's observed band counts against a's band distribution.
+// Expected counts below 0.5 are floored (Haldane-style continuity) so
+// bands that a never observed but b did contribute a finite penalty.
+// Band placements are clustered — a sequential run picks its band once
+// and every continuation lands in the same band — so the independent
+// trials behind the counts are run starts, not requests, and the run
+// lengths are themselves random (geometric with mean 1/(1−SeqP), so the
+// cluster-size design effect is E[L²]/E[L]² = 1+SeqP). The test uses the
+// effective sample size n·(1−SeqP)/(1+SeqP) to keep the statistic
+// calibrated.
+func bandChi2(a, b *WorkloadModel) (chi2 float64, df int, p float64) {
+	type cell struct{ pa, pb float64 }
+	cells := make(map[uint32]*cell)
+	for _, band := range a.Bands {
+		cells[band.Lo] = &cell{pa: band.P}
+	}
+	for _, band := range b.Bands {
+		c := cells[band.Lo]
+		if c == nil {
+			c = &cell{}
+			cells[band.Lo] = c
+		}
+		c.pb = band.P
+	}
+	nb := float64(b.Requests) * (1 - b.SeqP) / (1 + b.SeqP)
+	if nb < 2 || len(cells) < 2 {
+		return 0, 0, 1
+	}
+	for _, c := range cells {
+		exp := c.pa * nb
+		if exp < 0.5 {
+			exp = 0.5
+		}
+		obs := c.pb * nb
+		chi2 += (obs - exp) * (obs - exp) / exp
+	}
+	df = len(cells) - 1
+	p = chi2PValue(chi2, df)
+	return chi2, df, p
+}
+
+// chi2PValue is the upper-tail probability of a chi-square statistic with
+// df degrees of freedom: Q(df/2, x/2), the regularized upper incomplete
+// gamma function.
+func chi2PValue(x float64, df int) float64 {
+	if df <= 0 || x <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, x/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), by series expansion for x < a+1 and by
+// continued fraction otherwise (Numerical Recipes' gammp/gammq split).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by modified Lentz's method.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

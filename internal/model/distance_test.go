@@ -1,0 +1,90 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistanceSelfIsZero(t *testing.T) {
+	m := FitSlice("self", makeTrace(3000, 5), 0, 1024000, 0)
+	d := Distance(m, m)
+	if d.SizeKS != 0 || d.InterArrivalKS != 0 || d.ReadFracErr != 0 || d.RateErr != 0 || d.SeqErr != 0 {
+		t.Fatalf("self distance not zero: %v", d)
+	}
+	if d.BandP < 0.999 {
+		t.Fatalf("self band p-value = %v, want ~1", d.BandP)
+	}
+	if err := d.Check(DefaultTolerance()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []HistBin{{V: 1, P: 0.5}, {V: 2, P: 0.5}}
+	b := []HistBin{{V: 1, P: 0.2}, {V: 2, P: 0.8}}
+	if got := ksDistance(a, b); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("KS = %v, want 0.3", got)
+	}
+	// Disjoint supports: maximal separation.
+	c := []HistBin{{V: 10, P: 1}}
+	d := []HistBin{{V: 20, P: 1}}
+	if got := ksDistance(c, d); math.Abs(got-1) > 1e-12 {
+		t.Errorf("disjoint KS = %v, want 1", got)
+	}
+	if got := ksDistance(a, a); got != 0 {
+		t.Errorf("identical KS = %v, want 0", got)
+	}
+}
+
+func TestChi2PValue(t *testing.T) {
+	// df=2: the survival function is exactly exp(-x/2).
+	for _, x := range []float64{0.1, 1, 2.5, 10} {
+		want := math.Exp(-x / 2)
+		if got := chi2PValue(x, 2); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Q(chi2=%v, df=2) = %v, want %v", x, got, want)
+		}
+	}
+	// df=1 median: chi2 ≈ 0.4549 at p = 0.5.
+	if got := chi2PValue(0.454936, 1); math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("Q(0.4549, 1) = %v, want 0.5", got)
+	}
+	if got := chi2PValue(0, 5); got != 1 {
+		t.Errorf("Q(0, 5) = %v, want 1", got)
+	}
+	// Large statistic: p must collapse toward zero.
+	if got := chi2PValue(1000, 3); got > 1e-100 {
+		t.Errorf("Q(1000, 3) = %v, want ~0", got)
+	}
+}
+
+func TestDistanceDetectsMixShift(t *testing.T) {
+	a := FitSlice("a", makeTrace(3000, 5), 0, 1024000, 0)
+	b := FitSlice("b", makeTrace(3000, 5), 0, 1024000, 0)
+	// Flip b to all-writes and move its traffic scale.
+	for i := range b.Origins {
+		b.Origins[i].ReadFraction = 0
+	}
+	b.ReadFraction = 0
+	b.MeanRate = a.MeanRate * 3
+	d := Distance(a, b)
+	if d.ReadFracErr < 0.2 {
+		t.Errorf("read-frac err %v too small for an all-write flip", d.ReadFracErr)
+	}
+	if d.RateErr < 1.5 {
+		t.Errorf("rate err %v too small for a 3x rate shift", d.RateErr)
+	}
+	if err := d.Check(DefaultTolerance()); err == nil {
+		t.Error("tolerance check passed on a grossly shifted model")
+	}
+}
+
+func TestBandChi2RejectsRelocatedTraffic(t *testing.T) {
+	a := FitSlice("a", makeTrace(4000, 9), 0, 1024000, 0)
+	b := FitSlice("b", makeTrace(4000, 9), 0, 1024000, 0)
+	// Relocate all of b's traffic into one band a barely uses.
+	b.Bands = []BandModel{{Lo: 900000, Hi: 1000000, P: 1, Sectors: 10}}
+	d := Distance(a, b)
+	if d.BandP > 1e-6 {
+		t.Errorf("band p-value %v too large for fully relocated traffic", d.BandP)
+	}
+}

@@ -1,0 +1,222 @@
+// Package model turns a measured workload into a generative statistical
+// model. Where internal/core characterizes a trace (the paper's tables and
+// figures), this package fits the distributions behind those numbers —
+// per-origin request-size mixtures, the read/write mix, a burst-aware
+// two-state arrival process, the spatial band distribution with per-band
+// hot-sector skew, and run-length sequentiality — into a WorkloadModel
+// that internal/synth can sample to produce new, arbitrarily long,
+// arbitrarily scaled traces with the same statistical shape.
+//
+// Models are plain JSON so they can be saved, diffed, and
+// version-controlled alongside the experiments that produced them. The
+// companion Distance computes goodness-of-fit between two models, closing
+// the loop: fit a model, generate a synthetic trace, fit the synthetic
+// trace, and check the two models agree.
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the serialization format version stamped into every model.
+const Version = 1
+
+// HistBin is one bin of a discrete empirical distribution: value V occurs
+// with probability P. Histograms are stored sorted by V with P summing to
+// 1 over the bins.
+type HistBin struct {
+	V int     `json:"v"`
+	P float64 `json:"p"`
+}
+
+// OriginModel is the per-origin component of the request mixture: how
+// often this origin appears, its read share, and its request-size
+// distribution (in sectors, the driver's native unit).
+type OriginModel struct {
+	// Origin is the trace.Origin name ("data", "meta", "paging", ...).
+	Origin string `json:"origin"`
+	// P is the fraction of all requests carrying this origin tag.
+	P float64 `json:"p"`
+	// ReadFraction is the fraction of this origin's requests that are
+	// reads.
+	ReadFraction float64 `json:"read_fraction"`
+	// SizeSectors is the distribution of request lengths in sectors.
+	SizeSectors []HistBin `json:"size_sectors"`
+}
+
+// ArrivalModel is a two-state Markov-modulated arrival process fitted
+// from the per-second request-count profile: seconds alternate between a
+// base state and a burst state, each with its own Poisson rate, with
+// per-second transition probabilities between the states. This captures
+// the bursty, quiescent-then-active profiles the activity figures show
+// without storing the profile itself.
+type ArrivalModel struct {
+	// BaseRate and BurstRate are aggregate (all nodes) request rates per
+	// second in each state.
+	BaseRate  float64 `json:"base_rate"`
+	BurstRate float64 `json:"burst_rate"`
+	// PBase is the stationary fraction of seconds spent in the base
+	// state.
+	PBase float64 `json:"p_base"`
+	// PBaseToBurst and PBurstToBase are the per-second transition
+	// probabilities.
+	PBaseToBurst float64 `json:"p_base_to_burst"`
+	PBurstToBase float64 `json:"p_burst_to_base"`
+	// BaseGapUS and BurstGapUS are the state-conditional inter-arrival
+	// gap distributions (log2-bucketed microseconds, bucket v covering
+	// [2^v, 2^(v+1)), v=-1 for zero gaps). Generators draw gaps from the
+	// current state's distribution, reproducing both the second-scale
+	// burst structure and the sub-second clustering of the measured
+	// stream.
+	BaseGapUS  []HistBin `json:"base_gap_us"`
+	BurstGapUS []HistBin `json:"burst_gap_us"`
+}
+
+// BandModel is one spatial band of the disk with its traffic share and a
+// Zipf-like fit of how skewed accesses are toward the band's hottest
+// sectors.
+type BandModel struct {
+	// Lo and Hi delimit the band's sector range [Lo, Hi).
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+	// P is the fraction of all requests landing in this band.
+	P float64 `json:"p"`
+	// Sectors is the number of distinct starting sectors observed.
+	Sectors int `json:"sectors"`
+	// ZipfS is the fitted exponent of the rank-frequency power law
+	// count(rank) ~ rank^-s over the band's sectors (0 = uniform).
+	ZipfS float64 `json:"zipf_s"`
+}
+
+// WorkloadModel is the complete generative model of one traced workload.
+// Everything a generator needs to emit a statistically similar trace is
+// here; everything else (absolute sector positions of individual hot
+// spots, exact request interleavings) is deliberately not.
+type WorkloadModel struct {
+	FormatVersion int    `json:"format_version"`
+	Label         string `json:"label"`
+	// Nodes is the node count of the measured system; generators scale
+	// rates when asked for a different count.
+	Nodes int `json:"nodes"`
+	// DurationSec is the observed trace time span in seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// DiskSectors is the per-node disk size in sectors.
+	DiskSectors uint32 `json:"disk_sectors"`
+	// BandSectors is the spatial band width used for Bands.
+	BandSectors uint32 `json:"band_sectors"`
+	// Requests is the number of records the model was fitted from.
+	Requests int `json:"requests"`
+
+	// ReadFraction is the overall read share of the mix.
+	ReadFraction float64 `json:"read_fraction"`
+	// MeanRate is the overall aggregate request rate per second.
+	MeanRate float64 `json:"mean_rate"`
+	// SeqP is the probability that a request begins exactly where the
+	// previous request on the same disk ended — the continuation
+	// parameter of a geometric run-length model of physical
+	// sequentiality.
+	SeqP float64 `json:"seq_p"`
+
+	// Origins is the request mixture, one component per observed origin,
+	// sorted by origin name for stable serialization.
+	Origins []OriginModel `json:"origins"`
+	// Arrival is the fitted burst-aware arrival process.
+	Arrival ArrivalModel `json:"arrival"`
+	// Bands is the spatial distribution, one entry per band with
+	// traffic, ordered by Lo.
+	Bands []BandModel `json:"bands"`
+	// InterArrivalUS is the distribution of gaps between consecutive
+	// requests of the merged stream, in log2-bucketed microseconds: bin
+	// value v covers gaps in [2^v, 2^(v+1)) µs, v=-1 covers zero gaps.
+	InterArrivalUS []HistBin `json:"inter_arrival_us"`
+	// Pending is the distribution of the driver-queue depth recorded
+	// with each request.
+	Pending []HistBin `json:"pending"`
+}
+
+// WriteJSON serializes the model as indented JSON, the on-disk format of
+// cmd/esssynth fit.
+func (m *WorkloadModel) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("model: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a model written by WriteJSON.
+func ReadJSON(r io.Reader) (*WorkloadModel, error) {
+	var m WorkloadModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	if m.FormatVersion != Version {
+		return nil, fmt.Errorf("model: format version %d, want %d", m.FormatVersion, Version)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate rejects models a generator cannot sample from.
+func (m *WorkloadModel) validate() error {
+	if m.DiskSectors == 0 {
+		return fmt.Errorf("model: zero disk size")
+	}
+	if m.BandSectors == 0 {
+		return fmt.Errorf("model: zero band width")
+	}
+	if m.Nodes <= 0 {
+		return fmt.Errorf("model: node count %d", m.Nodes)
+	}
+	for _, o := range m.Origins {
+		if len(o.SizeSectors) == 0 {
+			return fmt.Errorf("model: origin %s has no size distribution", o.Origin)
+		}
+	}
+	for _, b := range m.Bands {
+		if b.Hi <= b.Lo {
+			return fmt.Errorf("model: empty band [%d,%d)", b.Lo, b.Hi)
+		}
+	}
+	return nil
+}
+
+// String summarizes the model in one line.
+func (m *WorkloadModel) String() string {
+	return fmt.Sprintf("model %s: %d requests over %.0fs on %d node(s), %.1f%% reads, %.2f req/s (base %.2f burst %.2f), seq %.1f%%, %d origins, %d bands",
+		m.Label, m.Requests, m.DurationSec, m.Nodes, 100*m.ReadFraction, m.MeanRate,
+		m.Arrival.BaseRate, m.Arrival.BurstRate, 100*m.SeqP, len(m.Origins), len(m.Bands))
+}
+
+// histFromCounts normalizes a value→count map into a sorted HistBin
+// slice.
+func histFromCounts(counts map[int]int) []HistBin {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]HistBin, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, HistBin{V: v, P: float64(c) / float64(total)})
+	}
+	sortBinsByV(out)
+	return out
+}
+
+func sortBinsByV(bins []HistBin) {
+	// Insertion sort: histograms are small and often nearly sorted.
+	for i := 1; i < len(bins); i++ {
+		for j := i; j > 0 && bins[j].V < bins[j-1].V; j-- {
+			bins[j], bins[j-1] = bins[j-1], bins[j]
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package synth generates synthetic driver traces from a fitted
+// model.WorkloadModel. The generator is a trace.Source: a seeded,
+// deterministic sampler that emits an unbounded, time-ordered record
+// stream with the model's request-size mixture, read/write mix,
+// burst-aware arrival process, spatial band distribution with hot-sector
+// skew, and run-length sequentiality — so synthetic workloads flow
+// through every existing consumer (analysis accumulators,
+// core.Characterize, the encoders, replay.Replay) unchanged.
+//
+// Scaling knobs turn one measured workload into a family: stretch the
+// duration arbitrarily, change the node count (aggregate rate scales
+// proportionally; per-node rate is preserved), multiply the request rate,
+// or override the read fraction.
+package synth
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"essio/internal/model"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// Options are the generator's scaling knobs. The zero value reproduces
+// the model as measured, unbounded.
+type Options struct {
+	// Seed selects the deterministic random stream; equal seeds yield
+	// identical traces.
+	Seed uint64
+	// Duration bounds the generated trace in virtual time (0 =
+	// unbounded; Next never returns io.EOF).
+	Duration sim.Duration
+	// Nodes overrides the node count (0 = the model's). Aggregate
+	// request rate scales with the node count, per-node rate stays as
+	// measured.
+	Nodes int
+	// RateMultiplier scales the arrival rate (0 = 1).
+	RateMultiplier float64
+	// OverrideReadFraction replaces every origin's read share with
+	// ReadFraction when set.
+	OverrideReadFraction bool
+	ReadFraction         float64
+	// Start is the timestamp of the first record (default 0).
+	Start sim.Time
+}
+
+// maxZipfRanks bounds the per-band inverse-CDF table a generator builds
+// for hot-sector sampling.
+const maxZipfRanks = 1 << 16
+
+// Generator emits a synthetic trace from a workload model. It implements
+// trace.Source; records come out in nondecreasing time order.
+type Generator struct {
+	m    *model.WorkloadModel
+	opts Options
+	rng  *rand.Rand
+
+	gapScale float64 // divisor applied to sampled gaps
+	nodes    int
+	limit    sim.Time // 0 = unbounded
+
+	origins []originSampler
+	originP []float64 // cumulative
+
+	bands []bandSampler
+	bandP []float64 // cumulative
+
+	baseGap, burstGap sampler
+	baseCal, burstCal float64 // per-state gap calibration factors
+	pToBurst, pToBase float64 // rebalanced per-second transitions
+	pending           sampler
+
+	burst     bool // current arrival state
+	t         sim.Time
+	started   bool
+	done      bool
+	sec       int64 // seconds since Start already state-stepped
+	burstSecs int64 // seconds spent in the burst state so far
+
+	runs map[uint8]run
+}
+
+// run is a node's in-progress sequential run: the next sector and the
+// band it is confined to.
+type run struct {
+	end, lo, hi uint32
+}
+
+type originSampler struct {
+	origin       trace.Origin
+	readFraction float64
+	sizes        sampler
+}
+
+type bandSampler struct {
+	lo, width uint32
+	ranks     []float64 // cumulative Zipf CDF over sector ranks
+}
+
+// sampler draws from a discrete histogram by inverse CDF.
+type sampler struct {
+	vals []int
+	cum  []float64
+}
+
+func newSampler(bins []model.HistBin) sampler {
+	s := sampler{vals: make([]int, len(bins)), cum: make([]float64, len(bins))}
+	acc := 0.0
+	for i, b := range bins {
+		s.vals[i] = b.V
+		acc += b.P
+		s.cum[i] = acc
+	}
+	return s
+}
+
+func (s *sampler) empty() bool { return len(s.vals) == 0 }
+
+func (s *sampler) draw(rng *rand.Rand) int {
+	u := rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.vals[lo]
+}
+
+// New returns a deterministic generator for m under the given options.
+func New(m *model.WorkloadModel, opts Options) (*Generator, error) {
+	if m.Requests == 0 {
+		return nil, fmt.Errorf("synth: model %q is empty", m.Label)
+	}
+	if len(m.Origins) == 0 {
+		return nil, fmt.Errorf("synth: model %q has no origin mixture", m.Label)
+	}
+	g := &Generator{
+		m:    m,
+		opts: opts,
+		rng:  rand.New(rand.NewPCG(opts.Seed, 0x657373696f2d7331)),
+	}
+	g.nodes = opts.Nodes
+	if g.nodes == 0 {
+		g.nodes = m.Nodes
+	}
+	if g.nodes <= 0 || g.nodes > 256 {
+		return nil, fmt.Errorf("synth: node count %d out of range [1,256]", g.nodes)
+	}
+	mult := opts.RateMultiplier
+	if mult == 0 {
+		mult = 1
+	}
+	if mult < 0 {
+		return nil, fmt.Errorf("synth: negative rate multiplier %g", mult)
+	}
+	g.gapScale = mult * float64(g.nodes) / float64(m.Nodes)
+	if opts.Duration > 0 {
+		g.limit = opts.Start.Add(opts.Duration)
+	}
+
+	for _, o := range m.Origins {
+		tag, err := trace.ParseOrigin(o.Origin)
+		if err != nil {
+			return nil, fmt.Errorf("synth: model %q: %w", m.Label, err)
+		}
+		rf := o.ReadFraction
+		if opts.OverrideReadFraction {
+			rf = opts.ReadFraction
+			if rf < 0 || rf > 1 {
+				return nil, fmt.Errorf("synth: read fraction %g out of [0,1]", rf)
+			}
+		}
+		g.origins = append(g.origins, originSampler{
+			origin:       tag,
+			readFraction: rf,
+			sizes:        newSampler(o.SizeSectors),
+		})
+		prev := 0.0
+		if len(g.originP) > 0 {
+			prev = g.originP[len(g.originP)-1]
+		}
+		g.originP = append(g.originP, prev+o.P)
+	}
+
+	for _, b := range m.Bands {
+		g.bands = append(g.bands, newBandSampler(b))
+		prev := 0.0
+		if len(g.bandP) > 0 {
+			prev = g.bandP[len(g.bandP)-1]
+		}
+		g.bandP = append(g.bandP, prev+b.P)
+	}
+	if len(g.bands) == 0 {
+		return nil, fmt.Errorf("synth: model %q has no spatial bands", m.Label)
+	}
+
+	g.baseGap = newSampler(m.Arrival.BaseGapUS)
+	g.burstGap = newSampler(m.Arrival.BurstGapUS)
+	if g.baseGap.empty() && g.burstGap.empty() {
+		// No fitted gaps (single-record model): fall back to the
+		// overall inter-arrival histogram, then to a constant rate.
+		g.baseGap = newSampler(m.InterArrivalUS)
+		if g.baseGap.empty() {
+			us := int(1e6 / math.Max(m.MeanRate, 1))
+			g.baseGap = newSampler([]model.HistBin{{V: bucketOf(us), P: 1}})
+		}
+	}
+	if g.baseGap.empty() {
+		g.baseGap = g.burstGap
+	}
+	if g.burstGap.empty() {
+		g.burstGap = g.baseGap
+	}
+	g.pending = newSampler(m.Pending)
+	g.baseCal = calibrate(g.baseGap, m.Arrival.BaseRate, m.MeanRate)
+	g.burstCal = calibrate(g.burstGap, m.Arrival.BurstRate, m.MeanRate)
+
+	// The measured state occupancy PBase determines the long-run rate, but
+	// on short phase-structured traces the per-second transition MLEs can
+	// imply a different stationary distribution. Rebalance the chain so its
+	// stationary occupancy equals the measured one, preserving the overall
+	// mixing speed (the sum of the transition probabilities).
+	mix := m.Arrival.PBaseToBurst + m.Arrival.PBurstToBase
+	g.pToBurst = mix * (1 - m.Arrival.PBase)
+	g.pToBase = mix * m.Arrival.PBase
+
+	g.t = opts.Start
+	g.burst = g.rng.Float64() >= m.Arrival.PBase
+	g.runs = make(map[uint8]run)
+	return g, nil
+}
+
+// calibrate returns the multiplicative gap correction aligning a state's
+// sampler with its fitted rate. Resampling a log2-bucketed histogram is
+// uniform within each bucket, while the measured gaps may concentrate
+// near bucket edges, so the raw sampler mean can drift from 1/rate by up
+// to 1.5x; scaling the positive gaps restores the state's request rate
+// without changing the distribution's shape.
+func calibrate(s sampler, rate, fallbackRate float64) float64 {
+	if rate <= 0 {
+		rate = fallbackRate
+	}
+	if rate <= 0 {
+		return 1
+	}
+	var mean, mass float64
+	for i, v := range s.vals {
+		p := s.cum[i]
+		if i > 0 {
+			p -= s.cum[i-1]
+		}
+		mass += p
+		if v >= 0 {
+			// Mean of a uniform draw over [low, 2*low).
+			mean += p * 1.5 * float64(model.GapBucketLow(v))
+		}
+	}
+	if mass <= 0 || mean <= 0 {
+		return 1
+	}
+	return (1e6 / rate) * mass / mean
+}
+
+// bucketOf is the log2 bucket holding a gap of us microseconds.
+func bucketOf(us int) int {
+	b := 0
+	for us > 1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// newBandSampler precomputes the inverse CDF of the band's Zipf
+// rank-frequency law, capped at maxZipfRanks ranks.
+func newBandSampler(b model.BandModel) bandSampler {
+	n := b.Sectors
+	if n < 1 {
+		n = 1
+	}
+	if n > maxZipfRanks {
+		n = maxZipfRanks
+	}
+	bs := bandSampler{lo: b.Lo, width: b.Hi - b.Lo}
+	if n == 1 || b.ZipfS == 0 {
+		// Uniform within the band; an empty rank table signals it.
+		return bs
+	}
+	bs.ranks = make([]float64, n)
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += zipfWeight(r+1, b.ZipfS)
+		bs.ranks[r] = acc
+	}
+	return bs
+}
+
+func zipfWeight(rank int, s float64) float64 {
+	return math.Pow(float64(rank), -s)
+}
+
+// sector draws a starting sector within the band: a Zipf rank mapped onto
+// the band by a fixed multiplicative shuffle, so the band's hot "sectors"
+// are stable positions across the whole generated trace.
+func (b *bandSampler) sector(rng *rand.Rand) uint32 {
+	if b.width == 0 {
+		return b.lo
+	}
+	if b.ranks == nil {
+		return b.lo + uint32(rng.Uint64()%uint64(b.width))
+	}
+	u := rng.Float64() * b.ranks[len(b.ranks)-1]
+	lo, hi := 0, len(b.ranks)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.ranks[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Knuth multiplicative shuffle spreads ranks across the band.
+	return b.lo + uint32((uint64(lo)*2654435761)%uint64(b.width))
+}
+
+// Next emits the next synthetic record. It returns io.EOF once the
+// configured duration is exhausted; with no duration it never ends.
+func (g *Generator) Next() (trace.Record, error) {
+	if g.done {
+		return trace.Record{}, io.EOF
+	}
+	if g.started {
+		g.advance()
+	} else {
+		g.started = true // first record fires at Start
+	}
+	if g.limit > 0 && g.t >= g.limit {
+		g.done = true
+		return trace.Record{}, io.EOF
+	}
+	return g.emit(), nil
+}
+
+// advance moves the clock to the next arrival: a gap sampled from the
+// current state's histogram, with the modulating chain stepped at every
+// second boundary the gap crosses. A state flip mid-gap truncates the
+// gap at the flip boundary and redraws the remaining wait from the new
+// state — the modulated rate takes effect immediately, so a burst phase
+// that begins inside a long base-state silence starts emitting at the
+// boundary instead of silently consuming the rest of the silence (which
+// would erode the fitted state occupancy and with it the mean rate).
+func (g *Generator) advance() {
+	for {
+		gs, cal := &g.baseGap, g.baseCal
+		if g.burst {
+			gs, cal = &g.burstGap, g.burstCal
+		}
+		v := gs.draw(g.rng)
+		if v < 0 {
+			return // zero gap: the next request shares this timestamp
+		}
+		low := model.GapBucketLow(v)
+		gap := low + sim.Duration(g.rng.Int64N(int64(low)))
+		gap = sim.Duration(float64(gap)*cal/g.gapScale + 0.5)
+		if gap <= 0 {
+			gap = 1
+		}
+		target := g.t.Add(gap)
+
+		flipped := false
+		for {
+			boundary := g.opts.Start.Add(sim.Duration(g.sec+1) * sim.Second)
+			if boundary > target {
+				break
+			}
+			g.sec++
+			flipped = g.step()
+			if flipped {
+				g.t = boundary
+				break
+			}
+		}
+		if !flipped {
+			g.t = target
+			return
+		}
+	}
+}
+
+// steerTau is the occupancy-correction horizon in seconds: a deficit of
+// one second shifts the flip odds by 1/steerTau.
+const steerTau = 10.0
+
+// step rolls the modulating chain at one second boundary and reports
+// whether the state flipped. The flip probabilities are steered toward
+// the fitted occupancy: a typical trace holds only tens of phase cycles,
+// so an uncorrected chain's realized occupancy — and with it the mean
+// rate — carries ~20% relative noise per run. The steering nudges the
+// odds in proportion to the accumulated occupancy deficit, leaving phase
+// lengths locally geometric.
+func (g *Generator) step() bool {
+	up, down := g.pToBurst, g.pToBase
+	d := (1-g.m.Arrival.PBase)*float64(g.sec) - float64(g.burstSecs)
+	if d > 0 {
+		up *= 1 + d/steerTau
+		down /= 1 + d/steerTau
+	} else {
+		down *= 1 - d/steerTau
+		up /= 1 - d/steerTau
+	}
+	flipped := false
+	if g.burst {
+		if g.rng.Float64() < down {
+			g.burst = false
+			flipped = true
+		}
+	} else {
+		if g.rng.Float64() < up {
+			g.burst = true
+			flipped = true
+		}
+	}
+	if g.burst {
+		g.burstSecs++
+	}
+	return flipped
+}
+
+// emit samples one record at the current clock.
+func (g *Generator) emit() trace.Record {
+	// Mixture component.
+	oi := searchCum(g.originP, g.rng.Float64()*g.originP[len(g.originP)-1])
+	o := &g.origins[oi]
+
+	r := trace.Record{
+		Time:   g.t,
+		Origin: o.origin,
+		Op:     trace.Write,
+		Node:   uint8(g.rng.Uint64() % uint64(g.nodes)),
+	}
+	if g.rng.Float64() < o.readFraction {
+		r.Op = trace.Read
+	}
+	r.Count = uint16(o.sizes.draw(g.rng))
+	if !g.pending.empty() {
+		r.Pending = uint16(g.pending.draw(g.rng))
+	}
+
+	// Placement: continue the node's sequential run with probability
+	// SeqP, otherwise draw a band and a skewed sector within it. A run
+	// is confined to its band — continuation past the band boundary
+	// wraps to the band start, like allocation wrapping within a zone —
+	// so run length is independent of the band and long runs cannot
+	// drift the spatial distribution away from the fitted proportions.
+	if st, ok := g.runs[r.Node]; ok && g.rng.Float64() < g.m.SeqP &&
+		st.lo+uint32(r.Count) <= st.hi {
+		s := st.end
+		if s+uint32(r.Count) > st.hi {
+			s = st.lo
+		}
+		r.Sector = s
+		g.runs[r.Node] = run{end: r.End(), lo: st.lo, hi: st.hi}
+	} else {
+		bi := searchCum(g.bandP, g.rng.Float64()*g.bandP[len(g.bandP)-1])
+		r.Sector = g.bands[bi].sector(g.rng)
+		if r.Sector+uint32(r.Count) > g.m.DiskSectors {
+			if uint32(r.Count) >= g.m.DiskSectors {
+				r.Sector = 0
+			} else {
+				r.Sector = g.m.DiskSectors - uint32(r.Count)
+			}
+		}
+		lo := g.bands[bi].lo
+		hi := lo + g.bands[bi].width
+		if hi > g.m.DiskSectors {
+			hi = g.m.DiskSectors
+		}
+		g.runs[r.Node] = run{end: r.End(), lo: lo, hi: hi}
+	}
+	return r
+}
+
+// searchCum finds the first index whose cumulative weight reaches u.
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Generate drains up to n records from a fresh generator into a slice,
+// the batch convenience over the streaming Source.
+func Generate(m *model.WorkloadModel, opts Options, n int) ([]trace.Record, error) {
+	g, err := New(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]trace.Record, 0, n)
+	for len(recs) < n {
+		r, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Format names a trace file encoding.
+const (
+	// FormatBinary is the compact fixed-record binary encoding.
+	FormatBinary = "bin"
+	// FormatText is the tab-separated interchange encoding.
+	FormatText = "text"
+	// FormatAuto sniffs the encoding from the file's first bytes.
+	FormatAuto = "auto"
+)
+
+// FileSource is a Source reading a trace file; Close releases the file.
+// It remembers the resolved format so callers can report what they read.
+type FileSource struct {
+	src    Source
+	f      *os.File
+	format string
+}
+
+// Next yields the next record of the file.
+func (s *FileSource) Next() (Record, error) { return s.src.Next() }
+
+// Close closes the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Format reports the resolved encoding, FormatBinary or FormatText.
+func (s *FileSource) Format() string { return s.format }
+
+// OpenFileSource opens a trace file as a streaming Source. format is
+// FormatBinary, FormatText, or FormatAuto (sniff); the empty string means
+// FormatAuto. It is the shared open/sniff path of essanalyze, essreplay,
+// and esssynth.
+func OpenFileSource(path, format string) (*FileSource, error) {
+	switch format {
+	case FormatBinary, FormatText, FormatAuto:
+	case "":
+		format = FormatAuto
+	default:
+		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
+			format, FormatBinary, FormatText, FormatAuto)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if format == FormatAuto {
+		format, err = sniffFormat(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+	}
+	s := &FileSource{f: f, format: format}
+	if format == FormatText {
+		s.src = NewTextReader(f)
+	} else {
+		s.src = NewReader(f)
+	}
+	return s, nil
+}
+
+// sniffFormat decides between the binary and text encodings by examining
+// the first bytes of f, then rewinds it. The text format is pure
+// printable ASCII with tabs and newlines (it opens with a header line);
+// binary records contain NUL padding and timestamp bytes within the first
+// RecordSize bytes.
+func sniffFormat(f *os.File) (string, error) {
+	var buf [256]byte
+	n, err := f.Read(buf[:])
+	if err != nil && err != io.EOF {
+		return "", err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	if n == 0 {
+		// An empty file is a valid empty trace in either encoding.
+		return FormatBinary, nil
+	}
+	for _, b := range buf[:n] {
+		if b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if b < 0x20 || b > 0x7e {
+			return FormatBinary, nil
+		}
+	}
+	return FormatText, nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"essio/internal/sim"
+)
+
+func fileTestRecords() []Record {
+	return []Record{
+		{Time: sim.Time(1000), Sector: 40000, Count: 8, Op: Write, Node: 1, Origin: OriginSwap},
+		{Time: sim.Time(2500), Sector: 150000, Count: 32, Op: Read, Node: 0, Origin: OriginData},
+		{Time: sim.Time(9000), Sector: 1000002, Count: 2, Pending: 3, Op: Write, Node: 2, Origin: OriginLog},
+	}
+}
+
+func writeTempTrace(t *testing.T, name string, text bool) (string, []Record) {
+	t.Helper()
+	recs := fileTestRecords()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if text {
+		if err := WriteText(f, recs); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := WriteAll(f, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path, recs
+}
+
+func TestOpenFileSourceExplicitFormats(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		text   bool
+		format string
+	}{
+		{"bin.trc", false, FormatBinary},
+		{"text.tsv", true, FormatText},
+	} {
+		path, want := writeTempTrace(t, tc.name, tc.text)
+		src, err := OpenFileSource(path, tc.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(src)
+		if cerr := src.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: read %v, want %v", tc.name, got, want)
+		}
+		if src.Format() != tc.format {
+			t.Errorf("%s: format %q, want %q", tc.name, src.Format(), tc.format)
+		}
+	}
+}
+
+func TestOpenFileSourceSniffs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		text bool
+		want string
+	}{
+		{"auto-bin.trc", false, FormatBinary},
+		{"auto-text.trc", true, FormatText},
+	} {
+		path, wantRecs := writeTempTrace(t, tc.name, tc.text)
+		for _, format := range []string{FormatAuto, ""} {
+			src, err := OpenFileSource(path, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src.Format() != tc.want {
+				t.Errorf("%s: sniffed %q, want %q", tc.name, src.Format(), tc.want)
+			}
+			got, err := Collect(src)
+			src.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, wantRecs) {
+				t.Errorf("%s: sniffed read differs", tc.name)
+			}
+		}
+	}
+}
+
+func TestOpenFileSourceErrors(t *testing.T) {
+	if _, err := OpenFileSource("does-not-exist.trc", FormatAuto); err == nil {
+		t.Error("missing file accepted")
+	}
+	path, _ := writeTempTrace(t, "x.trc", false)
+	if _, err := OpenFileSource(path, "csv"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestOpenFileSourceEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.trc")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFileSource(path, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	recs, err := Collect(src)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty file: recs=%v err=%v", recs, err)
+	}
+}

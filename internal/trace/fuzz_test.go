@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// validateRecord checks the invariants the hardened decoders guarantee on
+// every record they accept.
+func validateRecord(t *testing.T, r Record) {
+	t.Helper()
+	if r.Time < 0 {
+		t.Fatalf("decoder accepted negative time: %+v", r)
+	}
+	if r.Op > Write {
+		t.Fatalf("decoder accepted invalid op: %+v", r)
+	}
+	if int(r.Origin) >= len(originNames) {
+		t.Fatalf("decoder accepted invalid origin: %+v", r)
+	}
+}
+
+func FuzzDecodeBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteAll(&valid, fileTestRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:RecordSize])
+	f.Add(valid.Bytes()[:RecordSize-1]) // truncated record
+	f.Add([]byte{})
+	f.Add(make([]byte, RecordSize))   // zero record
+	f.Add(make([]byte, 3*RecordSize)) // several zero records
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[16] = 0xff // invalid op
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		for _, r := range recs {
+			validateRecord(t, r)
+		}
+		// Accepted input must round-trip exactly.
+		var out bytes.Buffer
+		if err := WriteAll(&out, recs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if len(again) == 0 {
+			again = []Record{}
+		}
+		if len(recs) == 0 {
+			recs = []Record{}
+		}
+		if !reflect.DeepEqual(again, recs) {
+			t.Fatalf("binary round trip diverged: %v vs %v", again, recs)
+		}
+	})
+}
+
+func FuzzDecodeText(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteText(&valid, fileTestRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(textHeader + "\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("0.000001\tR\t100\t8\t0\t0\tdata\n")
+	f.Add("0.000001\tR\t100\t8\t0\t0\tbogus\n")   // bad origin
+	f.Add("NaN\tR\t100\t8\t0\t0\tdata\n")         // bad time
+	f.Add("-1\tW\t100\t8\t0\t0\tdata\n")          // negative time
+	f.Add("1e300\tW\t100\t8\t0\t0\tdata\n")       // out-of-range time
+	f.Add("0.5\tX\t100\t8\t0\t0\tdata\n")         // bad op
+	f.Add("0.5\tR\t100\t8\t0\t0\n")               // missing field
+	f.Add("0.5\tR\t99999999999\t8\t0\t0\tdata\n") // sector overflow
+	f.Add("0.5\tR\t100\t8\t0\t999\tdata\n")       // node overflow
+	f.Add("time_s\top\tsector\tcount\tpending\tnode\torigin\n0.25\tW\t7\t2\t1\t3\tswap\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		recs, err := ReadText(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		for _, r := range recs {
+			validateRecord(t, r)
+		}
+		// Accepted input must survive an encode/decode cycle unchanged:
+		// the parser's time bound keeps the seconds conversion exact.
+		var out bytes.Buffer
+		if err := WriteText(&out, recs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadText(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing our own encoding: %v", err)
+		}
+		if len(again) == 0 {
+			again = []Record{}
+		}
+		if len(recs) == 0 {
+			recs = []Record{}
+		}
+		if !reflect.DeepEqual(again, recs) {
+			t.Fatalf("text round trip diverged: %v vs %v", again, recs)
+		}
+	})
+}

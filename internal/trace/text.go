@@ -4,11 +4,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"essio/internal/sim"
 )
+
+// maxTextSeconds bounds a parsed timestamp: far beyond any simulated
+// span, and small enough that the seconds-to-microseconds float
+// conversion is exact, so text round trips are lossless.
+const maxTextSeconds = 1e9
 
 // textHeader is the column header line of the tab-separated format.
 const textHeader = "time_s\top\tsector\tcount\tpending\tnode\torigin"
@@ -68,8 +74,8 @@ func WriteText(w io.Writer, recs []Record) error {
 	return tw.Flush()
 }
 
-// originFromString inverts Origin.String.
-func originFromString(s string) (Origin, error) {
+// ParseOrigin inverts Origin.String.
+func ParseOrigin(s string) (Origin, error) {
 	for i, name := range originNames {
 		if s == name {
 			return Origin(i), nil
@@ -92,6 +98,9 @@ func parseTextLine(text string, line int) (rec Record, skip bool, err error) {
 	secs, err := strconv.ParseFloat(f[0], 64)
 	if err != nil {
 		return Record{}, false, fmt.Errorf("trace: line %d time: %w", line, err)
+	}
+	if math.IsNaN(secs) || secs < 0 || secs > maxTextSeconds {
+		return Record{}, false, fmt.Errorf("trace: line %d time %q out of range", line, f[0])
 	}
 	rec.Time = sim.Time(sim.DurationOf(secs))
 	switch f[1] {
@@ -122,7 +131,7 @@ func parseTextLine(text string, line int) (rec Record, skip bool, err error) {
 		return Record{}, false, fmt.Errorf("trace: line %d node: %w", line, err)
 	}
 	rec.Node = uint8(node)
-	rec.Origin, err = originFromString(f[6])
+	rec.Origin, err = ParseOrigin(f[6])
 	if err != nil {
 		return Record{}, false, fmt.Errorf("trace: line %d: %w", line, err)
 	}

@@ -128,12 +128,15 @@ func (r Record) Marshal(buf []byte) int {
 // RecordSize is the fixed encoded record length in bytes.
 const RecordSize = recordSize
 
-// UnmarshalRecord decodes one record from buf.
+// UnmarshalRecord decodes one record from buf, rejecting encodings no
+// Marshal call can produce (negative timestamp, unknown op or origin) so
+// corrupted or hostile trace files surface as errors instead of leaking
+// impossible records into analysis.
 func UnmarshalRecord(buf []byte) (Record, error) {
 	if len(buf) < recordSize {
 		return Record{}, fmt.Errorf("trace: short record: %d bytes", len(buf))
 	}
-	return Record{
+	r := Record{
 		Time:    sim.Time(binary.LittleEndian.Uint64(buf[0:])),
 		Sector:  binary.LittleEndian.Uint32(buf[8:]),
 		Count:   binary.LittleEndian.Uint16(buf[12:]),
@@ -141,7 +144,17 @@ func UnmarshalRecord(buf []byte) (Record, error) {
 		Op:      Op(buf[16]),
 		Node:    buf[17],
 		Origin:  Origin(buf[18]),
-	}, nil
+	}
+	if r.Time < 0 {
+		return Record{}, fmt.Errorf("trace: negative timestamp %d", int64(r.Time))
+	}
+	if r.Op > Write {
+		return Record{}, fmt.Errorf("trace: invalid op %d", uint8(r.Op))
+	}
+	if int(r.Origin) >= len(originNames) {
+		return Record{}, fmt.Errorf("trace: invalid origin %d", uint8(r.Origin))
+	}
+	return r, nil
 }
 
 // WriteAll encodes records to w in the binary trace format. It is the

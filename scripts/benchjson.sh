@@ -1,0 +1,59 @@
+#!/bin/sh
+# benchjson.sh — run the repo benchmarks and record the results as a
+# BENCH_<date>.json artifact, so the performance trajectory of the
+# reproduction is tracked over time.
+#
+# Usage: scripts/benchjson.sh [bench-regex] [output-file]
+#
+#   bench-regex   which benchmarks to run (go test -bench syntax).
+#                 Defaults to the fast microbenchmarks; pass '.' for
+#                 everything (the Table/Figure/Ablation benchmarks run
+#                 full experiments and take minutes each).
+#   output-file   defaults to BENCH_<YYYYMMDD>.json in the repo root.
+#
+# Environment: BENCHTIME overrides -benchtime (default 1x).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|MergeBatch|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
+out=${2:-BENCH_$(date +%Y%m%d).json}
+benchtime=${BENCHTIME:-1x}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go env GOVERSION)" \
+    -v pattern="$pattern" \
+    -v benchtime="$benchtime" '
+function esc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+BEGIN {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", esc(date)
+    printf "  \"go\": \"%s\",\n", esc(gover)
+    printf "  \"pattern\": \"%s\",\n", esc(pattern)
+    printf "  \"benchtime\": \"%s\",\n", esc(benchtime)
+    printf "  \"benchmarks\": ["
+    n = 0
+}
+/^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", esc(name), $2
+    m = 0
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m++) printf ", "
+        printf "\"%s\": %s", esc($(i + 1)), $i
+    }
+    printf "}}"
+}
+END {
+    printf "\n  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
