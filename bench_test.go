@@ -564,3 +564,42 @@ func BenchmarkCharacterizeStreaming(b *testing.B) {
 		_ = p.Profile()
 	}
 }
+
+// countBatchSink counts records a whole batch at a time.
+type countBatchSink struct{ n int }
+
+func (s *countBatchSink) AddBatch(recs []trace.Record) error { s.n += len(recs); return nil }
+
+// BenchmarkMergeBatchStreaming drains the k-way merge at batch
+// granularity: whole record buffers move from the loser tree into a batch
+// sink, no per-record interface dispatch on either side.
+func BenchmarkMergeBatchStreaming(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &countBatchSink{}
+		if _, err := essio.CopyTraceBatches(sink, essio.ToTraceBatchSource(trace.MergeSlices(traces...))); err != nil {
+			b.Fatal(err)
+		}
+		if sink.n != 16*4096 {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+// BenchmarkCharacterizeParallel shards the per-node traces of the same
+// fixture across 1, 2, 4, and 8 workers; every variant produces the exact
+// sequential profile.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(map[int]string{1: "1", 2: "2", 4: "4", 8: "8"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = essio.ProfileParallel("bench", traces, 70*sim.Second, 16, 4194304, workers)
+			}
+		})
+	}
+}

@@ -1,23 +1,169 @@
 // Command essanalyze computes the study's characterization metrics from a
 // binary trace file written by esstrace. The file is decoded incrementally
 // and every requested metric is an accumulator fed from the same single
-// pass, so traces of any length are processed in bounded memory.
+// pass, so traces of any length are processed in bounded memory. With
+// -workers the file is split into record-aligned chunks analyzed
+// concurrently and the per-chunk accumulators are folded back together
+// with their exact Merge methods, so the output is identical to the
+// sequential pass.
 //
 // Usage:
 //
 //	essanalyze -i wavelet.trc -nodes 16               # Table 1 row
 //	essanalyze -i combined.trc -spatial -temporal      # locality reports
 //	essanalyze -i ppm.trc -hist                        # request size histogram
+//	essanalyze -i combined.trc -workers 8 -spatial     # multi-core pass
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"essio"
 )
+
+// accSet is one worker's set of requested accumulators.
+type accSet struct {
+	sum   *essio.SummaryAcc
+	hist  *essio.SizeHistAcc
+	bands *essio.BandsAcc
+	heat  *essio.HeatAcc
+	inter *essio.InterAccessAcc
+	pend  *essio.PendingAcc
+	orig  *essio.OriginAcc
+}
+
+// options selects which metrics to compute.
+type options struct {
+	label       string
+	nodes       int
+	hist        bool
+	spatial     bool
+	temporal    bool
+	queue       bool
+	origins     bool
+	diskSectors uint32
+}
+
+func newAccSet(o options) *accSet {
+	s := &accSet{sum: essio.NewSummaryAcc(o.label, 0, o.nodes)}
+	if o.hist {
+		s.hist = essio.NewSizeHistAcc()
+	}
+	if o.spatial {
+		s.bands = essio.NewBandsAcc(100000, o.diskSectors)
+	}
+	if o.temporal {
+		s.heat = essio.NewHeatAcc()
+		s.inter = essio.NewInterAccessAcc()
+	}
+	if o.queue {
+		s.pend = essio.NewPendingAcc()
+	}
+	if o.origins {
+		s.orig = essio.NewOriginAcc()
+	}
+	return s
+}
+
+func (s *accSet) sinks() []essio.TraceSink {
+	out := []essio.TraceSink{s.sum}
+	if s.hist != nil {
+		out = append(out, s.hist)
+	}
+	if s.bands != nil {
+		out = append(out, s.bands)
+	}
+	if s.heat != nil {
+		out = append(out, s.heat, s.inter)
+	}
+	if s.pend != nil {
+		out = append(out, s.pend)
+	}
+	if s.orig != nil {
+		out = append(out, s.orig)
+	}
+	return out
+}
+
+// merge folds b, which consumed the records immediately following s's,
+// into s. Every fold is the accumulator's exact Merge, so the combined
+// set matches a sequential pass over the whole file.
+func (s *accSet) merge(b *accSet) {
+	s.sum.Merge(b.sum)
+	if s.hist != nil {
+		s.hist.Merge(b.hist)
+	}
+	if s.bands != nil {
+		s.bands.Merge(b.bands)
+	}
+	if s.heat != nil {
+		s.heat.Merge(b.heat)
+		s.inter.Merge(b.inter)
+	}
+	if s.pend != nil {
+		s.pend.Merge(b.pend)
+	}
+	if s.orig != nil {
+		s.orig.Merge(b.orig)
+	}
+}
+
+// analyzeSequential streams the whole file through one accumulator set.
+func analyzeSequential(path, format string, o options) (*accSet, int, error) {
+	src, err := essio.OpenTraceFile(path, format)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer src.Close()
+	s := newAccSet(o)
+	n, err := essio.CopyTrace(essio.TeeSinks(s.sinks()...), src)
+	return s, n, err
+}
+
+// analyzeChunked splits the file into record-aligned chunks, analyzes
+// them concurrently, and folds the per-chunk accumulators in file order.
+func analyzeChunked(path string, o options, workers int) (*accSet, int, error) {
+	chunks, err := essio.OpenTraceFileChunks(path, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		for _, c := range chunks {
+			c.Close()
+		}
+	}()
+	sets := make([]*accSet, len(chunks))
+	counts := make([]int, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		sets[i] = newAccSet(o)
+		wg.Add(1)
+		go func(i int, c *essio.TraceFileSource) {
+			defer wg.Done()
+			counts[i], errs[i] = essio.CopyTrace(essio.TeeSinks(sets[i].sinks()...), c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	total := 0
+	for i := 1; i < len(sets); i++ {
+		sets[0].merge(sets[i])
+	}
+	for _, n := range counts {
+		total += n
+	}
+	return sets[0], total, nil
+}
 
 func main() {
 	in := flag.String("i", "", "input trace file (required)")
@@ -30,52 +176,44 @@ func main() {
 	queue := flag.Bool("queue", false, "print driver queue-depth statistics")
 	format := flag.String("format", "auto", "input format: auto, bin, or text")
 	diskSectors := flag.Uint("disk", 1024000, "disk size in sectors")
+	workers := flag.Int("workers", 1, "analyze the file in N concurrent chunks (0 = all cores)")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "essanalyze: -i is required")
 		os.Exit(2)
 	}
-	src, err := essio.OpenTraceFile(*in, *format)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "essanalyze:", err)
-		os.Exit(2)
+	o := options{
+		label:       *label,
+		nodes:       *nodes,
+		hist:        *hist,
+		spatial:     *spatial,
+		temporal:    *temporal,
+		queue:       *queue,
+		origins:     *origins,
+		diskSectors: uint32(*diskSectors),
 	}
-	defer src.Close()
-
-	// One streaming pass feeds every requested accumulator at once; the
-	// trace is never resident in memory.
-	sum := essio.NewSummaryAcc(*label, 0, *nodes)
-	sinks := []essio.TraceSink{sum}
-	var histAcc *essio.SizeHistAcc
-	if *hist {
-		histAcc = essio.NewSizeHistAcc()
-		sinks = append(sinks, histAcc)
-	}
-	var bandsAcc *essio.BandsAcc
-	if *spatial {
-		bandsAcc = essio.NewBandsAcc(100000, uint32(*diskSectors))
-		sinks = append(sinks, bandsAcc)
-	}
-	var heatAcc *essio.HeatAcc
-	var interAcc *essio.InterAccessAcc
-	if *temporal {
-		heatAcc = essio.NewHeatAcc()
-		interAcc = essio.NewInterAccessAcc()
-		sinks = append(sinks, heatAcc, interAcc)
-	}
-	var pendAcc *essio.PendingAcc
-	if *queue {
-		pendAcc = essio.NewPendingAcc()
-		sinks = append(sinks, pendAcc)
-	}
-	var origAcc *essio.OriginAcc
-	if *origins {
-		origAcc = essio.NewOriginAcc()
-		sinks = append(sinks, origAcc)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
 
-	n, err := essio.CopyTrace(essio.TeeSinks(sinks...), src)
+	var (
+		s   *accSet
+		n   int
+		err error
+	)
+	if w > 1 {
+		s, n, err = analyzeChunked(*in, o, w)
+		if err != nil {
+			// Text traces and odd-sized files cannot be chunked; the
+			// sequential pass handles them.
+			fmt.Fprintf(os.Stderr, "essanalyze: %v; falling back to one worker\n", err)
+			s, n, err = analyzeSequential(*in, *format, o)
+		}
+	} else {
+		s, n, err = analyzeSequential(*in, *format, o)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essanalyze:", err)
 		os.Exit(1)
@@ -84,12 +222,12 @@ func main() {
 		fmt.Println("empty trace")
 		return
 	}
-	duration := sum.Span()
-	sum.SetDuration(duration)
-	fmt.Println(sum.Summary())
+	duration := s.sum.Span()
+	s.sum.SetDuration(duration)
+	fmt.Println(s.sum.Summary())
 
 	if *hist {
-		h := histAcc.Histogram()
+		h := s.hist.Histogram()
 		sizes := make([]int, 0, len(h))
 		for kb := range h {
 			sizes = append(sizes, kb)
@@ -101,7 +239,7 @@ func main() {
 		}
 	}
 	if *spatial {
-		bands := bandsAcc.Bands()
+		bands := s.bands.Bands()
 		fmt.Println("spatial locality (100K-sector bands):")
 		for _, b := range bands {
 			if b.Count > 0 {
@@ -111,22 +249,22 @@ func main() {
 		fmt.Printf("  80%% of requests in %.0f%% of bands\n", 100*essio.Pareto(bands, 0.8))
 	}
 	if *temporal {
-		heat := heatAcc.Heat(duration)
+		heat := s.heat.Heat(duration)
 		fmt.Println("hottest sectors:")
 		for _, h := range essio.Hottest(heat, 10) {
 			fmt.Printf("  sector %7d: %6d accesses (%.3f/s)\n", h.Sector, h.Count, h.PerSec)
 		}
-		mean, sectors := interAcc.Result()
+		mean, sectors := s.inter.Result()
 		fmt.Printf("  mean inter-access time %.2fs over %d revisited sectors\n", mean.Seconds(), sectors)
 	}
 	if *queue {
-		q := pendAcc.Stats()
+		q := s.pend.Stats()
 		fmt.Printf("driver queue: mean depth %.2f, max %d, busy on %.0f%% of issues\n",
 			q.MeanPending, q.MaxPending, 100*q.BusyFrac)
 	}
 	if *origins {
 		fmt.Println("origins:")
-		counts := origAcc.Breakdown()
+		counts := s.orig.Breakdown()
 		keys := make([]int, 0, len(counts))
 		for o := range counts {
 			keys = append(keys, int(o))

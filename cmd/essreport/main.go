@@ -40,6 +40,7 @@ func main() {
 	table1 := flag.Bool("table1", false, "render only Table 1")
 	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and report mean±stddev")
 	svgDir := flag.String("svg", "", "also write Figures 1-8 as SVG files into this directory")
+	workers := flag.Int("workers", 0, "worker pool size for experiment runs and characterization (0 = all cores)")
 	flag.Parse()
 
 	if *seeds > 1 {
@@ -91,7 +92,7 @@ func main() {
 	// The experiments are independent deterministic simulations, so they
 	// run concurrently on a worker pool.
 	fmt.Fprintf(os.Stderr, "running %d experiments concurrently (%d nodes each)...\n", len(kinds), *nodes)
-	results, err := essio.RunAll(kinds, func(k essio.Kind) essio.Config {
+	results, err := essio.RunAllWorkers(kinds, func(k essio.Kind) essio.Config {
 		var cfg essio.Config
 		if *small {
 			cfg = essio.SmallConfig(k, *nodes)
@@ -100,7 +101,7 @@ func main() {
 		}
 		cfg.Seed = *seed
 		return cfg
-	})
+	}, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essreport:", err)
 		os.Exit(1)
@@ -137,9 +138,11 @@ func main() {
 		fmt.Println(essio.LevelsReport(results[k]))
 	}
 	// The paper's stated next step: the characterization as a parameter
-	// set for system design and tuning.
+	// set for system design and tuning. Profiles shard the per-node traces
+	// across the worker pool; the output is identical to the sequential
+	// characterization.
 	for _, k := range kinds {
-		prof := essio.CharacterizeResult(results[k])
+		prof := essio.CharacterizeResultParallel(results[k], *workers)
 		fmt.Println(prof)
 		d := prof.Derive(16)
 		fmt.Printf("derived tuning for %s: read-ahead %d KB, %s", k, d.ReadAheadKB, d.WritePolicy)

@@ -95,6 +95,12 @@ func RunAll(kinds []Kind, mk func(Kind) Config) (map[Kind]*Result, error) {
 	return experiment.RunAll(kinds, mk)
 }
 
+// RunAllWorkers is RunAll on a pool of the given size; workers <= 0 uses
+// GOMAXPROCS.
+func RunAllWorkers(kinds []Kind, mk func(Kind) Config, workers int) (map[Kind]*Result, error) {
+	return experiment.RunAllWorkers(kinds, mk, workers)
+}
+
 // Table1 renders the paper's Table 1 from a set of experiment results.
 func Table1(results map[Kind]*Result) string { return experiment.Table1(results) }
 
@@ -198,6 +204,10 @@ type (
 	TraceSource = trace.Source
 	// TraceSink is a push consumer of trace records.
 	TraceSink = trace.Sink
+	// TraceBatchSource is a pull iterator yielding whole record buffers.
+	TraceBatchSource = trace.BatchSource
+	// TraceBatchSink is a push consumer of whole record buffers.
+	TraceBatchSink = trace.BatchSink
 	// TraceCollector is a Sink materializing the stream as a slice.
 	TraceCollector = trace.Collector
 	// TraceWriter is the streaming binary encoder (a Sink; call Flush).
@@ -239,8 +249,26 @@ var (
 	SliceTraceSource = trace.SliceSource
 	// CollectTrace drains a Source into a slice.
 	CollectTrace = trace.Collect
-	// CopyTrace pumps a Source into a Sink.
+	// CollectTraceSize drains a Source into a slice pre-sized for a known
+	// record count.
+	CollectTraceSize = trace.CollectSize
+	// NewTraceCollector returns a Collector pre-sized for a known record
+	// count.
+	NewTraceCollector = trace.NewCollector
+	// CopyTrace pumps a Source into a Sink, moving whole batches when the
+	// source supports them.
 	CopyTrace = trace.Copy
+	// CopyTraceBatches pumps a BatchSource into a BatchSink at batch
+	// granularity.
+	CopyTraceBatches = trace.CopyBatches
+	// ToTraceBatchSource adapts any Source to batch reads (pass-through
+	// when it already batches); FromTraceBatchSource goes the other way.
+	ToTraceBatchSource   = trace.ToBatchSource
+	FromTraceBatchSource = trace.FromBatchSource
+	// ToTraceBatchSink adapts any Sink to batch writes (pass-through when
+	// it already batches); FromTraceBatchSink goes the other way.
+	ToTraceBatchSink   = trace.ToBatchSink
+	FromTraceBatchSink = trace.FromBatchSink
 	// TeeSinks fans one stream out to several sinks.
 	TeeSinks = trace.Tee
 	// MergeTraceSources k-way-merges ordered sources in (Time, Node,
@@ -336,6 +364,20 @@ func CharacterizeResult(res *Result) *Profile {
 	return core.Characterize(string(res.Kind), res.Merged, res.Duration, res.Nodes, res.DiskSectors)
 }
 
+// ProfileParallel computes the same Profile as Characterize of the merged
+// per-node traces, sharding the nodes across workers (workers <= 0 uses
+// GOMAXPROCS). The result is deterministic and identical to the
+// sequential pass.
+func ProfileParallel(label string, perNode [][]Record, duration Duration, nodes int, diskSectors uint32, workers int) *Profile {
+	return core.ProfileParallel(label, perNode, duration, nodes, diskSectors, workers)
+}
+
+// CharacterizeResultParallel profiles a completed experiment on several
+// cores, producing exactly CharacterizeResult's profile.
+func CharacterizeResultParallel(res *Result, workers int) *Profile {
+	return core.ProfileParallel(string(res.Kind), res.PerNode, res.Duration, res.Nodes, res.DiskSectors, workers)
+}
+
 // Trace replay against alternative configurations (tuning evaluation).
 type (
 	// ReplayConfig selects the hardware/queue configuration to replay
@@ -373,6 +415,16 @@ const (
 // "bin", "text", or "auto"/"" to sniff the encoding.
 func OpenTraceFile(path, format string) (*TraceFileSource, error) {
 	return trace.OpenFileSource(path, format)
+}
+
+// OpenTraceFileChunks opens a binary trace file as n record-aligned,
+// time-contiguous chunk sources covering the file in order, so workers
+// can analyze one file in parallel and fold their accumulators back
+// together with the exact Merge methods. It fails for text-encoded or
+// truncated files; callers fall back to the sequential OpenTraceFile
+// path.
+func OpenTraceFileChunks(path string, n int) ([]*TraceFileSource, error) {
+	return trace.OpenFileChunks(path, n)
 }
 
 // Workload modeling and synthetic trace generation: fit a generative

@@ -3,6 +3,14 @@
 // reader, a k-way node merge — computes any combination of metrics in
 // bounded memory. The slice-based functions of analysis.go are thin
 // wrappers over these.
+//
+// Every accumulator also has an exact Merge method folding another
+// accumulator of the same kind into it, which is what lets a multi-core
+// driver shard one trace across workers — per-node shards or
+// time-contiguous chunks — and recombine per-worker accumulator sets into
+// results identical to a single sequential pass. Merge methods whose
+// metric is order-sensitive (RateAcc binning, InterAccessAcc gaps,
+// SummaryAcc span) document which sharding they are exact under.
 
 package analysis
 
@@ -43,6 +51,23 @@ func (a *SummaryAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another summary accumulator into a. Counts add and the
+// observed span extends to cover both, so the merge is exact under any
+// partition of the trace.
+func (a *SummaryAcc) Merge(b *SummaryAcc) {
+	a.s.Reads += b.s.Reads
+	a.s.Writes += b.s.Writes
+	if b.any {
+		if !a.any || b.first < a.first {
+			a.first = b.first
+		}
+		if !a.any || b.last > a.last {
+			a.last = b.last
+		}
+		a.any = true
+	}
+}
+
 // Span reports the observed time span between the earliest and latest
 // record seen.
 func (a *SummaryAcc) Span() sim.Duration { return a.last.Sub(a.first) }
@@ -81,6 +106,13 @@ func (a *SizeHistAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another histogram into a; exact under any partition.
+func (a *SizeHistAcc) Merge(b *SizeHistAcc) {
+	for kb, c := range b.h {
+		a.h[kb] += c
+	}
+}
+
 // Histogram returns the counts per KB class.
 func (a *SizeHistAcc) Histogram() map[int]int { return a.h }
 
@@ -108,6 +140,15 @@ func (a *SizeClassAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another size-class accumulator into a; exact under any
+// partition.
+func (a *SizeClassAcc) Merge(b *SizeClassAcc) {
+	a.c.Block1K += b.c.Block1K
+	a.c.Page4K += b.c.Page4K
+	a.c.Large += b.c.Large
+	a.c.Other += b.c.Other
+}
+
 // Classes returns the size-class split.
 func (a *SizeClassAcc) Classes() SizeClasses { return a.c }
 
@@ -123,6 +164,14 @@ func NewOriginAcc() *OriginAcc { return &OriginAcc{m: make(map[trace.Origin]int)
 func (a *OriginAcc) Add(r trace.Record) error {
 	a.m[r.Origin]++
 	return nil
+}
+
+// Merge folds another origin accumulator into a; exact under any
+// partition.
+func (a *OriginAcc) Merge(b *OriginAcc) {
+	for o, c := range b.m {
+		a.m[o] += c
+	}
 }
 
 // Breakdown returns the counts per origin.
@@ -162,6 +211,18 @@ func (a *BandsAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another band accumulator into a; both must share the band
+// geometry (same width and disk size). Exact under any partition.
+func (a *BandsAcc) Merge(b *BandsAcc) {
+	if a.bandSectors != b.bandSectors || len(a.bands) != len(b.bands) {
+		panic("analysis: merge of band accumulators with different geometry")
+	}
+	for i := range b.bands {
+		a.bands[i].Count += b.bands[i].Count
+	}
+	a.total += b.total
+}
+
 // Bands finalizes the percentages and returns the band distribution.
 func (a *BandsAcc) Bands() []Band {
 	out := append([]Band(nil), a.bands...)
@@ -187,28 +248,50 @@ func (a *HeatAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another heat accumulator into a; exact under any partition.
+func (a *HeatAcc) Merge(b *HeatAcc) {
+	for sec, c := range b.counts {
+		a.counts[sec] += c
+	}
+}
+
 // Heat finalizes per-sector access frequency averaged over duration.
 func (a *HeatAcc) Heat(duration sim.Duration) []Heat {
 	return heatFromCounts(a.counts, duration)
 }
 
 // RateAcc incrementally buckets requests into 1-second bins anchored at
-// the first record seen (activity profiles).
+// the first record seen (activity profiles). For sharded passes,
+// SetAnchor pins the bin origin to the merged stream's first record time
+// so every shard bins identically and Merge is exact.
 type RateAcc struct {
-	t0     sim.Time
-	any    bool
-	bins   map[int]int
-	maxBin int
+	t0       sim.Time
+	anchored bool
+	any      bool
+	bins     map[int]int
+	maxBin   int
 }
 
 // NewRateAcc returns an empty request-rate accumulator.
 func NewRateAcc() *RateAcc { return &RateAcc{bins: make(map[int]int)} }
 
+// SetAnchor pins the time origin of the 1-second bins. A parallel driver
+// anchors every worker at the merged stream's first record time, making
+// per-shard binning — and therefore Merge — bit-identical to the
+// sequential pass. Must be called before the first Add.
+func (a *RateAcc) SetAnchor(t0 sim.Time) {
+	a.t0 = t0
+	a.anchored = true
+}
+
 // Add bins one record.
 func (a *RateAcc) Add(r trace.Record) error {
 	if !a.any {
 		a.any = true
-		a.t0 = r.Time
+		if !a.anchored {
+			a.t0 = r.Time
+			a.anchored = true
+		}
 	}
 	b := int(r.Time.Sub(a.t0).Seconds())
 	a.bins[b]++
@@ -216,6 +299,29 @@ func (a *RateAcc) Add(r trace.Record) error {
 		a.maxBin = b
 	}
 	return nil
+}
+
+// Merge folds another rate accumulator into a. Exact when both sides are
+// anchored at the same origin (or either is empty), which is how the
+// parallel drivers arrange their shards; merging differently-anchored
+// non-empty accumulators would silently misalign bins, so it panics.
+func (a *RateAcc) Merge(b *RateAcc) {
+	if !b.any {
+		return
+	}
+	if !a.any {
+		a.t0 = b.t0
+		a.anchored = true
+		a.any = true
+	} else if a.t0 != b.t0 {
+		panic("analysis: merge of rate accumulators with different anchors")
+	}
+	for bin, c := range b.bins {
+		a.bins[bin] += c
+	}
+	if b.maxBin > a.maxBin {
+		a.maxBin = b.maxBin
+	}
 }
 
 // Points finalizes the per-second request counts.
@@ -255,6 +361,17 @@ func (a *PendingAcc) Add(r trace.Record) error {
 	return nil
 }
 
+// Merge folds another queue-depth accumulator into a; exact under any
+// partition.
+func (a *PendingAcc) Merge(b *PendingAcc) {
+	a.sum += b.sum
+	a.busy += b.busy
+	a.n += b.n
+	if b.q.MaxPending > a.q.MaxPending {
+		a.q.MaxPending = b.q.MaxPending
+	}
+}
+
 // Stats finalizes the queue-depth statistics.
 func (a *PendingAcc) Stats() QueueStats {
 	q := a.q
@@ -265,29 +382,66 @@ func (a *PendingAcc) Stats() QueueStats {
 	return q
 }
 
+// interAccess is one sector's revisit state: the first and most recent
+// access times within the shard this accumulator saw, and whether the
+// sector has been revisited. One map entry per sector replaces the two
+// parallel maps (last-time and seen) the accumulator used to keep,
+// halving per-sector map overhead on heat-heavy traces, and the first
+// field is what makes time-contiguous shard merges exact.
+type interAccess struct {
+	first, last sim.Time
+	revisited   bool
+}
+
 // InterAccessAcc incrementally computes the mean time between consecutive
 // accesses to the same sector.
 type InterAccessAcc struct {
-	last  map[uint32]sim.Time
-	seen  map[uint32]bool
+	m     map[uint32]interAccess
 	total sim.Duration
 	n     int
 }
 
 // NewInterAccessAcc returns an empty inter-access accumulator.
 func NewInterAccessAcc() *InterAccessAcc {
-	return &InterAccessAcc{last: make(map[uint32]sim.Time), seen: make(map[uint32]bool)}
+	return &InterAccessAcc{m: make(map[uint32]interAccess)}
 }
 
 // Add observes one record.
 func (a *InterAccessAcc) Add(r trace.Record) error {
-	if t, ok := a.last[r.Sector]; ok {
-		a.total += r.Time.Sub(t)
+	e, ok := a.m[r.Sector]
+	if ok {
+		a.total += r.Time.Sub(e.last)
 		a.n++
-		a.seen[r.Sector] = true
+		e.last = r.Time
+		e.revisited = true
+	} else {
+		e = interAccess{first: r.Time, last: r.Time}
 	}
-	a.last[r.Sector] = r.Time
+	a.m[r.Sector] = e
 	return nil
+}
+
+// Merge folds another inter-access accumulator into a. Exact when b saw a
+// time-contiguous continuation of a's stream (per-sector record order
+// preserved across the split, as record-contiguous chunking or disjoint
+// node sharding both guarantee): within-shard gaps are already counted and
+// the gap spanning the boundary is reconstructed from a's last and b's
+// first access per sector.
+func (a *InterAccessAcc) Merge(b *InterAccessAcc) {
+	a.total += b.total
+	a.n += b.n
+	for sec, eb := range b.m {
+		ea, ok := a.m[sec]
+		if !ok {
+			a.m[sec] = eb
+			continue
+		}
+		a.total += eb.first.Sub(ea.last)
+		a.n++
+		ea.last = eb.last
+		ea.revisited = true
+		a.m[sec] = ea
+	}
 }
 
 // Result finalizes the mean gap and the number of revisited sectors.
@@ -295,5 +449,10 @@ func (a *InterAccessAcc) Result() (mean sim.Duration, sectors int) {
 	if a.n == 0 {
 		return 0, 0
 	}
-	return a.total / sim.Duration(a.n), len(a.seen)
+	for _, e := range a.m {
+		if e.revisited {
+			sectors++
+		}
+	}
+	return a.total / sim.Duration(a.n), sectors
 }

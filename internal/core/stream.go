@@ -32,8 +32,11 @@ type Profiler struct {
 	node0Heat  *analysis.HeatAcc
 	node0Inter *analysis.InterAccessAcc
 
-	// Back-to-back physical sequentiality per disk.
+	// Back-to-back physical sequentiality per disk. firstSector remembers
+	// each disk's first observed request so Merge can replay the
+	// sequentiality check across a shard boundary.
 	lastEnd       map[uint8]uint32
+	firstSector   map[uint8]uint32
 	seq, seqTotal int
 }
 
@@ -53,8 +56,15 @@ func NewProfiler(label string, duration sim.Duration, nodes int, diskSectors uin
 		node0Heat:   analysis.NewHeatAcc(),
 		node0Inter:  analysis.NewInterAccessAcc(),
 		lastEnd:     make(map[uint8]uint32),
+		firstSector: make(map[uint8]uint32),
 	}
 }
+
+// SetAnchor pins the time origin of the 1-second activity bins. A
+// parallel driver anchors every worker at the earliest record time of the
+// whole trace so per-shard rate binning matches the sequential pass; see
+// analysis.RateAcc.SetAnchor. Must be called before the first Add.
+func (p *Profiler) SetAnchor(t0 sim.Time) { p.rate.SetAnchor(t0) }
 
 // Add folds one record into every metric of the profile.
 func (p *Profiler) Add(r trace.Record) error {
@@ -73,9 +83,55 @@ func (p *Profiler) Add(r trace.Record) error {
 		if r.Sector == end {
 			p.seq++
 		}
+	} else {
+		p.firstSector[r.Node] = r.Sector
 	}
 	p.lastEnd[r.Node] = r.End()
 	return nil
+}
+
+// AddBatch folds a whole batch of records into the profile, amortizing
+// the per-record interface dispatch of batched copies.
+func (p *Profiler) AddBatch(recs []trace.Record) error {
+	for _, r := range recs {
+		p.Add(r)
+	}
+	return nil
+}
+
+// Merge folds another profiler into p, leaving p exactly as if it had
+// consumed both record streams in one pass. It is exact when the shards
+// are node-disjoint (each disk's records went wholly to one profiler, as
+// the parallel driver arranges) or when o saw a time-contiguous
+// continuation of p's stream; in either case both profilers must share a
+// rate anchor (SetAnchor) for the activity bins to line up.
+func (p *Profiler) Merge(o *Profiler) {
+	p.summary.Merge(o.summary)
+	p.classes.Merge(o.classes)
+	p.origins.Merge(o.origins)
+	p.bands.Merge(o.bands)
+	p.rate.Merge(o.rate)
+	p.pending.Merge(o.pending)
+	p.node0Heat.Merge(o.node0Heat)
+	p.node0Inter.Merge(o.node0Inter)
+
+	// Replay the per-disk back-to-back check across the shard boundary,
+	// then adopt o's per-disk tail state.
+	p.seq += o.seq
+	p.seqTotal += o.seqTotal
+	for node, sector := range o.firstSector {
+		if end, ok := p.lastEnd[node]; ok {
+			p.seqTotal++
+			if sector == end {
+				p.seq++
+			}
+		} else {
+			p.firstSector[node] = sector
+		}
+	}
+	for node, end := range o.lastEnd {
+		p.lastEnd[node] = end
+	}
 }
 
 // Profile finalizes the characterization.

@@ -92,6 +92,13 @@ func (r *Result) Source() trace.Source {
 	return trace.MergeSlices(r.PerNode...)
 }
 
+// BatchSource returns the same streaming merged view as Source at batch
+// granularity: consumers drain whole record buffers per call instead of
+// one record per call. Each call returns an independent iterator.
+func (r *Result) BatchSource() trace.BatchSource {
+	return trace.ToBatchSource(trace.MergeSlices(r.PerNode...))
+}
+
 func (c *Config) fill() {
 	if c.Nodes == 0 {
 		c.Nodes = 16

@@ -89,12 +89,18 @@ var lastPeakWorkers atomic.Int64
 // by default) and returns the results keyed by kind. mk builds the config
 // for each kind.
 func RunAll(kinds []Kind, mk func(Kind) Config) (map[Kind]*Result, error) {
+	return RunAllWorkers(kinds, mk, 0)
+}
+
+// RunAllWorkers is RunAll on a pool of the given size; workers <= 0 uses
+// GOMAXPROCS.
+func RunAllWorkers(kinds []Kind, mk func(Kind) Config, workers int) (map[Kind]*Result, error) {
 	cfgs := make([]Config, len(kinds))
 	for i, k := range kinds {
 		cfgs[i] = mk(k)
 		cfgs[i].Kind = k
 	}
-	results, err := RunConcurrent(cfgs, 0)
+	results, err := RunConcurrent(cfgs, workers)
 	if err != nil {
 		var ie *IndexedError
 		if errors.As(err, &ie) {

@@ -28,16 +28,22 @@ type Fitter struct {
 	reads       int
 	first, last sim.Time
 	any         bool
+	anchor      sim.Time // time origin of the per-second bins
+	anchored    bool
 	seenNodes   [4]uint64 // bitmap of observed node IDs
 
 	perOrigin map[trace.Origin]*originAcc
-	secBins   map[int]int // per-second request counts, anchored at first
+	secBins   map[int]int // per-second request counts, anchored at anchor
 	maxSec    int
 
 	bandCounts []int
 	bandHeat   []map[uint32]int // per-band distinct-sector counts
 
+	// lastEnd tracks per-disk tail state for the back-to-back
+	// sequentiality check; firstSector remembers each disk's first request
+	// so Merge can replay the check across a shard boundary.
 	lastEnd       map[uint8]uint32
+	firstSector   map[uint8]uint32
 	seq, seqTotal int
 
 	pending map[int]int
@@ -72,10 +78,33 @@ func NewFitter(label string, nodes int, diskSectors, bandSectors uint32) *Fitter
 		bandCounts:  make([]int, nb),
 		bandHeat:    make([]map[uint32]int, nb),
 		lastEnd:     make(map[uint8]uint32),
+		firstSector: make(map[uint8]uint32),
 		pending:     make(map[int]int),
 		inter:       make(map[int]int),
 		secGaps:     make(map[int]map[int]int),
 	}
+}
+
+// SetAnchor pins the time origin of the per-second arrival bins. A
+// sharded pass anchors every fitter at the first record time of the whole
+// stream so per-shard binning — and therefore Merge — matches the
+// sequential fit. Must be called before the first Add.
+func (f *Fitter) SetAnchor(t0 sim.Time) {
+	f.anchor = t0
+	f.anchored = true
+}
+
+// recordGap folds one merged-stream inter-arrival gap ending at time t
+// into the overall and state-split histograms.
+func (f *Fitter) recordGap(gb int, t sim.Time) {
+	f.inter[gb]++
+	sec := int(t.Sub(f.anchor).Seconds())
+	sg := f.secGaps[sec]
+	if sg == nil {
+		sg = make(map[int]int)
+		f.secGaps[sec] = sg
+	}
+	sg[gb]++
 }
 
 // Add folds one record into every fitted distribution.
@@ -84,17 +113,13 @@ func (f *Fitter) Add(r trace.Record) error {
 		// Inter-arrival gap of the merged stream, recorded overall and
 		// per second (of the later record) so Model can split gaps by
 		// arrival state.
-		gb := gapBucket(r.Time.Sub(f.last))
-		f.inter[gb]++
-		sec := int(r.Time.Sub(f.first).Seconds())
-		sg := f.secGaps[sec]
-		if sg == nil {
-			sg = make(map[int]int)
-			f.secGaps[sec] = sg
-		}
-		sg[gb]++
+		f.recordGap(gapBucket(r.Time.Sub(f.last)), r.Time)
 	} else {
 		f.first = r.Time
+		if !f.anchored {
+			f.anchor = r.Time
+			f.anchored = true
+		}
 	}
 	f.last = r.Time
 	f.any = true
@@ -115,7 +140,7 @@ func (f *Fitter) Add(r trace.Record) error {
 	}
 	oa.sizes[int(r.Count)]++
 
-	b := int(r.Time.Sub(f.first).Seconds())
+	b := int(r.Time.Sub(f.anchor).Seconds())
 	f.secBins[b]++
 	if b > f.maxSec {
 		f.maxSec = b
@@ -136,11 +161,121 @@ func (f *Fitter) Add(r trace.Record) error {
 		if r.Sector == end {
 			f.seq++
 		}
+	} else {
+		f.firstSector[r.Node] = r.Sector
 	}
 	f.lastEnd[r.Node] = r.End()
 
 	f.pending[int(r.Pending)]++
 	return nil
+}
+
+// AddBatch folds a whole batch of records into the fit, amortizing the
+// per-record interface dispatch of batched copies.
+func (f *Fitter) AddBatch(recs []trace.Record) error {
+	for _, r := range recs {
+		f.Add(r)
+	}
+	return nil
+}
+
+// Merge folds another fitter into f, leaving f exactly as if it had
+// consumed both record streams in one sequential pass. It is exact when o
+// saw a time-contiguous continuation of f's merged stream — the shape
+// chunked trace-file analysis produces — and both fitters share an anchor
+// (SetAnchor); the inter-arrival gap spanning the boundary is
+// reconstructed from f's last and o's first record, and the per-disk
+// sequentiality check is replayed across the seam.
+func (f *Fitter) Merge(o *Fitter) {
+	if o.n == 0 {
+		return
+	}
+	if f.n == 0 {
+		f.anchor, f.anchored = o.anchor, o.anchored
+	} else if f.anchor != o.anchor {
+		panic("model: merge of fitters with different anchors")
+	}
+	if !f.any {
+		f.first = o.first
+	} else {
+		// The gap between the two shards belongs to the merged stream.
+		f.recordGap(gapBucket(o.first.Sub(f.last)), o.first)
+	}
+	f.last = o.last
+	f.any = true
+	f.n += o.n
+	f.reads += o.reads
+	for i, w := range o.seenNodes {
+		f.seenNodes[i] |= w
+	}
+
+	for origin, ob := range o.perOrigin {
+		oa := f.perOrigin[origin]
+		if oa == nil {
+			oa = &originAcc{sizes: make(map[int]int)}
+			f.perOrigin[origin] = oa
+		}
+		oa.count += ob.count
+		oa.reads += ob.reads
+		for sz, c := range ob.sizes {
+			oa.sizes[sz] += c
+		}
+	}
+
+	for sec, c := range o.secBins {
+		f.secBins[sec] += c
+	}
+	if o.maxSec > f.maxSec {
+		f.maxSec = o.maxSec
+	}
+	for sec, gaps := range o.secGaps {
+		sg := f.secGaps[sec]
+		if sg == nil {
+			sg = make(map[int]int)
+			f.secGaps[sec] = sg
+		}
+		for gb, c := range gaps {
+			sg[gb] += c
+		}
+	}
+
+	if len(o.bandCounts) != len(f.bandCounts) || o.bandSectors != f.bandSectors {
+		panic("model: merge of fitters with different band geometry")
+	}
+	for i, c := range o.bandCounts {
+		f.bandCounts[i] += c
+		if bh := o.bandHeat[i]; bh != nil {
+			if f.bandHeat[i] == nil {
+				f.bandHeat[i] = make(map[uint32]int, len(bh))
+			}
+			for sec, c := range bh {
+				f.bandHeat[i][sec] += c
+			}
+		}
+	}
+
+	f.seq += o.seq
+	f.seqTotal += o.seqTotal
+	for node, sector := range o.firstSector {
+		if end, ok := f.lastEnd[node]; ok {
+			f.seqTotal++
+			if sector == end {
+				f.seq++
+			}
+		} else {
+			f.firstSector[node] = sector
+		}
+	}
+	for node, end := range o.lastEnd {
+		f.lastEnd[node] = end
+	}
+
+	for p, c := range o.pending {
+		f.pending[p] += c
+	}
+	for gb, c := range o.inter {
+		f.inter[gb] += c
+	}
 }
 
 // gapBucket maps an inter-arrival gap to its log2 microsecond bucket; -1

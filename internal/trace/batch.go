@@ -1,0 +1,226 @@
+// Record batches: the throughput layer of the streaming pipeline. The
+// per-record Source/Sink interfaces keep the pipeline composable, but they
+// cost one interface dispatch per record at every stage. BatchSource and
+// BatchSink move whole record buffers across stage boundaries instead, so
+// dispatch overhead is amortized over DefaultBatchLen records; adapters in
+// both directions keep every per-record Source and Sink working unchanged,
+// and Copy picks the widest path both ends support.
+
+package trace
+
+import "io"
+
+// batchBytes is the codec's I/O granularity: encode and decode move whole
+// 64 KiB buffers of fixed-size records per call into the underlying reader
+// or writer instead of one record at a time.
+const batchBytes = 64 << 10
+
+// DefaultBatchLen is the record count of a default batch buffer: as many
+// fixed-size records as fit the 64 KiB codec granularity.
+const DefaultBatchLen = batchBytes / RecordSize
+
+// BatchSource is a pull iterator over record batches. NextBatch fills up
+// to len(buf) records and reports how many were written. Like io.Reader,
+// it may return n > 0 together with io.EOF; callers must consume the
+// records before acting on the error, and subsequent calls return 0,
+// io.EOF. Any other error is terminal.
+type BatchSource interface {
+	NextBatch(buf []Record) (int, error)
+}
+
+// BatchSink is a push consumer of record batches. AddBatch consumes every
+// record of recs or returns the first error; recs must not be retained.
+type BatchSink interface {
+	AddBatch(recs []Record) error
+}
+
+// spanSource is an optional refinement of BatchSource for sources that can
+// expose ready records without copying them into a caller buffer: NextSpan
+// returns up to max records valid only until the next call. Slice sources
+// return views of the backing slice and the binary Reader returns its
+// decode scratch, so the k-way merge reads both with zero per-record
+// copies.
+type spanSource interface {
+	NextSpan(max int) ([]Record, error)
+}
+
+// ToBatchSource adapts src to the batch interface: sources that already
+// batch are returned unchanged, per-record sources are wrapped in a
+// Next-per-record fill loop.
+func ToBatchSource(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &recordBatcher{src: src}
+}
+
+// recordBatcher fills batches one Next call at a time, the compatibility
+// path for per-record sources under batch consumers.
+type recordBatcher struct {
+	src Source
+}
+
+func (b *recordBatcher) NextBatch(buf []Record) (int, error) {
+	for i := range buf {
+		r, err := b.src.Next()
+		if err == io.EOF {
+			return i, io.EOF
+		}
+		if err != nil {
+			return i, err
+		}
+		buf[i] = r
+	}
+	return len(buf), nil
+}
+
+// ToBatchSink adapts dst to the batch interface: sinks that already batch
+// are returned unchanged, per-record sinks are wrapped in an Add-per-record
+// drain loop.
+func ToBatchSink(dst Sink) BatchSink {
+	if bs, ok := dst.(BatchSink); ok {
+		return bs
+	}
+	return &recordDrainer{dst: dst}
+}
+
+// recordDrainer drains batches one Add call at a time.
+type recordDrainer struct {
+	dst Sink
+}
+
+func (d *recordDrainer) AddBatch(recs []Record) error {
+	for _, r := range recs {
+		if err := d.dst.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromBatchSource adapts a batch source back to the per-record interface,
+// buffering one batch between Next calls.
+func FromBatchSource(bs BatchSource) Source {
+	if s, ok := bs.(Source); ok {
+		return s
+	}
+	return &batchUnpacker{in: newSpanReader(bs, DefaultBatchLen)}
+}
+
+// batchUnpacker yields a buffered batch one record per Next.
+type batchUnpacker struct {
+	in   *spanReader
+	span []Record
+	pos  int
+}
+
+func (u *batchUnpacker) Next() (Record, error) {
+	if u.pos >= len(u.span) {
+		span, err := u.in.nextSpan()
+		if err != nil {
+			return Record{}, err
+		}
+		u.span, u.pos = span, 0
+	}
+	r := u.span[u.pos]
+	u.pos++
+	return r, nil
+}
+
+// FromBatchSink adapts a batch sink back to the per-record interface. The
+// adapter forwards each record as a one-element batch; it does not buffer,
+// so no Flush is needed.
+func FromBatchSink(bs BatchSink) Sink {
+	if s, ok := bs.(Sink); ok {
+		return s
+	}
+	return &singleBatcher{dst: bs}
+}
+
+// singleBatcher forwards records as one-element batches through a reused
+// buffer. It is also a BatchSink passing whole batches straight through,
+// so wrapping a batch sink for per-record compatibility never costs the
+// batched paths anything.
+type singleBatcher struct {
+	dst BatchSink
+	one [1]Record
+}
+
+func (s *singleBatcher) Add(r Record) error {
+	s.one[0] = r
+	return s.dst.AddBatch(s.one[:])
+}
+
+func (s *singleBatcher) AddBatch(recs []Record) error { return s.dst.AddBatch(recs) }
+
+// spanReader pulls zero-copy spans from sources that support them and
+// falls back to batching into a private buffer for everything else. It is
+// how the merge and the adapters read any Source at batch granularity.
+type spanReader struct {
+	sp     spanSource  // non-nil when the source exposes spans
+	bs     BatchSource // otherwise batches into buf
+	buf    []Record
+	bufLen int
+	eof    bool
+}
+
+// newSpanReader wraps src for span reads of at most bufLen records.
+func newSpanReader(src any, bufLen int) *spanReader {
+	r := &spanReader{bufLen: bufLen}
+	switch s := src.(type) {
+	case spanSource:
+		r.sp = s
+	case BatchSource:
+		r.bs = s
+	case Source:
+		r.bs = ToBatchSource(s)
+	default:
+		panic("trace: span reader needs a Source or BatchSource")
+	}
+	return r
+}
+
+// nextSpan returns the next non-empty run of records, io.EOF at end of
+// stream, or a terminal error. The returned slice is valid until the next
+// call.
+func (r *spanReader) nextSpan() ([]Record, error) {
+	if r.eof {
+		return nil, io.EOF
+	}
+	for {
+		if r.sp != nil {
+			span, err := r.sp.NextSpan(r.bufLen)
+			if err == io.EOF {
+				r.eof = true
+				if len(span) > 0 {
+					return span, nil
+				}
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			if len(span) > 0 {
+				return span, nil
+			}
+			continue
+		}
+		if r.buf == nil {
+			r.buf = make([]Record, r.bufLen)
+		}
+		n, err := r.bs.NextBatch(r.buf)
+		if err == io.EOF {
+			r.eof = true
+			if n > 0 {
+				return r.buf[:n], nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			return r.buf[:n], nil
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBatchWriterMatchesPerRecord pins the batch encoder to the
+// per-record encoder byte for byte.
+func TestQuickBatchWriterMatchesPerRecord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := mkRandTraces(rng)[0]
+		var perRecord bytes.Buffer
+		w := NewWriter(&perRecord)
+		for _, r := range recs {
+			if err := w.Add(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		var batched bytes.Buffer
+		bw := NewWriter(&batched)
+		if err := bw.AddBatch(recs); err != nil {
+			return false
+		}
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+		return bytes.Equal(perRecord.Bytes(), batched.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBatchReaderMatchesPerRecord decodes the same encoding through
+// NextBatch with an awkward buffer size and through Next, and requires
+// identical records.
+func TestQuickBatchReaderMatchesPerRecord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := mkRandTraces(rng)[0]
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			return false
+		}
+		var perRecord []Record
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			perRecord = append(perRecord, rec)
+		}
+		// A 7-record buffer forces many refills and a ragged final batch.
+		br := NewReader(bytes.NewReader(buf.Bytes()))
+		var batched []Record
+		scratch := make([]Record, 7)
+		for {
+			n, err := br.NextBatch(scratch)
+			batched = append(batched, scratch[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+		}
+		return reflect.DeepEqual(perRecord, batched)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchReaderTruncatedFile ensures a trailing partial record errors on
+// the batch path the same way the per-record path reports it.
+func TestBatchReaderTruncatedFile(t *testing.T) {
+	recs := mkRandTraces(rand.New(rand.NewSource(3)))[0]
+	if len(recs) == 0 {
+		recs = []Record{{Sector: 1, Count: 2}}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-3]
+	br := NewReader(bytes.NewReader(truncated))
+	scratch := make([]Record, DefaultBatchLen)
+	got := 0
+	var err error
+	for {
+		var n int
+		n, err = br.NextBatch(scratch)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF || err == nil {
+		t.Fatalf("truncated read: n=%d err=%v", got, err)
+	}
+	if got != len(recs)-1 {
+		t.Fatalf("salvaged %d of %d whole records", got, len(recs)-1)
+	}
+}
+
+// TestBatchAdapters round-trips records through every Source/Sink ↔
+// BatchSource/BatchSink adapter pairing.
+func TestBatchAdapters(t *testing.T) {
+	recs := mkRandTraces(rand.New(rand.NewSource(11)))[0]
+
+	// Source → BatchSource → Source.
+	perRecord := FromBatchSource(ToBatchSource(SliceSource(recs)))
+	var round []Record
+	for {
+		r, err := perRecord.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		round = append(round, r)
+	}
+	if len(round) != len(recs) || (len(recs) > 0 && !reflect.DeepEqual(round, recs)) {
+		t.Fatalf("source adapter round trip: %d of %d records", len(round), len(recs))
+	}
+
+	// Sink → BatchSink → Sink.
+	var c Collector
+	sink := FromBatchSink(ToBatchSink(&c))
+	for _, r := range recs {
+		if err := sink.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.Recs) != len(recs) || (len(recs) > 0 && !reflect.DeepEqual(c.Recs, recs)) {
+		t.Fatalf("sink adapter round trip: %d of %d records", len(c.Recs), len(recs))
+	}
+
+	// CopyBatches moves everything at batch granularity.
+	var c2 Collector
+	n, err := CopyBatches(&c2, ToBatchSource(SliceSource(recs)))
+	if err != nil || n != len(recs) {
+		t.Fatalf("CopyBatches: n=%d err=%v", n, err)
+	}
+}
+
+// TestCollectorPreSize checks the capacity hint eliminates regrowth
+// without changing semantics.
+func TestCollectorPreSize(t *testing.T) {
+	recs := mkRandTraces(rand.New(rand.NewSource(13)))[0]
+	c := NewCollector(len(recs))
+	if err := c.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 0 && cap(c.Recs) != len(recs) {
+		t.Fatalf("cap %d, want exactly %d", cap(c.Recs), len(recs))
+	}
+	got, err := CollectSize(SliceSource(recs), len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d of %d", len(got), len(recs))
+	}
+}

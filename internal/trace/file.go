@@ -18,14 +18,25 @@ const (
 
 // FileSource is a Source reading a trace file; Close releases the file.
 // It remembers the resolved format so callers can report what they read.
+// It is also a BatchSource: binary files decode whole 64 KiB buffers per
+// NextBatch, text files fall back to a per-record fill.
 type FileSource struct {
 	src    Source
+	batch  BatchSource
 	f      *os.File
 	format string
 }
 
 // Next yields the next record of the file.
 func (s *FileSource) Next() (Record, error) { return s.src.Next() }
+
+// NextBatch yields up to len(buf) records of the file.
+func (s *FileSource) NextBatch(buf []Record) (int, error) {
+	if s.batch == nil {
+		s.batch = ToBatchSource(s.src)
+	}
+	return s.batch.NextBatch(buf)
+}
 
 // Close closes the underlying file.
 func (s *FileSource) Close() error { return s.f.Close() }
@@ -64,6 +75,75 @@ func OpenFileSource(path, format string) (*FileSource, error) {
 		s.src = NewReader(f)
 	}
 	return s, nil
+}
+
+// OpenFileChunks opens a binary trace file as n record-aligned,
+// time-contiguous chunk sources covering the file in order, so independent
+// workers can analyze one file in parallel and fold their accumulators
+// back together with the exact concatenation merges. Fewer than n chunks
+// come back when the file holds fewer than n records. It fails — and the
+// caller should fall back to the sequential single-source path — when the
+// file is text-encoded, is not a whole number of records long, or is
+// empty.
+func OpenFileChunks(path string, n int) ([]*FileSource, error) {
+	if n < 1 {
+		n = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	format, err := sniffFormat(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if format != FormatBinary {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: chunked reads need the binary format", path)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Close()
+	size := st.Size()
+	if size == 0 || size%RecordSize != 0 {
+		return nil, fmt.Errorf("trace: %s: %d bytes is not a whole number of %d-byte records",
+			path, size, RecordSize)
+	}
+	total := size / RecordSize
+	if int64(n) > total {
+		n = int(total)
+	}
+	per := (total + int64(n) - 1) / int64(n)
+	chunks := make([]*FileSource, 0, n)
+	for start := int64(0); start < total; start += per {
+		count := per
+		if start+count > total {
+			count = total - start
+		}
+		cf, err := os.Open(path)
+		if err != nil {
+			closeFileSources(chunks)
+			return nil, err
+		}
+		if _, err := cf.Seek(start*RecordSize, io.SeekStart); err != nil {
+			cf.Close()
+			closeFileSources(chunks)
+			return nil, err
+		}
+		lr := io.LimitReader(cf, count*RecordSize)
+		chunks = append(chunks, &FileSource{src: NewReader(lr), f: cf, format: FormatBinary})
+	}
+	return chunks, nil
+}
+
+func closeFileSources(srcs []*FileSource) {
+	for _, s := range srcs {
+		s.Close()
+	}
 }
 
 // sniffFormat decides between the binary and text encodings by examining

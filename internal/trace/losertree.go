@@ -1,0 +1,206 @@
+// The k-way merge as a loser tree (tournament tree of losers), the
+// classic replacement-selection structure: after the winner is emitted,
+// replacing it replays exactly one match per tree level against the
+// stored losers — ceil(log2 k) record comparisons, no interface
+// dispatch, and no boxing of heap items through `any`. Inputs are read
+// through spanReader, so slice-backed and file-backed sources feed the
+// tree in whole batches.
+
+package trace
+
+import "io"
+
+// mergeSpanLen bounds how many records the merge buffers per input: one
+// span of at most this many records replaces the single buffered record
+// of the old heap merge.
+const mergeSpanLen = 1024
+
+// mergeInput is one leaf of the loser tree: a span-buffered input stream
+// and its current head record.
+type mergeInput struct {
+	in   *spanReader
+	span []Record
+	pos  int
+	cur  Record
+	ok   bool // cur holds a live record
+}
+
+// advance loads the next record of the input into cur, refilling the span
+// buffer as needed; ok reports liveness afterwards.
+func (m *mergeInput) advance() error {
+	if m.pos < len(m.span) {
+		m.cur = m.span[m.pos]
+		m.pos++
+		return nil
+	}
+	span, err := m.in.nextSpan()
+	if err == io.EOF {
+		m.ok = false
+		return nil
+	}
+	if err != nil {
+		m.ok = false
+		return err
+	}
+	m.span, m.pos = span, 1
+	m.cur = span[0]
+	return nil
+}
+
+// mergeSource streams the k-way merge of its inputs in (Time, Node,
+// Sector) order with ties broken by input index, reproducing a stable
+// sort of the concatenated inputs. It implements both Source and
+// BatchSource; NextBatch extracts a whole buffer of winners per call.
+type mergeSource struct {
+	ins  []mergeInput
+	tree []int // [0] overall winner; [1..k-1] the loser of each match
+	init bool
+	err  error // deferred terminal error once buffered records drain
+}
+
+// MergeSources returns a Source yielding the records of all inputs merged
+// by (Time, Node, Sector). Each input must already be ordered by that key
+// (per-node driver traces are, since rings preserve arrival order); ties
+// across inputs resolve in input order, matching the stable sort the
+// batch Merge performs. Memory use is one bounded span buffer per input
+// regardless of trace length. The returned Source is also a BatchSource,
+// so batch-aware consumers drain it a buffer of records at a time.
+func MergeSources(srcs ...Source) Source {
+	m := &mergeSource{ins: make([]mergeInput, len(srcs)), tree: make([]int, len(srcs))}
+	for i, s := range srcs {
+		m.ins[i].in = newSpanReader(s, mergeSpanLen)
+		m.ins[i].ok = true // until the first advance says otherwise
+	}
+	return m
+}
+
+// beats reports whether input a wins the match against input b: exhausted
+// inputs lose to everything, equal records resolve to the lower input
+// index (stability).
+func (m *mergeSource) beats(a, b int) bool {
+	ia, ib := &m.ins[a], &m.ins[b]
+	if !ia.ok {
+		return false
+	}
+	if !ib.ok {
+		return true
+	}
+	if less(ia.cur, ib.cur) {
+		return true
+	}
+	if less(ib.cur, ia.cur) {
+		return false
+	}
+	return a < b
+}
+
+// build plays the initial tournament of the subtree rooted at node,
+// storing each match's loser and returning its winner. Leaves occupy
+// implicit nodes k..2k-1 (leaf i at node k+i).
+func (m *mergeSource) build(node int) int {
+	k := len(m.ins)
+	if node >= k {
+		return node - k
+	}
+	a := m.build(2 * node)
+	b := m.build(2*node + 1)
+	if m.beats(a, b) {
+		m.tree[node] = b
+		return a
+	}
+	m.tree[node] = a
+	return b
+}
+
+// fix replays the matches from leaf's parent to the root after the leaf's
+// head record changed: one comparison per level.
+func (m *mergeSource) fix(leaf int) {
+	k := len(m.ins)
+	w := leaf
+	for node := (k + leaf) / 2; node > 0; node /= 2 {
+		if m.beats(m.tree[node], w) {
+			m.tree[node], w = w, m.tree[node]
+		}
+	}
+	m.tree[0] = w
+}
+
+// start loads every input's first record and plays the initial
+// tournament.
+func (m *mergeSource) start() error {
+	m.init = true
+	for i := range m.ins {
+		if err := m.ins[i].advance(); err != nil {
+			return err
+		}
+	}
+	if len(m.ins) > 1 {
+		m.tree[0] = m.build(1)
+	}
+	return nil
+}
+
+func (m *mergeSource) Next() (Record, error) {
+	if !m.init {
+		if err := m.start(); err != nil {
+			return Record{}, err
+		}
+	}
+	if m.err != nil {
+		return Record{}, m.err
+	}
+	if len(m.ins) == 0 {
+		return Record{}, io.EOF
+	}
+	w := m.tree[0]
+	in := &m.ins[w]
+	if !in.ok {
+		return Record{}, io.EOF
+	}
+	r := in.cur
+	if err := in.advance(); err != nil {
+		m.err = err
+		return Record{}, err
+	}
+	if len(m.ins) > 1 {
+		m.fix(w)
+	}
+	return r, nil
+}
+
+// NextBatch fills buf with merged records, amortizing the per-record
+// interface dispatch of the output side over whole buffers.
+func (m *mergeSource) NextBatch(buf []Record) (int, error) {
+	if !m.init {
+		if err := m.start(); err != nil {
+			return 0, err
+		}
+	}
+	if m.err != nil {
+		return 0, m.err
+	}
+	if len(m.ins) == 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(buf) {
+		w := m.tree[0]
+		in := &m.ins[w]
+		if !in.ok {
+			m.err = io.EOF
+			return n, io.EOF
+		}
+		buf[n] = in.cur
+		n++
+		if err := in.advance(); err != nil {
+			// Records already extracted are valid; surface the error on
+			// the next call.
+			m.err = err
+			return n, nil
+		}
+		if len(m.ins) > 1 {
+			m.fix(w)
+		}
+	}
+	return n, nil
+}

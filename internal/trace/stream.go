@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"container/heap"
 	"fmt"
 	"io"
 	"sort"
@@ -11,8 +10,8 @@ import (
 // Source is a pull iterator over trace records. Next returns io.EOF once
 // the stream is exhausted; any other error is terminal. Sources let the
 // capture→analysis path process traces of arbitrary length in bounded
-// memory: readers decode incrementally, merges hold one record per input,
-// and accumulators consume records as they appear.
+// memory: readers decode incrementally, merges hold one bounded buffer per
+// input, and accumulators consume records as they appear.
 type Source interface {
 	Next() (Record, error)
 }
@@ -30,7 +29,9 @@ type sliceSource struct {
 	i    int
 }
 
-// SliceSource adapts an in-memory trace to the Source interface.
+// SliceSource adapts an in-memory trace to the Source interface. The
+// returned Source is also a BatchSource, and batch consumers read the
+// backing slice without copying.
 func SliceSource(recs []Record) Source { return &sliceSource{recs: recs} }
 
 func (s *sliceSource) Next() (Record, error) {
@@ -42,10 +43,43 @@ func (s *sliceSource) Next() (Record, error) {
 	return r, nil
 }
 
+// NextBatch copies up to len(buf) records out of the backing slice.
+func (s *sliceSource) NextBatch(buf []Record) (int, error) {
+	n := copy(buf, s.recs[s.i:])
+	s.i += n
+	if s.i >= len(s.recs) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// NextSpan returns a view of up to max ready records of the backing slice
+// without copying.
+func (s *sliceSource) NextSpan(max int) ([]Record, error) {
+	if s.i >= len(s.recs) {
+		return nil, io.EOF
+	}
+	span := s.recs[s.i:]
+	if len(span) > max {
+		span = span[:max]
+	}
+	s.i += len(span)
+	return span, nil
+}
+
 // Collector is a Sink that materializes the stream as a slice, the adapter
-// back to the batch world.
+// back to the batch world. It consumes whole batches with a single append.
 type Collector struct {
 	Recs []Record
+}
+
+// NewCollector returns a Collector pre-sized for capacity records, so
+// known-length paths avoid append regrowth.
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		return &Collector{}
+	}
+	return &Collector{Recs: make([]Record, 0, capacity)}
 }
 
 // Add appends r.
@@ -54,18 +88,35 @@ func (c *Collector) Add(r Record) error {
 	return nil
 }
 
+// AddBatch appends a whole batch at once.
+func (c *Collector) AddBatch(recs []Record) error {
+	c.Recs = append(c.Recs, recs...)
+	return nil
+}
+
 // Collect drains src into a slice.
-func Collect(src Source) ([]Record, error) {
-	var c Collector
-	if _, err := Copy(&c, src); err != nil {
+func Collect(src Source) ([]Record, error) { return CollectSize(src, 0) }
+
+// CollectSize drains src into a slice pre-sized for sizeHint records; the
+// hint eliminates append regrowth when the stream length is known.
+func CollectSize(src Source, sizeHint int) ([]Record, error) {
+	c := NewCollector(sizeHint)
+	if _, err := Copy(c, src); err != nil {
 		return c.Recs, err
 	}
 	return c.Recs, nil
 }
 
 // Copy streams every record from src into dst and reports how many records
-// were transferred. It stops at the first error from either side.
+// were transferred. It stops at the first error from either side. When src
+// batches (every source of this package does), records move in whole
+// buffers, and a dst that implements BatchSink receives them without
+// per-record dispatch.
 func Copy(dst Sink, src Source) (int, error) {
+	switch src.(type) {
+	case spanSource, BatchSource:
+		return copyBatched(dst, newSpanReader(src, DefaultBatchLen))
+	}
 	n := 0
 	for {
 		r, err := src.Next()
@@ -82,25 +133,89 @@ func Copy(dst Sink, src Source) (int, error) {
 	}
 }
 
+// CopyBatches streams every record from src into dst at batch granularity
+// and reports how many records were transferred; the batch form of Copy.
+func CopyBatches(dst BatchSink, src BatchSource) (int, error) {
+	return copyBatched(FromBatchSink(dst), newSpanReader(src, DefaultBatchLen))
+}
+
+// copyBatched moves whole spans from in to dst.
+func copyBatched(dst Sink, in *spanReader) (int, error) {
+	bd, batched := dst.(BatchSink)
+	n := 0
+	for {
+		span, err := in.nextSpan()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if batched {
+			if err := bd.AddBatch(span); err != nil {
+				return n, err
+			}
+			n += len(span)
+			continue
+		}
+		for _, r := range span {
+			if err := dst.Add(r); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Record) error
 
 // Add calls f(r).
 func (f SinkFunc) Add(r Record) error { return f(r) }
 
-// tee fans each record out to several sinks.
+// tee fans each record out to several sinks. It forwards whole batches to
+// sinks that accept them.
 type tee struct {
-	sinks []Sink
+	sinks   []Sink
+	batched []BatchSink // non-nil where the sink batches
 }
 
 // Tee returns a Sink that forwards every record to each sink in order, so
-// one pass over a trace feeds any number of accumulators.
-func Tee(sinks ...Sink) Sink { return &tee{sinks: sinks} }
+// one pass over a trace feeds any number of accumulators. The returned
+// Sink is also a BatchSink: batches fan out whole to batch-aware sinks and
+// record by record to the rest.
+func Tee(sinks ...Sink) Sink {
+	t := &tee{sinks: sinks, batched: make([]BatchSink, len(sinks))}
+	for i, s := range sinks {
+		if bs, ok := s.(BatchSink); ok {
+			t.batched[i] = bs
+		}
+	}
+	return t
+}
 
 func (t *tee) Add(r Record) error {
 	for _, s := range t.sinks {
 		if err := s.Add(r); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// AddBatch fans a whole batch out to every sink.
+func (t *tee) AddBatch(recs []Record) error {
+	for i, s := range t.sinks {
+		if bs := t.batched[i]; bs != nil {
+			if err := bs.AddBatch(recs); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -117,83 +232,14 @@ func less(a, b Record) bool {
 	return a.Sector < b.Sector
 }
 
-// mergeItem is one heap entry of the k-way merge.
-type mergeItem struct {
-	rec Record
-	src int
-}
+// Less reports the trace ordering for callers outside the package that
+// must reproduce the merge order exactly (the parallel characterizer
+// normalizes per-node shards with it).
+func Less(a, b Record) bool { return less(a, b) }
 
-// mergeHeap orders items by (Time, Node, Sector) with ties broken by source
-// index, which makes the merge reproduce a stable sort of the concatenated
-// inputs exactly.
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if less(h[i].rec, h[j].rec) {
-		return true
-	}
-	if less(h[j].rec, h[i].rec) {
-		return false
-	}
-	return h[i].src < h[j].src
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	it := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return it
-}
-
-// mergeSource streams the k-way merge, holding one record per live input.
-type mergeSource struct {
-	srcs []Source
-	h    mergeHeap
-	init bool
-}
-
-// MergeSources returns a Source yielding the records of all inputs merged
-// by (Time, Node, Sector). Each input must already be ordered by that key
-// (per-node driver traces are, since rings preserve arrival order); ties
-// across inputs resolve in input order, matching the stable sort the
-// batch Merge performs. Memory use is one buffered record per input
-// regardless of trace length.
-func MergeSources(srcs ...Source) Source { return &mergeSource{srcs: srcs} }
-
-func (m *mergeSource) Next() (Record, error) {
-	if !m.init {
-		m.init = true
-		m.h = make(mergeHeap, 0, len(m.srcs))
-		for i, s := range m.srcs {
-			r, err := s.Next()
-			if err == io.EOF {
-				continue
-			}
-			if err != nil {
-				return Record{}, err
-			}
-			m.h = append(m.h, mergeItem{rec: r, src: i})
-		}
-		heap.Init(&m.h)
-	}
-	if len(m.h) == 0 {
-		return Record{}, io.EOF
-	}
-	it := m.h[0]
-	r, err := m.srcs[it.src].Next()
-	switch {
-	case err == io.EOF:
-		heap.Pop(&m.h)
-	case err != nil:
-		return Record{}, err
-	default:
-		m.h[0] = mergeItem{rec: r, src: it.src}
-		heap.Fix(&m.h, 0)
-	}
-	return it.rec, nil
-}
+// SortedByKey reports whether recs is already ordered by (Time, Node,
+// Sector), the exported form of the merge's pre-sort check.
+func SortedByKey(recs []Record) bool { return sortedByKey(recs) }
 
 // sortedByKey reports whether recs is already ordered by (Time, Node,
 // Sector).
@@ -208,61 +254,135 @@ func sortedByKey(recs []Record) bool {
 
 // MergeSlices returns a streaming k-way merge over in-memory per-node
 // traces. Inputs that are not already key-ordered are stably sorted on a
-// private copy first, so the merged order is identical to Merge for any
-// input.
+// pre-sized private copy first, so the merged order is identical to Merge
+// for any input.
 func MergeSlices(traces ...[]Record) Source {
 	srcs := make([]Source, len(traces))
 	for i, t := range traces {
 		if !sortedByKey(t) {
-			t = append([]Record(nil), t...)
-			sort.SliceStable(t, func(a, b int) bool { return less(t[a], t[b]) })
+			c := make([]Record, len(t))
+			copy(c, t)
+			sort.SliceStable(c, func(a, b int) bool { return less(c[a], c[b]) })
+			t = c
 		}
 		srcs[i] = SliceSource(t)
 	}
 	return MergeSources(srcs...)
 }
 
-// Reader decodes the binary trace format incrementally: one record per
-// Next call, without slurping the whole file.
+// Reader decodes the binary trace format incrementally. It batches: each
+// refill decodes a whole 64 KiB buffer of fixed-size records, and both the
+// per-record Next and the batch NextBatch draw from it.
 type Reader struct {
-	br  *bufio.Reader
-	buf [recordSize]byte
+	br   *bufio.Reader
+	raw  [batchBytes]byte
+	recs []Record // decode scratch for span reads
 }
 
 // NewReader returns a streaming decoder for the binary trace format.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{br: bufio.NewReaderSize(r, batchBytes)}
 }
 
 // Next decodes the next record, returning io.EOF at a clean end of stream.
 func (d *Reader) Next() (Record, error) {
-	_, err := io.ReadFull(d.br, d.buf[:])
+	_, err := io.ReadFull(d.br, d.raw[:recordSize])
 	if err == io.EOF {
 		return Record{}, io.EOF
 	}
 	if err != nil {
 		return Record{}, fmt.Errorf("trace: read: %w", err)
 	}
-	return UnmarshalRecord(d.buf[:])
+	return UnmarshalRecord(d.raw[:recordSize])
+}
+
+// NextBatch decodes up to len(buf) records in one pass over a whole
+// encoded buffer, returning how many records are valid. A trailing
+// partial record surfaces as the same error the per-record path reports.
+func (d *Reader) NextBatch(buf []Record) (int, error) {
+	want := len(buf)
+	if want > batchBytes/recordSize {
+		want = batchBytes / recordSize
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	nb, err := io.ReadFull(d.br, d.raw[:want*recordSize])
+	full := nb / recordSize
+	for i := 0; i < full; i++ {
+		r, uerr := UnmarshalRecord(d.raw[i*recordSize:])
+		if uerr != nil {
+			return i, uerr
+		}
+		buf[i] = r
+	}
+	switch err {
+	case nil:
+		return full, nil
+	case io.EOF, io.ErrUnexpectedEOF:
+		if nb%recordSize != 0 {
+			return full, fmt.Errorf("trace: read: %w", io.ErrUnexpectedEOF)
+		}
+		return full, io.EOF
+	default:
+		return full, fmt.Errorf("trace: read: %w", err)
+	}
+}
+
+// NextSpan decodes up to max records into an internal scratch buffer and
+// returns a view of it, valid until the next call.
+func (d *Reader) NextSpan(max int) ([]Record, error) {
+	if max > DefaultBatchLen {
+		max = DefaultBatchLen
+	}
+	if d.recs == nil {
+		d.recs = make([]Record, DefaultBatchLen)
+	}
+	n, err := d.NextBatch(d.recs[:max])
+	return d.recs[:n], err
 }
 
 // Writer encodes records to the binary trace format incrementally. It is a
-// Sink; call Flush when the stream ends.
+// Sink and a BatchSink — AddBatch marshals whole 64 KiB buffers per write
+// call. Call Flush when the stream ends.
 type Writer struct {
 	bw  *bufio.Writer
-	buf [recordSize]byte
+	raw [batchBytes]byte
 }
 
 // NewWriter returns a streaming encoder for the binary trace format.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{bw: bufio.NewWriterSize(w, batchBytes)}
 }
 
 // Add encodes one record.
 func (t *Writer) Add(r Record) error {
-	r.Marshal(t.buf[:])
-	if _, err := t.bw.Write(t.buf[:]); err != nil {
+	r.Marshal(t.raw[:recordSize])
+	if _, err := t.bw.Write(t.raw[:recordSize]); err != nil {
 		return fmt.Errorf("trace: write: %w", err)
+	}
+	return nil
+}
+
+// AddBatch encodes a whole batch, marshaling records into full 64 KiB
+// buffers before each write call.
+func (t *Writer) AddBatch(recs []Record) error {
+	const perBuf = batchBytes / recordSize * recordSize
+	off := 0
+	for _, r := range recs {
+		if off+recordSize > perBuf {
+			if _, err := t.bw.Write(t.raw[:off]); err != nil {
+				return fmt.Errorf("trace: write: %w", err)
+			}
+			off = 0
+		}
+		r.Marshal(t.raw[off:])
+		off += recordSize
+	}
+	if off > 0 {
+		if _, err := t.bw.Write(t.raw[:off]); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
 	}
 	return nil
 }

@@ -158,13 +158,12 @@ func UnmarshalRecord(buf []byte) (Record, error) {
 }
 
 // WriteAll encodes records to w in the binary trace format. It is the
-// batch form of the streaming Writer sink.
+// batch form of the streaming Writer sink and encodes whole 64 KiB
+// buffers per write call.
 func WriteAll(w io.Writer, recs []Record) error {
 	tw := NewWriter(w)
-	for _, r := range recs {
-		if err := tw.Add(r); err != nil {
-			return err
-		}
+	if err := tw.AddBatch(recs); err != nil {
+		return err
 	}
 	return tw.Flush()
 }
@@ -183,9 +182,9 @@ func Merge(traces ...[]Record) []Record {
 	for _, t := range traces {
 		total += len(t)
 	}
-	out := Collector{Recs: make([]Record, 0, total)}
+	out := &Collector{Recs: make([]Record, 0, total)}
 	// Slice sources never fail, so the merge cannot either.
-	if _, err := Copy(&out, MergeSlices(traces...)); err != nil {
+	if _, err := Copy(out, MergeSlices(traces...)); err != nil {
 		panic("trace: merge: " + err.Error())
 	}
 	return out.Recs

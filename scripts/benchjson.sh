@@ -16,14 +16,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|MergeBatch|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
+pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|MergeBatch|MergeStreaming|MergeHeap|MergeLoserTree|CharacterizeParallel|CharacterizeStreaming|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
 out=${2:-BENCH_$(date +%Y%m%d).json}
 benchtime=${BENCHTIME:-1x}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$raw" >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/trace | tee "$raw" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v gover="$(go env GOVERSION)" \
