@@ -1,0 +1,65 @@
+// Command essvet runs the repository's custom static-analysis suite —
+// the internal/vetters analyzers that machine-check the pipeline's
+// correctness invariants (exact accumulator merges, seeded randomness,
+// deterministic output order, consumed sink errors, unretained
+// zero-copy spans).
+//
+// Usage:
+//
+//	go run ./cmd/essvet ./...            # whole tree, all analyzers
+//	go run ./cmd/essvet -sinkerr ./cmd/... # one analyzer, one subtree
+//
+// Given package patterns, essvet re-executes itself through
+// `go vet -vettool`, so the go command drives package loading, export
+// data, and caching exactly as it does for the built-in vet; invoked
+// by the go command (with -V=full or unit-check config files) it acts
+// as a standard unitchecker-based vet tool.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"essio/internal/vetters"
+)
+
+func main() {
+	args := os.Args[1:]
+	if invokedByGoVet(args) {
+		unitchecker.Main(vetters.All()...) // does not return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essvet:", err)
+		os.Exit(1)
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + exe}, args...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "essvet:", err)
+		os.Exit(1)
+	}
+}
+
+// invokedByGoVet reports whether the go command is driving this process
+// as a vet tool: it probes with -V=full / -flags and then passes one
+// *.cfg file per package.
+func invokedByGoVet(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

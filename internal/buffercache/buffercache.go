@@ -14,6 +14,7 @@ package buffercache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"essio/internal/blockio"
 	"essio/internal/sim"
@@ -438,6 +439,10 @@ func (c *Cache) InvalidateClean() int {
 			victims = append(victims, b)
 		}
 	}
+	// Evict in block order, not map order: eviction reshapes the LRU list
+	// and free list, so a map-ordered sweep would leave the cache in a
+	// different state on every run and desynchronize seeded experiments.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].block < victims[j].block })
 	for _, b := range victims {
 		c.evict(b)
 		n++

@@ -1,0 +1,224 @@
+// Runtime complement to the essvet mergefields analyzer: where the
+// static check proves every accumulator field is *referenced* by Merge,
+// MergeDrops proves the reference actually *propagates* state. It
+// perturbs each field of a donor accumulator by reflection and asserts
+// the merge result changes; a field whose perturbation is invisible
+// after Merge is exactly the silent-desync bug the parallel drivers
+// cannot afford (results stay plausible, they are just wrong).
+//
+// The check is behavioral, so it needs live accumulators: the caller
+// supplies a constructor and a feed function that plays shard 0 into
+// the receiver and shard 1 (a time-contiguous continuation) into the
+// donor, mirroring how the parallel pass actually splits a trace.
+// Fields that are construction-time configuration — the ones carrying
+// //essvet:mergeignore markers — are passed as ignores, keeping the two
+// checkers' exemption lists cross-validating each other.
+
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+)
+
+// MergeDrops reports the fields of an accumulator whose state a Merge
+// call drops. newAcc must return a pointer to a fresh accumulator with
+// a Merge method; feed folds shard 0 or 1 of a sample workload into it.
+// For each non-ignored field, a donor is built, fed shard 1, perturbed
+// in that field, and merged into a shard-0 receiver; if the result
+// never differs from an unperturbed merge (a Merge panic counts as
+// noticing, since geometry and anchor asserts read the field), the
+// field is reported. A non-nil error means the check itself could not
+// run, not that a field was dropped.
+func MergeDrops(newAcc func() any, feed func(acc any, shard int), ignore ...string) ([]string, error) {
+	rv := reflect.ValueOf(newAcc())
+	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("mergecheck: accumulator is %s, need pointer to struct", rv.Kind())
+	}
+	if _, ok := rv.Type().MethodByName("Merge"); !ok {
+		return nil, fmt.Errorf("mergecheck: %s has no Merge method", rv.Type())
+	}
+	baseline, err := mergeWith(newAcc, feed, -1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mergecheck: unperturbed merge failed: %v", err)
+	}
+
+	ignored := make(map[string]bool, len(ignore))
+	for _, n := range ignore {
+		ignored[n] = true
+	}
+	st := rv.Elem().Type()
+	var drops []string
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Name == "_" || ignored[f.Name] {
+			continue
+		}
+		propagated := false
+		for variant := 0; variant < 2; variant++ {
+			got, err := mergeWith(newAcc, feed, i, variant)
+			if err != nil || !reflect.DeepEqual(got, baseline) {
+				propagated = true
+				break
+			}
+		}
+		if !propagated {
+			drops = append(drops, f.Name)
+		}
+	}
+	return drops, nil
+}
+
+// mergeWith merges a shard-1 donor — with struct field index perturbed,
+// or unperturbed when field is -1 — into a shard-0 receiver, converting
+// a Merge panic into an error.
+func mergeWith(newAcc func() any, feed func(any, int), field, variant int) (acc any, err error) {
+	recv, donor := newAcc(), newAcc()
+	feed(recv, 0)
+	feed(donor, 1)
+	if field >= 0 {
+		perturb(writable(reflect.ValueOf(donor).Elem().Field(field)), variant)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	reflect.ValueOf(recv).MethodByName("Merge").Call([]reflect.Value{reflect.ValueOf(donor)})
+	return recv, nil
+}
+
+// perturb mutates every reachable leaf under v — numbers shifted, bools
+// flipped, strings extended, maps given a fresh entry — so that any
+// Merge that reads the enclosing field sees the change. The two
+// variants shift numbers in opposite directions, catching fields that
+// only propagate through min- or max-style comparisons. Reports whether
+// anything was changed.
+func perturb(v reflect.Value, variant int) bool {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		d := delta(v.Type().Bits())
+		if variant == 1 {
+			d = -d
+		}
+		if n := v.Int() + d; !v.OverflowInt(n) {
+			v.SetInt(n)
+		} else {
+			v.SetInt(v.Int() - d)
+		}
+		return true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		d := uint64(delta(v.Type().Bits()))
+		if variant == 1 && v.Uint() >= d {
+			v.SetUint(v.Uint() - d)
+		} else if n := v.Uint() + d; !v.OverflowUint(n) {
+			v.SetUint(n)
+		} else {
+			v.SetUint(v.Uint() - d)
+		}
+		return true
+	case reflect.Float32, reflect.Float64:
+		if variant == 1 {
+			v.SetFloat(-v.Float() - 1.5)
+		} else {
+			v.SetFloat(v.Float() + 0.5)
+		}
+		return true
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+		return true
+	case reflect.String:
+		v.SetString(v.String() + "~")
+		return true
+	case reflect.Pointer:
+		if v.IsNil() {
+			if !v.CanSet() {
+				return false
+			}
+			v.Set(reflect.New(v.Type().Elem()))
+		}
+		return perturb(v.Elem(), variant)
+	case reflect.Struct:
+		changed := false
+		for i := 0; i < v.NumField(); i++ {
+			if perturb(writable(v.Field(i)), variant) {
+				changed = true
+			}
+		}
+		return changed
+	case reflect.Array:
+		changed := false
+		for i := 0; i < v.Len(); i++ {
+			if perturb(v.Index(i), variant) {
+				changed = true
+			}
+		}
+		return changed
+	case reflect.Slice:
+		if v.Len() == 0 {
+			if !v.CanSet() {
+				return false
+			}
+			e := reflect.New(v.Type().Elem()).Elem()
+			perturb(e, variant)
+			v.Set(reflect.Append(v, e))
+			return true
+		}
+		changed := false
+		for i := 0; i < v.Len(); i++ {
+			if perturb(v.Index(i), variant) {
+				changed = true
+			}
+		}
+		return changed
+	case reflect.Map:
+		if !v.CanSet() && v.IsNil() {
+			return false
+		}
+		if v.IsNil() {
+			v.Set(reflect.MakeMap(v.Type()))
+		}
+		// Map values are not addressable: copy out, perturb, store back.
+		for _, k := range v.MapKeys() {
+			e := reflect.New(v.Type().Elem()).Elem()
+			e.Set(v.MapIndex(k))
+			perturb(e, variant)
+			v.SetMapIndex(k, e)
+		}
+		// A fresh key exercises the adopt-new-entries path of the merge.
+		nk := reflect.New(v.Type().Key()).Elem()
+		perturb(nk, variant)
+		nv := reflect.New(v.Type().Elem()).Elem()
+		perturb(nv, variant)
+		v.SetMapIndex(nk, nv)
+		return true
+	}
+	return false
+}
+
+// delta picks a perturbation magnitude by integer width: large enough to
+// cross time-bucket boundaries on 64-bit nanosecond fields, small enough
+// not to overflow narrow counters.
+func delta(bits int) int64 {
+	switch {
+	case bits >= 64:
+		return 1 << 40
+	case bits >= 32:
+		return 1 << 20
+	case bits >= 16:
+		return 1 << 9
+	default:
+		return 3
+	}
+}
+
+// writable returns v made settable, rebasing unexported fields through
+// their address; accumulator state is almost entirely unexported, and
+// the checker must mutate it without exported setters.
+func writable(v reflect.Value) reflect.Value {
+	if v.CanSet() || !v.CanAddr() {
+		return v
+	}
+	return reflect.NewAt(v.Type(), unsafe.Pointer(v.UnsafeAddr())).Elem()
+}

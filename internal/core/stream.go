@@ -15,10 +15,12 @@ import (
 // it) and call Profile once the stream ends. Characterize is its batch
 // form.
 type Profiler struct {
-	label       string
-	nodes       int
-	duration    sim.Duration
-	diskSectors uint32
+	// Construction-time configuration: every shard of a parallel pass is
+	// built with identical values, so Merge keeps the receiver's copy.
+	label       string       //essvet:mergeignore identical across shards by construction
+	nodes       int          //essvet:mergeignore identical across shards by construction
+	duration    sim.Duration //essvet:mergeignore identical across shards by construction
+	diskSectors uint32       //essvet:mergeignore identical across shards by construction
 
 	summary *analysis.SummaryAcc
 	classes *analysis.SizeClassAcc

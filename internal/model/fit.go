@@ -19,9 +19,12 @@ const DefaultBandSectors = 100000
 // records in merged (Time, Node, Sector) order — the order every Source in
 // the pipeline produces — and call Model when the stream ends.
 type Fitter struct {
-	label       string
-	nodes       int // 0 = infer from trace
-	diskSectors uint32
+	// Construction-time configuration: every shard of a parallel pass is
+	// built with identical values (Merge asserts the band geometry), so
+	// Merge keeps the receiver's copy.
+	label       string //essvet:mergeignore identical across shards by construction
+	nodes       int    //essvet:mergeignore identical across shards by construction (0 = infer from trace)
+	diskSectors uint32 //essvet:mergeignore identical across shards by construction
 	bandSectors uint32
 
 	n           int

@@ -120,7 +120,9 @@ func (u *batchUnpacker) Next() (Record, error) {
 		if err != nil {
 			return Record{}, err
 		}
-		u.span, u.pos = span, 0
+		// The buffered span is fully consumed before the next nextSpan
+		// call refills it, so holding it across Next calls is safe.
+		u.span, u.pos = span, 0 //essvet:ignore spanretain
 	}
 	r := u.span[u.pos]
 	u.pos++

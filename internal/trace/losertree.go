@@ -42,7 +42,9 @@ func (m *mergeInput) advance() error {
 		m.ok = false
 		return err
 	}
-	m.span, m.pos = span, 1
+	// Each input owns its spanReader and drains the buffered span before
+	// the next refill, so holding it across advance calls is safe.
+	m.span, m.pos = span, 1 //essvet:ignore spanretain
 	m.cur = span[0]
 	return nil
 }

@@ -1,0 +1,259 @@
+// Package determinism defines an analyzer guarding the reproducibility
+// invariant of the simulation and synthesis layers: every experiment
+// and every synthetic trace must be a pure function of its seed. Wall
+// clocks and the process-global math/rand source break that silently —
+// runs still succeed, they are just unrepeatable — so their use is
+// forbidden in the gated packages (internal/sim, internal/synth,
+// internal/cluster, internal/apps by default; see -detpkgs).
+//
+// The analyzer also flags, in every package, range-over-map loops whose
+// bodies emit — print, write, encode, or append into a slice that is
+// never sorted afterwards — because Go randomizes map iteration order
+// and such loops make output nondeterministic run to run. The fix is
+// the usual one: collect the keys, sort them, then emit in key order.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// DefaultGates lists the package-path substrings in which wall-clock
+// and global-randomness use is forbidden.
+const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps"
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "determinism"
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid wall clocks, global math/rand, and unsorted map-order output\n\n" +
+		"Simulation and synthesis packages must derive all randomness from an\n" +
+		"explicit seed: time.Now/time.Since and the package-level math/rand\n" +
+		"functions are flagged there. In every package, a range over a map whose\n" +
+		"body prints, writes, encodes, or appends without a subsequent sort is\n" +
+		"flagged, because map iteration order changes between runs.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var gates string
+
+func init() {
+	Analyzer.Flags.StringVar(&gates, "detpkgs", DefaultGates,
+		"comma-separated package-path substrings where wall-clock/global-rand use is forbidden")
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ignores := vetutil.ParseIgnores(pass)
+	gated := vetutil.PathGated(pass.Pkg.Path(), gates)
+	if gated {
+		checkClockAndRand(pass, ins, ignores)
+	}
+	checkMapOrder(pass, ins, ignores)
+	return nil, nil
+}
+
+// checkClockAndRand flags time.Now/time.Since and package-level
+// math/rand functions in gated packages.
+func checkClockAndRand(pass *analysis.Pass, ins *inspector.Inspector, ignores *vetutil.Ignores) {
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if vetutil.InTestFile(pass.Fset, call.Pos()) ||
+			ignores.Suppressed(call.Pos(), name) {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods (e.g. (*rand.Rand).Intn) are fine: the source is explicit
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+				pass.Reportf(call.Pos(),
+					"time.%s in a seeded package makes runs unrepeatable; thread sim.Time or a seed-derived value instead",
+					fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"global rand.%s draws from the process-wide source; use an explicitly seeded rand.New(...) generator",
+					fn.Name())
+			}
+		}
+	})
+}
+
+// emitNames are method names whose call inside a map-range body writes
+// output in iteration order.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+// fmtEmit are fmt package functions that emit (Sprint* only formats).
+var fmtEmit = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sortFuncs are the sort/slices functions that impose an order on the
+// slice passed as their first argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// isSortCall reports the object of the slice being sorted when call is
+// a recognized sort, or nil. Besides the sort/slices standard library
+// entry points, any function whose name starts with "sort" (such as a
+// package-local sortBinsByV helper) counts as sorting its argument.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	localSorter := strings.HasPrefix(fn.Name(), "sort") || strings.HasPrefix(fn.Name(), "Sort")
+	if !sortFuncs[fn.Pkg().Path()][fn.Name()] && !localSorter {
+		return nil
+	}
+	// Unwrap adapter layers like sort.Sort(sort.Reverse(sort.IntSlice(x))).
+	arg := call.Args[0]
+	for {
+		inner, ok := arg.(*ast.CallExpr)
+		if !ok || len(inner.Args) == 0 {
+			break
+		}
+		arg = inner.Args[0]
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// checkMapOrder flags map-range loops that emit in iteration order.
+func checkMapOrder(pass *analysis.Pass, ins *inspector.Inspector, ignores *vetutil.Ignores) {
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+			return true
+		}
+		if vetutil.InTestFile(pass.Fset, rng.Pos()) ||
+			ignores.Suppressed(rng.Pos(), name) {
+			return true
+		}
+
+		var emitCall *ast.CallExpr
+		appended := make(map[types.Object]bool)
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || emitCall != nil {
+				return emitCall == nil
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && len(call.Args) > 0 {
+					if id, ok := call.Args[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							appended[obj] = true
+						}
+					}
+				}
+				if fun.Name == "print" || fun.Name == "println" {
+					if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+						emitCall = call
+					}
+				}
+			case *ast.SelectorExpr:
+				fn := typeutil.StaticCallee(pass.TypesInfo, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtEmit[fn.Name()] {
+					emitCall = call
+					return false
+				}
+				// Method call that writes: receiver order = map order.
+				if fn != nil {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && emitNames[fn.Name()] {
+						emitCall = call
+						return false
+					}
+				}
+			}
+			return true
+		})
+
+		if emitCall != nil {
+			pass.Reportf(rng.Pos(),
+				"range over map emits in iteration order, which Go randomizes; collect and sort the keys, then emit in key order")
+			return true
+		}
+		if len(appended) == 0 {
+			return true
+		}
+		// Appends are fine when some appended slice is sorted after the
+		// loop in the same enclosing function body (the collect-sort-emit
+		// idiom); otherwise the slice keeps map order.
+		var encl ast.Node
+		for i := len(stack) - 1; i >= 0; i-- {
+			if fd, ok := stack[i].(*ast.FuncDecl); ok {
+				encl = fd.Body
+				break
+			}
+			if fl, ok := stack[i].(*ast.FuncLit); ok {
+				encl = fl.Body
+				break
+			}
+		}
+		if encl == nil {
+			return true
+		}
+		sortedAfter := false
+		ast.Inspect(encl, func(m ast.Node) bool {
+			if sortedAfter {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || call.Pos() < rng.End() {
+				return true
+			}
+			if obj := isSortCall(pass, call); obj != nil && appended[obj] {
+				sortedAfter = true
+			}
+			return true
+		})
+		if !sortedAfter {
+			pass.Reportf(rng.Pos(),
+				"range over map appends in iteration order and the slice is never sorted; sort it (or the keys) before use")
+		}
+		return true
+	})
+}

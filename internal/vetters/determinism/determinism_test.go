@@ -1,0 +1,9 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestDeterminism(t *testing.T) { vettest.Run(t, "determinism") }

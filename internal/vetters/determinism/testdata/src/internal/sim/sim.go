@@ -1,0 +1,34 @@
+// Fixtures for the determinism analyzer, gated half: this path matches
+// internal/sim, so wall clocks and the global rand source are forbidden.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now() // want `time.Now in a seeded package makes runs unrepeatable`
+	return t.Unix()
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a seeded package makes runs unrepeatable`
+}
+
+func Draw() int {
+	return rand.Intn(6) // want `global rand.Intn draws from the process-wide source`
+}
+
+// Seeded derives all randomness from an explicit seed: constructors and
+// generator methods are allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Suppressed carries the ignore directive on the line above the call.
+func Suppressed() int64 {
+	//essvet:ignore determinism startup banner only
+	return time.Now().Unix()
+}

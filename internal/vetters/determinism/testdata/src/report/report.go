@@ -1,0 +1,80 @@
+// Fixtures for the determinism analyzer, ungated half: wall clocks are
+// fine here, but map-ordered output is flagged in every package.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stamp uses the wall clock outside the gated packages: fine.
+func Stamp() int64 { return time.Now().Unix() }
+
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `range over map emits in iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+func BuildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map emits in iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func DebugDump(m map[string]int) {
+	for k := range m { // want `range over map emits in iteration order`
+		println(k)
+	}
+}
+
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map appends in iteration order and the slice is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the collect-sort-emit idiom: fine.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectLocalSort sorts through a package-local helper: fine.
+func CollectLocalSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// Sum aggregates commutatively; iteration order cannot show: fine.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SuppressedEmit opts out with the ignore directive.
+func SuppressedEmit(m map[string]int) {
+	//essvet:ignore determinism debugging helper, order irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}

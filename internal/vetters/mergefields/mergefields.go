@@ -1,0 +1,219 @@
+// Package mergefields defines an analyzer enforcing the repo's
+// accumulator-merge invariant: the parallel characterization drivers
+// (core.ProfileParallel, experiment.RunAllWorkers, essanalyze -workers)
+// are only exact because every accumulator's Merge folds *every* piece
+// of state its Add path can touch. A field added to an accumulator but
+// forgotten in Merge desyncs the sharded pass from the sequential
+// oracle silently — results stay plausible, they are just wrong.
+//
+// The analyzer requires that any method
+//
+//	func (a *T) Merge(b *T)
+//
+// on a struct type T declared in the same package reference every field
+// of T inside its body. Fields that are intentionally not merged —
+// construction-time configuration asserted equal instead, derived
+// caches — carry an explicit marker on the field declaration:
+//
+//	width uint32 //essvet:mergeignore geometry is asserted equal
+//
+// A //essvet:mergeignore marker in the Merge method's doc comment
+// exempts the whole method.
+package mergefields
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// Marker is the comment prefix exempting a field (or a whole Merge
+// method, when placed in its doc comment) from the check.
+const Marker = "//essvet:mergeignore"
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "mergefields"
+
+// Analyzer is the mergefields analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "check that accumulator Merge methods reference every field of the receiver struct\n\n" +
+		"A Merge(*T) method on struct T must read or write each field of T (or the\n" +
+		"field must carry a //essvet:mergeignore marker); otherwise a field added to\n" +
+		"an accumulator silently desyncs parallel merges from the sequential pass.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ignores := vetutil.ParseIgnores(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Merge" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if vetutil.InTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			checkMerge(pass, ignores, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkMerge verifies one Merge method.
+func checkMerge(pass *analysis.Pass, ignores *vetutil.Ignores, fd *ast.FuncDecl) {
+	obj := pass.TypesInfo.Defs[fd.Name]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	recvNamed := namedOf(sig.Recv().Type())
+	if recvNamed == nil || recvNamed.Obj().Pkg() != pass.Pkg {
+		return
+	}
+	st, ok := recvNamed.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// Merge must take exactly one parameter of the receiver's own type.
+	if sig.Params().Len() != 1 || namedOf(sig.Params().At(0).Type()) != recvNamed {
+		return
+	}
+	if commentHasMarker(fd.Doc) {
+		return
+	}
+
+	want := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if fv.Name() != "_" {
+			want[fv] = true
+		}
+	}
+	exemptMarkedFields(pass, recvNamed, want)
+
+	// A whole-struct assignment through the receiver (*a = *b, or a = b
+	// on a value receiver) touches every field at once.
+	recvVar, _ := pass.TypesInfo.Defs[receiverIdent(fd)].(*types.Var)
+	used := make(map[*types.Var]bool)
+	all := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && want[v] {
+				used[v] = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isReceiverValue(pass, lhs, recvVar) {
+					all = true
+				}
+			}
+		}
+		return true
+	})
+	if all {
+		return
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if !want[fv] || used[fv] {
+			continue
+		}
+		if ignores.Suppressed(fd.Name.Pos(), name) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"Merge of %s does not reference field %s; a sharded pass will drop its state (merge it or mark the field //essvet:mergeignore)",
+			recvNamed.Obj().Name(), fv.Name())
+	}
+}
+
+// receiverIdent returns the receiver name identifier of fd, or nil for
+// an anonymous receiver.
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0]
+	}
+	return nil
+}
+
+// isReceiverValue reports whether expr denotes the whole receiver value
+// (recv or *recv).
+func isReceiverValue(pass *analysis.Pass, expr ast.Expr, recv *types.Var) bool {
+	if recv == nil {
+		return false
+	}
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	id, ok := expr.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+// exemptMarkedFields drops fields whose declaration carries the
+// //essvet:mergeignore marker from the wanted set.
+func exemptMarkedFields(pass *analysis.Pass, named *types.Named, want map[*types.Var]bool) {
+	specPos := named.Obj().Pos()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Pos() != specPos {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return false
+			}
+			for _, field := range st.Fields.List {
+				if !commentHasMarker(field.Doc) && !commentHasMarker(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						delete(want, v)
+					}
+				}
+				if len(field.Names) == 0 { // embedded field
+					for v := range want {
+						if v.Embedded() && v.Pos() >= field.Pos() && v.Pos() <= field.End() {
+							delete(want, v)
+						}
+					}
+				}
+			}
+			return false
+		})
+	}
+}
+
+// commentHasMarker reports whether any comment of cg starts with the
+// mergeignore marker.
+func commentHasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}

@@ -1,0 +1,9 @@
+package mergefields_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestMergeFields(t *testing.T) { vettest.Run(t, "mergefields") }

@@ -1,0 +1,51 @@
+// Fixtures for the mergefields analyzer: accumulators whose Merge must
+// reference every receiver field.
+package mf
+
+// Good merges every field.
+type Good struct{ count, bytes int }
+
+func (g *Good) Merge(o *Good) {
+	g.count += o.count
+	g.bytes += o.bytes
+}
+
+// Bad forgets bytes.
+type Bad struct{ count, bytes int }
+
+func (b *Bad) Merge(o *Bad) { // want `Merge of Bad does not reference field bytes`
+	b.count += o.count
+}
+
+// Marked exempts a construction-time field with the field marker.
+type Marked struct {
+	count int
+	label string //essvet:mergeignore identical across shards by construction
+}
+
+func (m *Marked) Merge(o *Marked) { m.count += o.count }
+
+// Whole assigns through the receiver, touching every field at once.
+type Whole struct{ a, b int }
+
+func (w *Whole) Merge(o *Whole) { *w = *o }
+
+// Opaque is exempted wholesale by a marker in the method doc comment.
+type Opaque struct{ a, b int }
+
+//essvet:mergeignore state is reconciled by the caller
+func (p *Opaque) Merge(o *Opaque) {}
+
+// Line-level suppression with the generic ignore directive.
+type Quiet struct{ a, b int }
+
+//essvet:ignore mergefields b is rebuilt lazily on Profile
+func (q *Quiet) Merge(o *Quiet) { q.a += o.a }
+
+// NotMerge takes a different parameter type, so it is not the
+// accumulator Merge shape and is not checked.
+type NotMerge struct{ a int }
+
+type other struct{}
+
+func (n *NotMerge) Merge(o *other) {}

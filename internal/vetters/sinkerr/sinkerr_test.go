@@ -1,0 +1,9 @@
+package sinkerr_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestSinkErr(t *testing.T) { vettest.Run(t, "sinkerr") }

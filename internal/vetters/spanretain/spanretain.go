@@ -1,0 +1,317 @@
+// Package spanretain defines an analyzer enforcing the zero-copy span
+// contract of the batch layer: record slices handed out by the
+// NextSpan methods of trace sources, and the batch passed into an
+// AddBatch implementation, are views of a reused 64 KiB codec buffer.
+// They are valid only until the next call into the source; retaining
+// one — storing it in a struct field or global, sending it on a
+// channel, stashing it in a map, or capturing it in a closure that
+// outlives the call — aliases memory that the next refill silently
+// overwrites. The bug never crashes: the retained span just starts
+// describing different records.
+//
+// The analyzer tracks, within each function body,
+//
+//   - variables bound to the result of a NextSpan/nextSpan call on a
+//     trace-package type, and
+//   - the slice parameter of an AddBatch method implementation
+//     (BatchSink documents "recs must not be retained"),
+//
+// including aliases made by plain assignment or re-slicing, and flags
+// any retention point. Escaping the span on purpose (an adapter that
+// forwards it under the same contract) is suppressed with
+// //essvet:ignore spanretain.
+package spanretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "spanretain"
+
+// Analyzer is the spanretain analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag retention of zero-copy record spans from the trace batch layer\n\n" +
+		"Spans returned by NextSpan and batches passed to AddBatch are backed by\n" +
+		"reused codec buffers and are invalid after the next source call; storing\n" +
+		"them in fields, globals, maps, or channels, or capturing them in escaping\n" +
+		"closures, aliases memory the next refill overwrites. Copy first.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ignores := vetutil.ParseIgnores(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		tracked := make(map[types.Object]bool)
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return
+			}
+			body = fn.Body
+			if fn.Recv != nil && fn.Name.Name == "AddBatch" {
+				trackAddBatchParam(pass, fn, tracked)
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if vetutil.InTestFile(pass.Fset, body.Pos()) {
+			return
+		}
+		collectSpanVars(pass, body, tracked)
+		if len(tracked) == 0 {
+			return
+		}
+		checkRetention(pass, ignores, body, tracked)
+	})
+	return nil, nil
+}
+
+// trackAddBatchParam marks the []Record parameter of an AddBatch method
+// implementing the trace BatchSink contract.
+func trackAddBatchParam(pass *analysis.Pass, fn *ast.FuncDecl, tracked map[types.Object]bool) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return
+	}
+	if _, ok := sig.Params().At(0).Type().Underlying().(*types.Slice); !ok {
+		return
+	}
+	if len(fn.Type.Params.List) == 1 && len(fn.Type.Params.List[0].Names) == 1 {
+		if v, ok := pass.TypesInfo.Defs[fn.Type.Params.List[0].Names[0]].(*types.Var); ok {
+			tracked[v] = true
+		}
+	}
+}
+
+// collectSpanVars finds variables bound to NextSpan results and their
+// aliases, iterating assignments to a fixpoint within the body.
+func collectSpanVars(pass *analysis.Pass, body *ast.BlockStmt, tracked map[types.Object]bool) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) < 1 || len(as.Rhs) < 1 {
+				return true
+			}
+			// span, err := src.NextSpan(n)  — the span is Lhs[0].
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && len(as.Rhs) == 1 && isSpanCall(pass, call) {
+				if mark(pass, as.Lhs[0], tracked) {
+					grew = true
+				}
+				return true
+			}
+			// alias := span   or   alias := span[i:j]
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, rhs := range as.Rhs {
+					if isTrackedExpr(pass, rhs, tracked) {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok {
+							if mark(pass, id, tracked) {
+								grew = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// mark records the object of an identifier as tracked, reporting growth.
+func mark(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]bool) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || tracked[obj] {
+		return false
+	}
+	tracked[obj] = true
+	return true
+}
+
+// isSpanCall reports whether call invokes a NextSpan method declared in
+// a trace package.
+func isSpanCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() != "NextSpan" && fn.Name() != "nextSpan" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isTracePkg(fn.Pkg().Path())
+}
+
+// isTracePkg matches this repo's trace package and identically laid-out
+// test stubs.
+func isTracePkg(path string) bool {
+	return path == "trace" || len(path) > 6 && path[len(path)-6:] == "/trace"
+}
+
+// isTrackedExpr reports whether expr denotes a tracked span or a
+// re-slice of one (slicing shares the backing buffer; only an element
+// copy or append breaks the alias).
+func isTrackedExpr(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]bool) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tracked[obj]
+	case *ast.SliceExpr:
+		return isTrackedExpr(pass, e.X, tracked)
+	case *ast.ParenExpr:
+		return isTrackedExpr(pass, e.X, tracked)
+	}
+	return false
+}
+
+// checkRetention reports every point where a tracked span escapes the
+// call frame.
+func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.BlockStmt, tracked map[types.Object]bool) {
+	report := func(pos ast.Node, what string) {
+		if ignores.Suppressed(pos.Pos(), name) {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"zero-copy record span %s; the backing buffer is reused on the next source call — copy the records first (append([]trace.Record(nil), span...))", what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isTrackedExpr(pass, rhs, tracked) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					report(n, "stored in a struct field")
+				case *ast.IndexExpr:
+					report(n, "stored in a map or slice element")
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var); ok && isPkgLevel(v) {
+						report(n, "stored in a package-level variable")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isTrackedExpr(pass, n.Value, tracked) {
+				report(n, "sent on a channel")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isTrackedExpr(pass, e, tracked) {
+					report(n, "stored in a composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			// append(list, span) stores the slice header itself;
+			// append(dst, span...) copies elements and is fine.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass, id) {
+				for _, arg := range n.Args[min(1, len(n.Args)):] {
+					if isTrackedExpr(pass, arg, tracked) && n.Ellipsis == 0 {
+						report(n, "appended as a slice value")
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred or spawned closure runs after — or concurrently
+			// with — further source calls, when the span is already stale.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && capturesTracked(pass, fl, tracked) {
+				report(n, "captured by a deferred closure that runs after the span is stale")
+			}
+		case *ast.GoStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && capturesTracked(pass, fl, tracked) {
+				report(n, "captured by a goroutine racing the span's reuse")
+			}
+		case *ast.FuncLit:
+			if capturesTracked(pass, n, tracked) && !immediatelyInvoked(body, n) {
+				report(n, "captured by a closure that may outlive the span")
+			}
+			return false // don't descend: inner body already scanned as its own function
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether id resolves to the predeclared builtin of
+// the same name rather than a shadowing declaration.
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true // conservatively builtin when unresolved
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// capturesTracked reports whether the closure body references a tracked
+// span variable declared outside the closure (a true capture; spans the
+// closure obtains itself are its own function's concern).
+func capturesTracked(pass *analysis.Pass, fl *ast.FuncLit, tracked map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && tracked[obj] && (obj.Pos() < fl.Pos() || obj.Pos() > fl.End()) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// immediatelyInvoked reports whether fl appears only as the function of
+// a direct call (an IIFE), which cannot outlive the current statement.
+func immediatelyInvoked(body *ast.BlockStmt, fl *ast.FuncLit) bool {
+	invoked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == fl {
+			invoked = true
+		}
+		return !invoked
+	})
+	return invoked
+}

@@ -1,0 +1,9 @@
+package spanretain_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestSpanRetain(t *testing.T) { vettest.Run(t, "spanretain") }

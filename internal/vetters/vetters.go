@@ -1,0 +1,27 @@
+// Package vetters assembles the essvet static-analysis suite: the
+// custom golang.org/x/tools/go/analysis analyzers that machine-check
+// this repository's correctness invariants — exact accumulator merges
+// (mergefields), seed-pure simulation and deterministic output order
+// (determinism), consumed sink errors (sinkerr), and unretained
+// zero-copy batch spans (spanretain). cmd/essvet runs them over the
+// tree; see DESIGN.md §"Checked invariants".
+package vetters
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"essio/internal/vetters/determinism"
+	"essio/internal/vetters/mergefields"
+	"essio/internal/vetters/sinkerr"
+	"essio/internal/vetters/spanretain"
+)
+
+// All returns every essvet analyzer, in stable name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		mergefields.Analyzer,
+		sinkerr.Analyzer,
+		spanretain.Analyzer,
+	}
+}

@@ -1,0 +1,308 @@
+// Package vettest is the golden-file test harness for the essvet
+// analyzers, an offline analogue of go/analysis/analysistest that
+// exercises the real delivery pipeline end to end: it builds
+// cmd/essvet, copies an analyzer's testdata tree into a throwaway
+// module, runs `go vet -vettool=essvet -json -<analyzer> ./...` there,
+// and diffs the emitted diagnostics against `// want` expectations in
+// the testdata sources.
+//
+// Expectation syntax, on the line the diagnostic is reported at:
+//
+//	x.f = span // want `regexp matching the message`
+//	y()        // want `first` `second`
+//
+// Both backquoted and double-quoted regexps are accepted. Every want
+// must be matched by a diagnostic on its line and every diagnostic
+// must be claimed by a want, so suites encode positive and negative
+// cases in the same files.
+package vettest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Run checks one analyzer against the testdata tree rooted next to the
+// calling test (testdata/src/** becomes the throwaway module).
+func Run(t *testing.T, analyzer string) {
+	t.Helper()
+	root := repoRoot(t)
+	tool := buildTool(t, root)
+
+	mod := t.TempDir()
+	src := filepath.Join("testdata", "src")
+	wants, err := copyTree(src, mod)
+	if err != nil {
+		t.Fatalf("copy testdata: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"),
+		[]byte("module essvet.test\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runVet(t, tool, mod, analyzer)
+	compare(t, mod, analyzer, wants, diags)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string // path relative to the module root
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// diag is one diagnostic go vet reported.
+type diag struct {
+	file    string
+	line    int
+	message string
+	claimed bool
+}
+
+var (
+	buildOnce sync.Once
+	builtTool string
+	buildErr  error
+)
+
+// buildTool compiles cmd/essvet once per test process.
+func buildTool(t *testing.T, root string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "essvet-tool-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtTool = filepath.Join(dir, "essvet")
+		cmd := exec.Command("go", "build", "-o", builtTool, "./cmd/essvet")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build essvet: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtTool
+}
+
+// repoRoot locates the module root of the repository under test.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("vettest must run inside the repository module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// wantRE extracts expectation regexps from a source line.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// copyTree copies the testdata source tree into the module root and
+// parses // want expectations along the way.
+func copyTree(src, dst string) ([]*want, error) {
+	var wants []*want
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel == "." {
+				return nil
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o777)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(rel, ".go") {
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, pat, err)
+					}
+					wants = append(wants, &want{file: rel, line: i + 1, re: re})
+				}
+			}
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o666)
+	})
+	return wants, err
+}
+
+// splitPatterns parses the payload of a want comment: a sequence of
+// backquoted or double-quoted regexps.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		case '"':
+			// Re-quote through the Go lexer to honor escapes.
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			for end > 0 && rest[end-1] == '\\' {
+				next := strings.IndexByte(rest[end+1:], '"')
+				if next < 0 {
+					end = -1
+					break
+				}
+				end += 1 + next
+			}
+			if end < 0 {
+				return pats
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return pats
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return pats
+		}
+	}
+	return pats
+}
+
+// runVet executes the vet tool over the throwaway module, enabling only
+// the analyzer under test, and parses the JSON diagnostics.
+func runVet(t *testing.T, tool, mod, analyzer string) []*diag {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "-"+analyzer, "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOPROXY=off", "GOFLAGS=")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	// go vet exits non-zero when diagnostics are reported; that is not a
+	// harness failure. A failed build or tool crash leaves no JSON.
+	runErr := cmd.Run()
+
+	diags, perr := parseVetJSON(stdout.Bytes(), stderr.Bytes(), mod)
+	if perr != nil {
+		t.Fatalf("go vet output not parseable: %v\nstderr:\n%s", perr, stderr.String())
+	}
+	if runErr != nil && diags == nil && stdout.Len() == 0 && stderr.Len() > 0 {
+		t.Fatalf("go vet failed: %v\n%s", runErr, stderr.String())
+	}
+	return diags
+}
+
+// posnRE splits a file:line:col position.
+var posnRE = regexp.MustCompile(`^(.*):(\d+):(\d+)$`)
+
+// parseVetJSON decodes the stream of per-package JSON objects go vet
+// -json emits (comment lines interleaved on stderr).
+func parseVetJSON(stdout, stderr []byte, mod string) ([]*diag, error) {
+	var diags []*diag
+	for _, raw := range [][]byte{stdout, stderr} {
+		// Drop "# package" comment lines, keep JSON.
+		var jsonText bytes.Buffer
+		for _, line := range bytes.Split(raw, []byte("\n")) {
+			if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+				continue
+			}
+			jsonText.Write(line)
+			jsonText.WriteByte('\n')
+		}
+		dec := json.NewDecoder(&jsonText)
+		for dec.More() {
+			var byPkg map[string]map[string][]struct {
+				Posn    string `json:"posn"`
+				Message string `json:"message"`
+			}
+			if err := dec.Decode(&byPkg); err != nil {
+				if raw = bytes.TrimSpace(raw); len(raw) == 0 {
+					break
+				}
+				return diags, err
+			}
+			for _, byAnalyzer := range byPkg {
+				for _, list := range byAnalyzer {
+					for _, d := range list {
+						m := posnRE.FindStringSubmatch(d.Posn)
+						if m == nil {
+							continue
+						}
+						file := m[1]
+						if rel, err := filepath.Rel(mod, file); err == nil && !strings.HasPrefix(rel, "..") {
+							file = rel
+						}
+						line, _ := strconv.Atoi(m[2])
+						diags = append(diags, &diag{file: file, line: line, message: d.Message})
+					}
+				}
+			}
+		}
+	}
+	// The JSON arrives keyed by package and analyzer maps; order the
+	// diagnostics so mismatch reports are stable run to run.
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].file != diags[j].file {
+			return diags[i].file < diags[j].file
+		}
+		if diags[i].line != diags[j].line {
+			return diags[i].line < diags[j].line
+		}
+		return diags[i].message < diags[j].message
+	})
+	return diags, nil
+}
+
+// compare matches diagnostics against expectations both ways.
+func compare(t *testing.T, mod, analyzer string, wants []*want, diags []*diag) {
+	t.Helper()
+	for _, w := range wants {
+		for _, d := range diags {
+			if d.claimed || d.file != w.file || d.line != w.line || !w.re.MatchString(d.message) {
+				continue
+			}
+			d.claimed, w.hit = true, true
+			break
+		}
+		if !w.hit {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, analyzer, w.re)
+		}
+	}
+	for _, d := range diags {
+		if !d.claimed {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", d.file, d.line, analyzer, d.message)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package vetutil holds the helpers shared by the essvet analyzers:
+// suppression-directive parsing, package gating, and test-file
+// detection. Every analyzer of internal/vetters honors the
+//
+//	//essvet:ignore [analyzer...]
+//
+// directive: it suppresses diagnostics of the named analyzers (all
+// analyzers when the list is empty) on its own line and on the line
+// directly below, so it works both as a trailing comment and as a
+// stand-alone line above the flagged statement, mirroring the
+// staticcheck //lint:ignore convention.
+package vetutil
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// IgnorePrefix is the comment prefix of the suppression directive.
+const IgnorePrefix = "//essvet:ignore"
+
+// Ignores records, per file line, which analyzers are suppressed there.
+type Ignores struct {
+	fset  *token.FileSet
+	lines map[string]map[int][]string // filename → line → analyzer names ("" = all)
+}
+
+// ParseIgnores collects every //essvet:ignore directive of the files
+// under analysis.
+func ParseIgnores(pass *analysis.Pass) *Ignores {
+	ig := &Ignores{fset: pass.Fset, lines: make(map[string]map[int][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // e.g. //essvet:ignorance
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ig.lines[pos.Filename] = m
+				}
+				names := strings.Fields(text)
+				if len(names) == 0 {
+					names = []string{""}
+				}
+				// The directive covers its own line (trailing-comment
+				// form) and the next (stand-alone form).
+				m[pos.Line] = append(m[pos.Line], names...)
+				m[pos.Line+1] = append(m[pos.Line+1], names...)
+			}
+		}
+	}
+	return ig
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos
+// is covered by an ignore directive.
+func (ig *Ignores) Suppressed(pos token.Pos, analyzer string) bool {
+	p := ig.fset.Position(pos)
+	for _, name := range ig.lines[p.Filename][p.Line] {
+		if name == "" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The essvet
+// analyzers skip test files: tests discard errors and iterate maps
+// deliberately, and flagging them would bury the production findings.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PathGated reports whether pkgPath matches any of the comma-separated
+// path substrings in gates (e.g. "internal/sim,internal/synth").
+func PathGated(pkgPath, gates string) bool {
+	for _, g := range strings.Split(gates, ",") {
+		g = strings.TrimSpace(g)
+		if g != "" && strings.Contains(pkgPath, g) {
+			return true
+		}
+	}
+	return false
+}
