@@ -603,3 +603,39 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCharacterizeObs prices the observability layer on the
+// characterizer's per-record hot path: the streaming pass of
+// BenchmarkCharacterizeStreaming with the profiler instrumented at each
+// obs level. "none" is the uninstrumented baseline; "off" must be
+// indistinguishable from it (one nil-handle check per record), and
+// "counters" must stay within 5% — the budget DESIGN.md commits to for
+// always-on counting. "full" adds the batch-length histogram and span
+// timing and is allowed to cost more.
+func BenchmarkCharacterizeObs(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	levels := []struct {
+		name string
+		reg  *essio.ObsRegistry
+	}{
+		{"none", nil},
+		{"off", essio.NewObsRegistry(essio.ObsOff)},
+		{"counters", essio.NewObsRegistry(essio.ObsCounters)},
+		{"full", essio.NewObsRegistry(essio.ObsFull)},
+	}
+	for _, lv := range levels {
+		b.Run(lv.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := essio.NewProfiler("bench", 70*sim.Second, 16, 4194304)
+				if lv.reg != nil {
+					p.Instrument(lv.reg)
+				}
+				if _, err := trace.Copy(p, trace.MergeSlices(traces...)); err != nil {
+					b.Fatal(err)
+				}
+				_ = p.Profile()
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"essio"
+	"essio/internal/profiling"
 )
 
 // accSet is one worker's set of requested accumulators.
@@ -177,12 +178,24 @@ func main() {
 	format := flag.String("format", "auto", "input format: auto, bin, or text")
 	diskSectors := flag.Uint("disk", 1024000, "disk size in sectors")
 	workers := flag.Int("workers", 1, "analyze the file in N concurrent chunks (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "essanalyze: -i is required")
 		os.Exit(2)
 	}
+	stopProf, perr := profiling.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "essanalyze:", perr)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "essanalyze:", err)
+		}
+	}()
 	o := options{
 		label:       *label,
 		nodes:       *nodes,
@@ -216,6 +229,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essanalyze:", err)
+		_ = stopProf()
 		os.Exit(1)
 	}
 	if n == 0 {

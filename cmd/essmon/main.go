@@ -1,0 +1,243 @@
+// Command essmon renders a metric snapshot of the simulated system: the
+// trace pipeline's per-stage record flow, the I/O stack counters and
+// gauges, and — at full collection — the latency and seek-distance
+// distributions. Snapshots come from a completed experiment run inline or
+// from a metrics.json file previously captured (an experiment's
+// Result.Obs, or a node's /proc metrics.json entry).
+//
+// Usage:
+//
+//	essmon -run baseline -small -nodes 2    # run, then render
+//	essmon -run combined -level full        # distributions too
+//	essmon -i metrics.json                  # render a saved snapshot
+//	essmon -run baseline -small -json       # emit the snapshot as JSON
+//	essmon -run baseline -small -check driver/requests,sim/events_fired
+//
+// -check exits nonzero unless every named counter is present and nonzero,
+// which is how CI smoke-tests the observability path end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"essio"
+	"essio/internal/asciiplot"
+)
+
+func main() {
+	input := flag.String("i", "", "render a saved snapshot JSON file (\"-\" reads stdin)")
+	run := flag.String("run", "", "run this experiment (baseline|ppm|wavelet|nbody|combined) and render its snapshot")
+	small := flag.Bool("small", false, "scaled-down experiment configuration")
+	nodes := flag.Int("nodes", 16, "cluster size for -run")
+	seed := flag.Int64("seed", 1, "simulation seed for -run")
+	level := flag.String("level", "counters", "collection level for -run: off, counters, or full")
+	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of rendering")
+	asText := flag.Bool("text", false, "emit the snapshot in Prometheus text format instead of rendering")
+	check := flag.String("check", "", "comma-separated counters that must be nonzero (exit 1 otherwise)")
+	flag.Parse()
+
+	var snap *essio.MetricSnapshot
+	var procText string
+	switch {
+	case *input != "" && *run != "":
+		fmt.Fprintln(os.Stderr, "essmon: -i and -run are mutually exclusive")
+		os.Exit(2)
+	case *input != "":
+		var err error
+		snap, err = readSnapshot(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essmon:", err)
+			os.Exit(1)
+		}
+	case *run != "":
+		lv := essio.ParseObsLevel(*level)
+		var cfg essio.Config
+		if *small {
+			cfg = essio.SmallConfig(essio.Kind(*run), *nodes)
+		} else {
+			cfg = essio.Config{Kind: essio.Kind(*run), Nodes: *nodes}
+		}
+		cfg.Seed = *seed
+		cfg.ObsLevel = lv
+		fmt.Fprintf(os.Stderr, "running %s experiment (%d nodes, %s collection)...\n",
+			*run, cfg.Nodes, lv)
+		res, err := essio.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essmon:", err)
+			os.Exit(1)
+		}
+		snap = res.Obs
+		procText = res.ProcMetrics
+	default:
+		fmt.Fprintln(os.Stderr, "essmon: need -i snapshot.json or -run <experiment>")
+		os.Exit(2)
+	}
+
+	if *check != "" {
+		if err := checkCounters(snap, procText, strings.Split(*check, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "essmon:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+		return
+	}
+	switch {
+	case *asJSON:
+		b, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essmon:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	case *asText:
+		fmt.Print(snap.Text())
+	default:
+		fmt.Print(render(snap))
+	}
+}
+
+// readSnapshot loads a snapshot JSON document from a file or stdin.
+func readSnapshot(path string) (*essio.MetricSnapshot, error) {
+	if path == "-" {
+		return essio.ParseMetricJSON(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return essio.ParseMetricJSON(f)
+}
+
+// checkCounters verifies every named counter is present and nonzero, and
+// — when an experiment ran inline — that the /proc metrics text parses
+// and exposes the same counters (the exposition-path smoke test).
+func checkCounters(snap *essio.MetricSnapshot, procText string, names []string) error {
+	var missing []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if snap.Counter(name) == 0 {
+			missing = append(missing, name)
+		}
+		// sim/* metrics are synthesized cluster-wide from the engine and
+		// never appear in a node's proc file; everything else must.
+		if procText != "" && !strings.HasPrefix(name, "sim/") &&
+			!strings.Contains(procText, metricSeries(name)+" ") {
+			missing = append(missing, name+" (procfs)")
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("counters missing or zero: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// metricSeries mirrors the snapshot's Prometheus name mangling.
+func metricSeries(name string) string {
+	return "essio_" + strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(name)
+}
+
+// render draws the snapshot: pipeline flow as bars, then the counter,
+// gauge, and histogram listings.
+func render(s *essio.MetricSnapshot) string {
+	var b strings.Builder
+	if flow := pipelineFlow(s); flow != "" {
+		b.WriteString(flow)
+		b.WriteString("\n")
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters\n")
+		w := 0
+		for _, c := range s.Counters {
+			if len(c.Name) > w {
+				w = len(c.Name)
+			}
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-*s %12d\n", w, c.Name, c.Value)
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges (value / high-water)\n")
+		w := 0
+		for _, g := range s.Gauges {
+			if len(g.Name) > w {
+				w = len(g.Name)
+			}
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-*s %12d / %d\n", w, g.Name, g.Value, g.Max)
+		}
+		b.WriteString("\n")
+	}
+	for _, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		labels := make([]string, 0, len(h.Buckets))
+		values := make([]float64, 0, len(h.Buckets))
+		for i, n := range h.Buckets {
+			lbl := "+Inf"
+			if i < len(h.Bounds) {
+				lbl = fmt.Sprintf("<=%d", h.Bounds[i])
+			}
+			labels = append(labels, lbl)
+			values = append(values, 100*float64(n)/float64(h.Count))
+		}
+		fmt.Fprintf(&b, "%s", asciiplot.Bars(
+			fmt.Sprintf("%s (n=%d, sum=%d)", h.Name, h.Count, h.Sum),
+			labels, values, 40))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pipelineFlow renders the per-stage record flow (pipeline/<stage>/records
+// counters) as bars scaled to the busiest stage, ordered by flow volume so
+// the source-to-sink taper reads top down.
+func pipelineFlow(s *essio.MetricSnapshot) string {
+	type stage struct {
+		name    string
+		records uint64
+	}
+	var stages []stage
+	for _, c := range s.Counters {
+		rest, ok := strings.CutPrefix(c.Name, "pipeline/")
+		if !ok {
+			continue
+		}
+		name, ok := strings.CutSuffix(rest, "/records")
+		if !ok {
+			continue
+		}
+		stages = append(stages, stage{name, c.Value})
+	}
+	if len(stages) == 0 {
+		return ""
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].records != stages[j].records {
+			return stages[i].records > stages[j].records
+		}
+		return stages[i].name < stages[j].name
+	})
+	var peak uint64 = 1
+	if stages[0].records > 0 {
+		peak = stages[0].records
+	}
+	labels := make([]string, len(stages))
+	values := make([]float64, len(stages))
+	for i, st := range stages {
+		labels[i] = fmt.Sprintf("%s (%d rec)", st.name, st.records)
+		values[i] = 100 * float64(st.records) / float64(peak)
+	}
+	return asciiplot.Bars("pipeline flow (records, % of busiest stage)", labels, values, 40)
+}

@@ -18,7 +18,19 @@ import (
 	"path/filepath"
 
 	"essio"
+	"essio/internal/profiling"
 )
+
+// stopProfile flushes the pprof collectors; exit paths call it so the
+// CPU profile is valid even on failure.
+var stopProfile = func() error { return nil }
+
+// fail prints the error, flushes profiles, and exits.
+func fail(code int, err error) {
+	fmt.Fprintln(os.Stderr, "essreport:", err)
+	_ = stopProfile()
+	os.Exit(code)
+}
 
 func runOne(kind essio.Kind, nodes int, seed int64, small bool) (*essio.Result, error) {
 	var cfg essio.Config
@@ -41,7 +53,20 @@ func main() {
 	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and report mean±stddev")
 	svgDir := flag.String("svg", "", "also write Figures 1-8 as SVG files into this directory")
 	workers := flag.Int("workers", 0, "worker pool size for experiment runs and characterization (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(1, err)
+	}
+	stopProfile = stop
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "essreport:", err)
+		}
+	}()
 
 	if *seeds > 1 {
 		list := make([]int64, *seeds)
@@ -57,8 +82,7 @@ func main() {
 			}
 			rep, err := essio.RunSeeds(cfg, list)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "essreport:", err)
-				os.Exit(1)
+				fail(1, err)
 			}
 			fmt.Println(rep)
 		}
@@ -68,18 +92,15 @@ func main() {
 	if *fig != 0 {
 		kind, err := essio.KindForFigure(*fig)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essreport:", err)
-			os.Exit(2)
+			fail(2, err)
 		}
 		res, err := runOne(kind, *nodes, *seed, *small)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essreport:", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		out, err := essio.Figure(*fig, res)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essreport:", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		fmt.Println(out)
 		return
@@ -103,8 +124,7 @@ func main() {
 		return cfg
 	}, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "essreport:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 
 	fmt.Println(essio.Table1(results))
@@ -115,20 +135,17 @@ func main() {
 		kind, _ := essio.KindForFigure(spec)
 		out, err := essio.Figure(spec, results[kind])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essreport:", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		fmt.Println(out)
 		if *svgDir != "" {
 			svg, err := essio.FigureSVG(spec, results[kind])
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "essreport:", err)
-				os.Exit(1)
+				fail(1, err)
 			}
 			path := filepath.Join(*svgDir, fmt.Sprintf("figure%d.svg", spec))
 			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "essreport:", err)
-				os.Exit(1)
+				fail(1, err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}

@@ -30,7 +30,19 @@ import (
 	"strings"
 
 	"essio"
+	"essio/internal/profiling"
 )
+
+// profileFlags registers the shared -cpuprofile/-memprofile flags on fs
+// and returns a starter to call after fs.Parse; the starter's stop
+// function flushes both profiles and is safe to defer.
+func profileFlags(fs *flag.FlagSet) func() (func() error, error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	return func() (func() error, error) {
+		return profiling.Start(*cpu, *mem)
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -66,7 +78,7 @@ func usage() {
   esssynth validate -a trace-or-model -b trace-or-model [-disk SECTORS] [-band SECTORS] [-sizeks F] [-minbandp F]`)
 }
 
-func runFit(args []string) error {
+func runFit(args []string) (err error) {
 	fs := flag.NewFlagSet("fit", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
 	out := fs.String("o", "", "output model JSON file (required, - for stdout)")
@@ -75,6 +87,7 @@ func runFit(args []string) error {
 	nodes := fs.Int("nodes", 0, "node count (0 = infer from trace)")
 	disk := fs.Uint("disk", 1024000, "disk size in sectors")
 	band := fs.Uint("band", 0, "spatial band width in sectors (0 = 100000)")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("fit: -i and -o are required")
@@ -82,6 +95,15 @@ func runFit(args []string) error {
 	if *label == "" {
 		*label = *in
 	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	src, err := essio.OpenTraceFile(*in, *format)
 	if err != nil {
@@ -109,7 +131,7 @@ func runFit(args []string) error {
 	return nil
 }
 
-func runGenerate(args []string) error {
+func runGenerate(args []string) (err error) {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	modelPath := fs.String("m", "", "input model JSON file (required)")
 	out := fs.String("o", "", "output trace file (required, - for stdout)")
@@ -120,6 +142,7 @@ func runGenerate(args []string) error {
 	rate := fs.Float64("rate", 1, "request-rate multiplier")
 	readfrac := fs.Float64("readfrac", -1, "override read fraction in [0,1] (-1 = keep model's)")
 	max := fs.Int("max", 0, "stop after this many records (0 = no cap)")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
 	if *modelPath == "" || *out == "" {
 		return fmt.Errorf("generate: -m and -o are required")
@@ -127,6 +150,15 @@ func runGenerate(args []string) error {
 	if *duration <= 0 && *max <= 0 {
 		return fmt.Errorf("generate: one of -duration or -max is required (the trace is unbounded otherwise)")
 	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	m, err := readModel(*modelPath)
 	if err != nil {
@@ -202,7 +234,7 @@ func copyMax(dst essio.TraceSink, src essio.TraceSource, max int) (int, error) {
 	return n, nil
 }
 
-func runValidate(args []string) error {
+func runValidate(args []string) (err error) {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	a := fs.String("a", "", "reference trace or model JSON (required)")
 	b := fs.String("b", "", "candidate trace or model JSON (required)")
@@ -210,10 +242,20 @@ func runValidate(args []string) error {
 	band := fs.Uint("band", 0, "band width in sectors (0 = 100000)")
 	sizeKS := fs.Float64("sizeks", 0, "override size KS tolerance (0 = default)")
 	minBandP := fs.Float64("minbandp", 0, "override minimum band p-value (0 = default)")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
 	if *a == "" || *b == "" {
 		return fmt.Errorf("validate: -a and -b are required")
 	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	ma, err := loadModelOrFit(*a, uint32(*disk), uint32(*band))
 	if err != nil {

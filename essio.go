@@ -34,6 +34,7 @@ import (
 	"essio/internal/experiment"
 	"essio/internal/kernel"
 	"essio/internal/model"
+	"essio/internal/obs"
 	"essio/internal/pious"
 	"essio/internal/pvm"
 	"essio/internal/replay"
@@ -87,6 +88,12 @@ type IndexedError = experiment.IndexedError
 // pool and returns results in input order; the lowest-index failure wins.
 func RunConcurrent(cfgs []Config, workers int) ([]*Result, error) {
 	return experiment.RunConcurrent(cfgs, workers)
+}
+
+// RunConcurrentObs is RunConcurrent with scheduler observability recorded
+// into reg (runs, failures, virtual time simulated, worker occupancy).
+func RunConcurrentObs(cfgs []Config, workers int, reg *ObsRegistry) ([]*Result, error) {
+	return experiment.RunConcurrentObs(cfgs, workers, reg)
 }
 
 // RunAll executes one experiment per kind concurrently and returns the
@@ -372,6 +379,14 @@ func ProfileParallel(label string, perNode [][]Record, duration Duration, nodes 
 	return core.ProfileParallel(label, perNode, duration, nodes, diskSectors, workers)
 }
 
+// ProfileParallelObs is ProfileParallel with pipeline observability: each
+// worker collects into a private registry at reg's level, merged into reg
+// after the workers join, so the metrics are byte-identical at any worker
+// count. A nil reg runs unobserved.
+func ProfileParallelObs(label string, perNode [][]Record, duration Duration, nodes int, diskSectors uint32, workers int, reg *ObsRegistry) *Profile {
+	return core.ProfileParallelObs(label, perNode, duration, nodes, diskSectors, workers, reg)
+}
+
 // CharacterizeResultParallel profiles a completed experiment on several
 // cores, producing exactly CharacterizeResult's profile.
 func CharacterizeResultParallel(res *Result, workers int) *Profile {
@@ -495,3 +510,32 @@ func GenerateSynth(m *WorkloadModel, opts SynthOptions, n int) ([]Record, error)
 
 // DurationOf converts seconds to virtual Duration.
 func DurationOf(seconds float64) Duration { return sim.DurationOf(seconds) }
+
+// Observability: the deterministic metric layer (counters, gauges,
+// fixed-bucket histograms, pipeline stage tracing) behind Result.Obs, the
+// /proc metrics files, and cmd/essmon. See internal/obs for the design.
+type (
+	// ObsLevel is the run-time metric collection level.
+	ObsLevel = obs.Level
+	// ObsRegistry is one collection domain's named metric set.
+	ObsRegistry = obs.Registry
+	// MetricSnapshot is a registry's sorted state at one moment; it
+	// renders as Prometheus text or JSON and merges exactly.
+	MetricSnapshot = obs.Snapshot
+)
+
+// Metric collection levels, in the spirit of the study's ioctl knob.
+const (
+	ObsOff      = obs.Off
+	ObsCounters = obs.Counters
+	ObsFull     = obs.Full
+)
+
+var (
+	// NewObsRegistry returns an empty registry collecting at a level.
+	NewObsRegistry = obs.New
+	// ParseObsLevel maps "off"/"counters"/"full" to an ObsLevel.
+	ParseObsLevel = obs.ParseLevel
+	// ParseMetricJSON reads a snapshot rendered by MetricSnapshot.JSON.
+	ParseMetricJSON = obs.ParseJSON
+)

@@ -42,6 +42,9 @@ type Request struct {
 	Write  bool
 	Origin trace.Origin
 	Segs   []*Segment
+	// Queued is the virtual time the request entered the queue; the driver
+	// measures queue residency (dispatch time minus Queued) against it.
+	Queued sim.Time
 }
 
 // End reports the first sector past the request.
@@ -117,7 +120,8 @@ func (q *Queue) Submit(sector uint32, buf []byte, write bool, origin trace.Origi
 	q.stats.Submitted++
 
 	if !q.merge(seg, count, write) {
-		r := &Request{Sector: sector, Count: count, Write: write, Origin: origin, Segs: []*Segment{seg}}
+		r := &Request{Sector: sector, Count: count, Write: write, Origin: origin,
+			Segs: []*Segment{seg}, Queued: q.e.Now()}
 		q.insert(r)
 		q.stats.Requests++
 	}

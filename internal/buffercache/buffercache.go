@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"essio/internal/blockio"
+	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
 )
@@ -64,6 +65,36 @@ type Cache struct {
 	stats        Stats
 	readAhead    int
 	writeThrough bool
+	om           cacheMetrics
+}
+
+// cacheMetrics holds the cache's observability handles; the zero value
+// records nothing.
+type cacheMetrics struct {
+	hits       *obs.Counter
+	misses     *obs.Counter
+	prefetches *obs.Counter
+	writebacks *obs.Counter
+	evictions  *obs.Counter
+	flushWaits *obs.Counter
+	resident   *obs.Gauge
+	dirty      *obs.Gauge
+}
+
+// Instrument registers the cache's metrics in reg: the hit/miss/
+// writeback counters mirror Stats live, and two gauges track residency
+// and dirty-buffer population with high-water marks.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.om = cacheMetrics{
+		hits:       reg.Counter("bcache/hits"),
+		misses:     reg.Counter("bcache/misses"),
+		prefetches: reg.Counter("bcache/prefetches"),
+		writebacks: reg.Counter("bcache/writebacks"),
+		evictions:  reg.Counter("bcache/evictions"),
+		flushWaits: reg.Counter("bcache/flush_waits"),
+		resident:   reg.Gauge("bcache/resident"),
+		dirty:      reg.Gauge("bcache/dirty"),
+	}
 }
 
 // New returns a cache of capacity blocks over queue q.
@@ -130,11 +161,13 @@ func (c *Cache) getOrCreate(p *sim.Proc, block uint32) (*buffer, error) {
 			// Everything is busy; wait for the oldest busy buffer.
 			oldest := c.lru.Back().Value.(*buffer)
 			c.stats.FlushWaits++
+			c.om.flushWaits.Inc()
 			oldest.wq.Sleep(p)
 			continue
 		}
 		if victim.dirty {
 			c.stats.FlushWaits++
+			c.om.flushWaits.Inc()
 			if err := c.flushBuffer(p, victim); err != nil {
 				return nil, err
 			}
@@ -145,6 +178,7 @@ func (c *Cache) getOrCreate(p *sim.Proc, block uint32) (*buffer, error) {
 	b := &buffer{block: block, data: make([]byte, BlockSize), wq: sim.NewWaitQueue(c.e)}
 	b.elem = c.lru.PushFront(b)
 	c.blocks[block] = b
+	c.om.resident.Set(int64(len(c.blocks)))
 	return b, nil
 }
 
@@ -181,6 +215,8 @@ func (c *Cache) evict(b *buffer) {
 		delete(c.blocks, b.block)
 	}
 	c.stats.Evictions++
+	c.om.evictions.Inc()
+	c.om.resident.Set(int64(len(c.blocks)))
 }
 
 // flushBuffer synchronously writes one dirty buffer.
@@ -197,10 +233,12 @@ func (c *Cache) flushBuffer(p *sim.Proc, b *buffer) error {
 		return err
 	}
 	c.stats.Writebacks++
+	c.om.writebacks.Inc()
 	werr := done.Wait(p)
 	b.busy = false
 	if werr == nil && b.gen == gen {
 		b.dirty = false
+		c.om.dirty.Add(-1)
 	}
 	b.wq.WakeAll()
 	return werr
@@ -221,6 +259,7 @@ func (c *Cache) ReadBlock(p *sim.Proc, block uint32, origin trace.Origin) ([]byt
 		}
 		if b.valid {
 			c.stats.Hits++
+			c.om.hits.Inc()
 			c.touch(b)
 			return b.data, nil
 		}
@@ -229,6 +268,7 @@ func (c *Cache) ReadBlock(p *sim.Proc, block uint32, origin trace.Origin) ([]byt
 			MissDebug(block)
 		}
 		c.stats.Misses++
+		c.om.misses.Inc()
 		b.busy = true
 		done, err := c.q.Submit(block*SectorsPerBlock, b.data, false, origin)
 		if err != nil {
@@ -271,6 +311,7 @@ func (c *Cache) Prefetch(p *sim.Proc, blocks []uint32, origin trace.Origin) erro
 			return err
 		}
 		c.stats.Prefetches++
+		c.om.prefetches.Inc()
 		bb := b
 		done.OnComplete(func(ioErr error) {
 			bb.busy = false
@@ -303,7 +344,10 @@ func (c *Cache) WriteBlock(p *sim.Proc, block uint32, data []byte, origin trace.
 		}
 		copy(b.data, data)
 		b.valid = true
-		b.dirty = true
+		if !b.dirty {
+			b.dirty = true
+			c.om.dirty.Add(1)
+		}
 		b.gen++
 		b.origin = origin
 		c.touch(b)
@@ -326,11 +370,13 @@ func (c *Cache) maybeWriteThrough(b *buffer) {
 		return
 	}
 	c.stats.Writebacks++
+	c.om.writebacks.Inc()
 	bb := b
 	done.OnComplete(func(ioErr error) {
 		bb.busy = false
 		if ioErr == nil && bb.gen == gen {
 			bb.dirty = false
+			c.om.dirty.Add(-1)
 		}
 		bb.wq.WakeAll()
 	})
@@ -350,7 +396,10 @@ func (c *Cache) UpdateBlock(p *sim.Proc, block uint32, origin trace.Origin, fn f
 		panic(fmt.Sprintf("buffercache: block %d vanished after ReadBlock", block))
 	}
 	fn(data)
-	b.dirty = true
+	if !b.dirty {
+		b.dirty = true
+		c.om.dirty.Add(1)
+	}
 	b.gen++
 	b.origin = origin
 	c.maybeWriteThrough(b)
@@ -380,12 +429,14 @@ func (c *Cache) WritebackAll(origin trace.Origin) int {
 			continue
 		}
 		c.stats.Writebacks++
+		c.om.writebacks.Inc()
 		n++
 		bb := b
 		done.OnComplete(func(ioErr error) {
 			bb.busy = false
 			if ioErr == nil && bb.gen == gen {
 				bb.dirty = false
+				c.om.dirty.Add(-1)
 			}
 			bb.wq.WakeAll()
 		})

@@ -13,6 +13,7 @@ import (
 	"essio/internal/ethernet"
 	"essio/internal/extfs"
 	"essio/internal/kernel"
+	"essio/internal/obs"
 	"essio/internal/pvm"
 	"essio/internal/sim"
 	"essio/internal/trace"
@@ -159,6 +160,35 @@ func (c *Cluster) StopTracing() {
 	for _, n := range c.Nodes {
 		n.DisableTracing()
 	}
+}
+
+// SetObsLevel switches every node's metric collection level through the
+// driver ioctl, returning node 0's prior level.
+func (c *Cluster) SetObsLevel(l obs.Level) obs.Level {
+	var prior obs.Level
+	for i, n := range c.Nodes {
+		p := n.SetObsLevel(l)
+		if i == 0 {
+			prior = p
+		}
+	}
+	return prior
+}
+
+// ObsSnapshot merges every node's metric registry into one cluster-wide
+// snapshot and adds the shared simulation engine's scheduler metrics
+// (events dispatched, event-queue high-water). Node registries being
+// per-node and the merge exact, the result is deterministic for a given
+// seed and workload.
+func (c *Cluster) ObsSnapshot() *obs.Snapshot {
+	eng := obs.New(obs.Counters)
+	eng.Counter("sim/events_fired").Add(c.E.EventsFired())
+	eng.Gauge("sim/queue_high_water").Set(int64(c.E.QueueHighWater()))
+	s := eng.Snapshot()
+	for _, n := range c.Nodes {
+		s.Merge(n.Obs.Snapshot())
+	}
+	return s
 }
 
 // Traces returns each node's collected trace.

@@ -63,9 +63,11 @@ func TestProfilerMergePropagatesEveryField(t *testing.T) {
 		},
 		feedProfiler,
 		// Construction-time configuration, identical across shards; the
-		// same four fields carry //essvet:mergeignore in stream.go, and
-		// the two exemption lists must stay in lockstep.
-		"label", "nodes", "duration", "diskSectors",
+		// same five fields carry //essvet:mergeignore in stream.go, and
+		// the two exemption lists must stay in lockstep. om holds the
+		// per-worker observability handles, whose registries merge on
+		// their own (see ProfileParallelObs).
+		"label", "nodes", "duration", "diskSectors", "om",
 	)
 	if err != nil {
 		t.Fatal(err)

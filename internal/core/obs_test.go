@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"essio/internal/core"
+	"essio/internal/obs"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// obsPerNode builds a seeded multi-node workload for the parallel
+// characterizer.
+func obsPerNode(seed int64, nodes, perNode int) [][]trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]trace.Record, nodes)
+	for n := range out {
+		recs := make([]trace.Record, perNode)
+		t := sim.Time(rng.Intn(1000))
+		for i := range recs {
+			t += sim.Time(rng.Intn(5000))
+			recs[i] = trace.Record{
+				Time:    t,
+				Sector:  uint32(rng.Intn(1 << 20)),
+				Count:   uint16(2 << rng.Intn(5)),
+				Pending: uint16(rng.Intn(8)),
+				Op:      trace.Op(rng.Intn(2)),
+				Node:    uint8(n),
+				Origin:  trace.Origin(rng.Intn(7)),
+			}
+		}
+		out[n] = recs
+	}
+	return out
+}
+
+// TestProfileParallelObsDeterministic proves the acceptance invariant:
+// same seed, same workload → byte-identical metric snapshots (text and
+// JSON) regardless of worker count, at every collection level. Run with
+// -race in CI to catch unsynchronized registry sharing.
+func TestProfileParallelObsDeterministic(t *testing.T) {
+	perNode := obsPerNode(7, 16, 400)
+	for _, level := range []obs.Level{obs.Counters, obs.Full} {
+		ref := obs.New(level)
+		refProf := core.ProfileParallelObs("det", perNode, 30*sim.Second, 16, 1<<20, 1, ref)
+		refText := ref.Snapshot().Text()
+		refJSON, err := ref.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Snapshot().Counter("pipeline/accumulate/records") != 16*400 {
+			t.Fatalf("level %v: accumulate records = %d, want %d",
+				level, ref.Snapshot().Counter("pipeline/accumulate/records"), 16*400)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			reg := obs.New(level)
+			prof := core.ProfileParallelObs("det", perNode, 30*sim.Second, 16, 1<<20, workers, reg)
+			if prof.Summary.Reads != refProf.Summary.Reads {
+				t.Errorf("level %v workers %d: profile diverged from sequential", level, workers)
+			}
+			if got := reg.Snapshot().Text(); got != refText {
+				t.Errorf("level %v workers %d: snapshot text differs from sequential:\n--- got\n%s--- want\n%s",
+					level, workers, got, refText)
+			}
+			gotJSON, err := reg.Snapshot().JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(refJSON) {
+				t.Errorf("level %v workers %d: snapshot JSON differs from sequential", level, workers)
+			}
+		}
+	}
+}
+
+// TestProfileParallelObsNilRegistry proves the unobserved path still
+// produces the sequential profile (ProfileParallel delegates here).
+func TestProfileParallelObsNilRegistry(t *testing.T) {
+	perNode := obsPerNode(11, 4, 100)
+	var merged []trace.Record
+	for _, t := range perNode {
+		merged = append(merged, t...)
+	}
+	want := core.Characterize("t", trace.Merge(merged), 30*sim.Second, 4, 1<<20)
+	got := core.ProfileParallelObs("t", perNode, 30*sim.Second, 4, 1<<20, 4, nil)
+	if got.Summary.Reads != want.Summary.Reads || got.SeqFraction != want.SeqFraction {
+		t.Errorf("unobserved parallel profile diverged from sequential oracle")
+	}
+}

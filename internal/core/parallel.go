@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
 )
@@ -23,6 +24,16 @@ import (
 // trace, and per-node traces are normalized to (Time, Node, Sector) order
 // first — the same normalization the sequential merge applies.
 func ProfileParallel(label string, perNode [][]trace.Record, duration sim.Duration, nodes int, diskSectors uint32, workers int) *Profile {
+	return ProfileParallelObs(label, perNode, duration, nodes, diskSectors, workers, nil)
+}
+
+// ProfileParallelObs is ProfileParallel with pipeline observability:
+// each worker collects into a private registry at reg's level, and the
+// per-worker registries are merged into reg after the workers join —
+// the same shard-and-merge discipline as the profilers themselves, so
+// the resulting metrics are byte-identical at any worker count. A nil
+// reg runs unobserved.
+func ProfileParallelObs(label string, perNode [][]trace.Record, duration sim.Duration, nodes int, diskSectors uint32, workers int, reg *obs.Registry) *Profile {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -50,6 +61,7 @@ func ProfileParallel(label string, perNode [][]trace.Record, duration sim.Durati
 
 	if workers == 1 {
 		p := NewProfiler(label, duration, nodes, diskSectors)
+		p.Instrument(reg)
 		if anchored {
 			p.SetAnchor(t0)
 		}
@@ -60,9 +72,14 @@ func ProfileParallel(label string, perNode [][]trace.Record, duration sim.Durati
 	}
 
 	profs := make([]*Profiler, workers)
+	regs := make([]*obs.Registry, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		p := NewProfiler(label, duration, nodes, diskSectors)
+		if reg != nil {
+			regs[w] = obs.New(reg.Level())
+			p.Instrument(regs[w])
+		}
 		if anchored {
 			p.SetAnchor(t0)
 		}
@@ -79,6 +96,9 @@ func ProfileParallel(label string, perNode [][]trace.Record, duration sim.Durati
 
 	for _, p := range profs[1:] {
 		profs[0].Merge(p)
+	}
+	for _, r := range regs {
+		reg.Merge(r)
 	}
 	return profs[0].Profile()
 }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"essio/internal/analysis"
+	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
 )
@@ -17,10 +18,11 @@ import (
 type Profiler struct {
 	// Construction-time configuration: every shard of a parallel pass is
 	// built with identical values, so Merge keeps the receiver's copy.
-	label       string       //essvet:mergeignore identical across shards by construction
-	nodes       int          //essvet:mergeignore identical across shards by construction
-	duration    sim.Duration //essvet:mergeignore identical across shards by construction
-	diskSectors uint32       //essvet:mergeignore identical across shards by construction
+	label       string          //essvet:mergeignore identical across shards by construction
+	nodes       int             //essvet:mergeignore identical across shards by construction
+	duration    sim.Duration    //essvet:mergeignore identical across shards by construction
+	diskSectors uint32          //essvet:mergeignore identical across shards by construction
+	om          profilerMetrics //essvet:mergeignore per-worker handles; registries merge separately
 
 	summary *analysis.SummaryAcc
 	classes *analysis.SizeClassAcc
@@ -68,8 +70,42 @@ func NewProfiler(label string, duration sim.Duration, nodes int, diskSectors uin
 // analysis.RateAcc.SetAnchor. Must be called before the first Add.
 func (p *Profiler) SetAnchor(t0 sim.Time) { p.rate.SetAnchor(t0) }
 
+// profilerMetrics holds the characterizer's observability handles; the
+// zero value records nothing.
+type profilerMetrics struct {
+	stage    *obs.Stage
+	batchLen *obs.Histogram
+	span     *obs.StageTimer
+}
+
+// Instrument registers the characterizer's pipeline metrics in reg: the
+// pipeline/accumulate stage counts records, batches, and bytes folded
+// in; at Full a batch-length histogram and a span per AddBatch record
+// the flow's shape. The span clock is the stage's own record counter —
+// pure record arithmetic, so observed runs stay deterministic at any
+// worker count.
+func (p *Profiler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := reg.Stage("accumulate")
+	tr := obs.NewTracer(reg, func() int64 { return int64(st.Records()) })
+	p.om = profilerMetrics{
+		stage:    st,
+		batchLen: reg.Histogram("pipeline/accumulate/batch_len", obs.ExpBuckets(64, 4, 8)),
+		span:     tr.Stage("accumulate"),
+	}
+}
+
 // Add folds one record into every metric of the profile.
 func (p *Profiler) Add(r trace.Record) error {
+	p.add(r)
+	p.om.stage.Observe(1, trace.RecordSize)
+	return nil
+}
+
+// add is the uncounted per-record fold shared by Add and AddBatch.
+func (p *Profiler) add(r trace.Record) {
 	p.summary.Add(r)
 	p.classes.Add(r)
 	p.origins.Add(r)
@@ -89,15 +125,19 @@ func (p *Profiler) Add(r trace.Record) error {
 		p.firstSector[r.Node] = r.Sector
 	}
 	p.lastEnd[r.Node] = r.End()
-	return nil
 }
 
 // AddBatch folds a whole batch of records into the profile, amortizing
-// the per-record interface dispatch of batched copies.
+// the per-record interface dispatch of batched copies. Observation is
+// per batch, not per record, keeping the instrumented hot path cheap.
 func (p *Profiler) AddBatch(recs []trace.Record) error {
+	sp := p.om.span.Start()
 	for _, r := range recs {
-		p.Add(r)
+		p.add(r)
 	}
+	p.om.stage.ObserveBatch(len(recs), len(recs)*trace.RecordSize)
+	p.om.batchLen.Observe(int64(len(recs)))
+	sp.End()
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"essio/internal/obs"
 	"essio/internal/sim"
 )
 
@@ -80,6 +81,32 @@ type Disk struct {
 	data    map[uint32][]byte // sector -> 512-byte content
 	bad     []badRange
 	stats   Stats
+	om      diskMetrics
+}
+
+// diskMetrics holds the disk's observability handles; the zero value
+// (nil handles) records nothing.
+type diskMetrics struct {
+	reads, writes *obs.Counter
+	sectors       *obs.Counter
+	mediaErrs     *obs.Counter
+	seekCylinders *obs.Histogram
+	serviceMicros *obs.Histogram
+}
+
+// Instrument registers the disk's metrics in reg: operation counters
+// under disk/, plus (at Full) seek-distance and service-time
+// distributions — the arm-movement view behind the paper's access
+// locality findings.
+func (d *Disk) Instrument(reg *obs.Registry) {
+	d.om = diskMetrics{
+		reads:         reg.Counter("disk/reads"),
+		writes:        reg.Counter("disk/writes"),
+		sectors:       reg.Counter("disk/sectors"),
+		mediaErrs:     reg.Counter("disk/media_errors"),
+		seekCylinders: reg.Histogram("disk/seek_cylinders", obs.ExpBuckets(1, 2, 11)),
+		serviceMicros: reg.Histogram("disk/service_us", obs.ExpBuckets(256, 2, 10)),
+	}
 }
 
 // badRange is an injected media defect.
@@ -186,10 +213,12 @@ func (d *Disk) Service(sector uint32, count int, write bool) (sim.Duration, erro
 	}
 	if d.badOverlap(sector, count) {
 		d.stats.MediaErrors++
+		d.om.mediaErrs.Inc()
 		return 0, fmt.Errorf("disk: media error at sector %d (+%d)", sector, count)
 	}
 	cyl := d.cylinderOf(sector)
-	seek := d.seekTime(abs(cyl - d.headCyl))
+	dist := abs(cyl - d.headCyl)
+	seek := d.seekTime(dist)
 	d.headCyl = d.cylinderOf(sector + uint32(count) - 1)
 	rotAt := d.e.Now().Add(d.p.Overhead + seek)
 	rot := d.rotationalDelay(rotAt, sector)
@@ -199,14 +228,19 @@ func (d *Disk) Service(sector uint32, count int, write bool) (sim.Duration, erro
 	if write {
 		d.stats.Writes++
 		d.stats.SectorsWritten += uint64(count)
+		d.om.writes.Inc()
 	} else {
 		d.stats.Reads++
 		d.stats.SectorsRead += uint64(count)
+		d.om.reads.Inc()
 	}
 	d.stats.BusyTime += total
 	d.stats.SeekTime += seek
 	d.stats.RotTime += rot
 	d.stats.TransferTime += xfer
+	d.om.sectors.Add(uint64(count))
+	d.om.seekCylinders.Observe(int64(dist))
+	d.om.serviceMicros.Observe(int64(total))
 	return total, nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"essio/internal/blockio"
 	"essio/internal/disk"
+	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
 )
@@ -39,6 +40,7 @@ const (
 	IoctlTraceOff  = 0x4500
 	IoctlTraceOn   = 0x4501 // argument: desired Level (LevelBasic/LevelFull)
 	IoctlTraceStat = 0x4502 // returns number of records emitted
+	IoctlObsLevel  = 0x4503 // argument: desired obs.Level; returns the prior level
 )
 
 // Sink receives trace records as the driver emits them. *trace.Ring
@@ -66,6 +68,39 @@ type Driver struct {
 	level Level
 	sink  Sink
 	stats Stats
+	reg   *obs.Registry
+	om    driverMetrics
+}
+
+// driverMetrics holds the driver's observability handles; the zero
+// value records nothing.
+type driverMetrics struct {
+	requests      *obs.Counter
+	reads, writes *obs.Counter
+	sectors       *obs.Counter
+	traced        *obs.Counter
+	ioErrors      *obs.Counter
+	queueDepth    *obs.Gauge
+	residencyUS   *obs.Histogram
+}
+
+// Instrument registers the driver's metrics in reg and makes reg the
+// target of the IoctlObsLevel run-time switch. Queue residency — how
+// long a request sat in the elevator before dispatch — is recorded at
+// Full, in microseconds of virtual time.
+func (v *Driver) Instrument(reg *obs.Registry) {
+	v.reg = reg
+	v.om = driverMetrics{
+		requests:    reg.Counter("driver/requests"),
+		reads:       reg.Counter("driver/reads"),
+		writes:      reg.Counter("driver/writes"),
+		sectors:     reg.Counter("driver/sectors"),
+		traced:      reg.Counter("driver/traced"),
+		ioErrors:    reg.Counter("driver/io_errors"),
+		queueDepth:  reg.Gauge("driver/queue_depth"),
+		residencyUS: reg.Histogram("driver/queue_residency_us", obs.ExpBuckets(64, 2, 12)),
+	}
+	v.disk.Instrument(reg)
 }
 
 // New wires a driver to its disk and request queue. It installs itself as
@@ -104,6 +139,10 @@ func (v *Driver) Ioctl(cmd, arg int) (int, error) {
 		return 0, nil
 	case IoctlTraceStat:
 		return int(v.stats.Traced), nil
+	case IoctlObsLevel:
+		prior := v.reg.Level()
+		v.reg.SetLevel(obs.Level(arg))
+		return int(prior), nil
 	default:
 		return 0, fmt.Errorf("driver: unknown ioctl 0x%x", cmd)
 	}
@@ -116,9 +155,15 @@ func (v *Driver) start(r *blockio.Request) {
 	v.stats.Sectors += uint64(r.Count)
 	if r.Write {
 		v.stats.Writes++
+		v.om.writes.Inc()
 	} else {
 		v.stats.Reads++
+		v.om.reads.Inc()
 	}
+	v.om.requests.Inc()
+	v.om.sectors.Add(uint64(r.Count))
+	v.om.queueDepth.Set(int64(v.queue.Len()))
+	v.om.residencyUS.Observe(int64(v.e.Now().Sub(r.Queued)))
 
 	if v.level > LevelOff && v.sink != nil {
 		rec := trace.Record{
@@ -137,11 +182,13 @@ func (v *Driver) start(r *blockio.Request) {
 		}
 		v.sink.Append(rec)
 		v.stats.Traced++
+		v.om.traced.Inc()
 	}
 
 	dur, err := v.disk.Service(r.Sector, r.Count, r.Write)
 	if err != nil {
 		v.stats.IOErrors++
+		v.om.ioErrors.Inc()
 		// Fail asynchronously so completion ordering matches real drivers.
 		v.e.After(0, func() { v.queue.Done(r, err) })
 		return
@@ -160,6 +207,7 @@ func (v *Driver) start(r *blockio.Request) {
 		}
 		if ioErr != nil {
 			v.stats.IOErrors++
+			v.om.ioErrors.Inc()
 		}
 		v.queue.Done(r, ioErr)
 	})

@@ -15,6 +15,7 @@ import (
 	"essio/internal/apps/wavelet"
 	"essio/internal/cluster"
 	"essio/internal/kernel"
+	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
 	"essio/internal/vfs"
@@ -62,6 +63,11 @@ type Config struct {
 	// even small binaries demand-load from disk (ablation; the default
 	// warm start matches the paper's repeated-run measurement setting).
 	ColdStart bool
+
+	// ObsLevel sets every node's metric collection level (obs.Unset keeps
+	// the kernel default, Counters; obs.Full adds histograms and spans).
+	// Per-node overrides from Node win when this is Unset.
+	ObsLevel obs.Level
 }
 
 // Result is a completed experiment.
@@ -82,6 +88,15 @@ type Result struct {
 	// issued — the library-instrumentation view. Comparing it against
 	// Merged quantifies the system traffic device-driver tracing adds.
 	AppEvents []vfs.IOEvent
+	// Obs is the cluster-wide metric snapshot taken the moment tracing
+	// stopped: every node's registry merged, plus the engine's scheduler
+	// metrics. Deterministic for a given seed and config.
+	Obs *obs.Snapshot
+	// ProcMetrics is node 0's /proc metrics file as a simulated process
+	// read it — the faithful out-of-kernel exposition path. Read after
+	// Obs was captured (the read itself advances virtual time), so its
+	// values may trail Obs by a tick of daemon activity.
+	ProcMetrics string
 }
 
 // Source returns a streaming view of the merged trace: a k-way merge over
@@ -129,7 +144,18 @@ func (c *Config) fill() {
 // Run executes the experiment and returns its traces.
 func Run(cfg Config) (*Result, error) {
 	cfg.fill()
-	c, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Seed: cfg.Seed, Node: cfg.Node})
+	nodeCfg := cfg.Node
+	if cfg.ObsLevel != obs.Unset {
+		nodeCfg = func(i int) kernel.Config {
+			kcfg := kernel.DefaultConfig(uint8(i))
+			if cfg.Node != nil {
+				kcfg = cfg.Node(i)
+			}
+			kcfg.ObsLevel = cfg.ObsLevel
+			return kcfg
+		}
+	}
+	c, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Seed: cfg.Seed, Node: nodeCfg})
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", cfg.Kind, err)
 	}
@@ -228,11 +254,35 @@ func Run(cfg Config) (*Result, error) {
 	res.PerNode = c.Traces()
 	res.Merged = trace.Merge(res.PerNode...)
 	res.AppEvents = c.AppEvents()
+	res.Obs = c.ObsSnapshot()
+	res.ProcMetrics = readProcMetrics(c)
 	if len(res.AppErrors) > 0 {
 		return res, fmt.Errorf("experiment %s: %d process failures, first: %w",
 			cfg.Kind, len(res.AppErrors), res.AppErrors[0])
 	}
 	return res, nil
+}
+
+// readProcMetrics reads node 0's /proc metrics file from process context,
+// exactly as a measurement workstation would: open the proc entry, read
+// the text out. The read runs as a spawned process, advancing virtual time
+// by up to a second past the experiment's end.
+func readProcMetrics(c *cluster.Cluster) string {
+	var text string
+	c.E.Spawn("readmetrics", func(p *sim.Proc) {
+		f, err := c.Nodes[0].Proc.Open("metrics")
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		n, err := f.Read(p, buf)
+		if err != nil {
+			return
+		}
+		text = string(buf[:n])
+	})
+	c.E.Run(c.E.Now().Add(sim.Second))
+	return text
 }
 
 // SmallConfig returns a scaled-down configuration (fewer nodes, smaller

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"essio/internal/obs"
+	"essio/internal/sim"
+)
+
+func obsBaselineConfig() Config {
+	cfg := SmallConfig(Baseline, 2)
+	cfg.BaselineDuration = 120 * sim.Second
+	return cfg
+}
+
+// TestRunCollectsObs proves an experiment returns the merged metric
+// snapshot and the procfs exposition, with the I/O stack actually
+// counted, and that same-seed runs produce byte-identical snapshots.
+func TestRunCollectsObs(t *testing.T) {
+	cfg := obsBaselineConfig()
+	cfg.ObsLevel = obs.Full
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("Result.Obs is nil")
+	}
+	for _, name := range []string{
+		"driver/requests", "disk/writes", "bcache/writebacks",
+		"pipeline/source/records", "sim/events_fired",
+	} {
+		if res.Obs.Counter(name) == 0 {
+			t.Errorf("counter %s = 0 after a traced baseline run", name)
+		}
+	}
+	if res.Obs.Counter("pipeline/source/records") != uint64(len(res.Merged)) {
+		t.Errorf("pipeline/source/records = %d, want %d traced records",
+			res.Obs.Counter("pipeline/source/records"), len(res.Merged))
+	}
+	if res.Obs.Hist("driver/queue_residency_us").Count == 0 {
+		t.Error("no queue residency observations at full collection")
+	}
+	if !strings.Contains(res.ProcMetrics, "# TYPE essio_driver_requests counter") {
+		t.Errorf("ProcMetrics missing driver counter:\n%.400s", res.ProcMetrics)
+	}
+
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.Obs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := again.Obs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("same-seed runs produced different metric snapshots")
+	}
+}
+
+// TestRunObsLevelOff proves the level knob reaches every node: an Off run
+// still traces (the driver ioctl path is independent) but counts nothing.
+func TestRunObsLevelOff(t *testing.T) {
+	cfg := obsBaselineConfig()
+	cfg.ObsLevel = obs.Off
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merged) == 0 {
+		t.Error("tracing should be unaffected by the metric level")
+	}
+	if got := res.Obs.Counter("driver/requests"); got != 0 {
+		t.Errorf("driver/requests = %d at level off, want 0", got)
+	}
+}
+
+// TestRunConcurrentObsSchedulerMetrics proves the batch scheduler records
+// its shape: run counts, simulated virtual time, and pool occupancy.
+func TestRunConcurrentObsSchedulerMetrics(t *testing.T) {
+	cfgs := []Config{obsBaselineConfig(), obsBaselineConfig()}
+	reg := obs.New(obs.Counters)
+	results, err := RunConcurrentObs(cfgs, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("sched/runs"); got != 2 {
+		t.Errorf("sched/runs = %d, want 2", got)
+	}
+	want := uint64(results[0].Duration) + uint64(results[1].Duration)
+	if got := s.Counter("sched/virt_us"); got != want {
+		t.Errorf("sched/virt_us = %d, want %d", got, want)
+	}
+	if s.Counter("sched/failures") != 0 {
+		t.Errorf("sched/failures = %d, want 0", s.Counter("sched/failures"))
+	}
+	if g := s.Gauge("sched/peak_workers"); g.Max < 1 || g.Max > 2 {
+		t.Errorf("sched/peak_workers max = %d, want 1..2", g.Max)
+	}
+}

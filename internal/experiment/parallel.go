@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"essio/internal/obs"
 )
 
 // IndexedError reports which config of a concurrent batch failed.
@@ -32,6 +34,17 @@ func (e *IndexedError) Unwrap() error { return e.Err }
 // already run to completion, making the reported failure deterministic.
 // The result slice still carries every successful run.
 func RunConcurrent(cfgs []Config, workers int) ([]*Result, error) {
+	return RunConcurrentObs(cfgs, workers, nil)
+}
+
+// RunConcurrentObs is RunConcurrent with scheduler observability: after
+// the pool drains, reg records the batch shape — runs completed and
+// failed, total virtual time simulated, per-run virtual runtimes (at
+// Full), and worker occupancy. All of it except the occupancy peak is
+// derived from the deterministic results in input order; the peak
+// reflects real scheduling and may vary between invocations. A nil reg
+// runs unobserved.
+func RunConcurrentObs(cfgs []Config, workers int, reg *obs.Registry) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	if len(cfgs) == 0 {
 		return results, nil
@@ -72,6 +85,24 @@ func RunConcurrent(cfgs []Config, workers int) ([]*Result, error) {
 	}
 	wg.Wait()
 	lastPeakWorkers.Store(peak.Load())
+	if reg != nil {
+		runtimes := reg.Histogram("sched/run_virt_us", obs.ExpBuckets(1<<20, 4, 10))
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			reg.Counter("sched/runs").Inc()
+			reg.Counter("sched/virt_us").Add(uint64(res.Duration))
+			runtimes.Observe(int64(res.Duration))
+		}
+		for _, err := range errs {
+			if err != nil {
+				reg.Counter("sched/failures").Inc()
+			}
+		}
+		reg.Gauge("sched/workers").Set(int64(workers))
+		reg.Gauge("sched/peak_workers").Set(peak.Load())
+	}
 	for i, err := range errs {
 		if err != nil {
 			return results, &IndexedError{Index: i, Err: err}

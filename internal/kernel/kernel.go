@@ -24,6 +24,7 @@ import (
 	"essio/internal/disk"
 	"essio/internal/driver"
 	"essio/internal/extfs"
+	"essio/internal/obs"
 	"essio/internal/procfs"
 	"essio/internal/sim"
 	"essio/internal/trace"
@@ -73,6 +74,11 @@ type Config struct {
 	// WriteThrough switches the buffer cache to write-through (ablation
 	// against the default write-back + update-daemon policy).
 	WriteThrough bool
+
+	// ObsLevel sets the node's metric collection level (obs.Unset takes
+	// the default, Counters). Switchable later through the driver ioctl —
+	// see Node.SetObsLevel.
+	ObsLevel obs.Level
 }
 
 // DefaultConfig returns the Beowulf prototype node configuration.
@@ -104,10 +110,16 @@ func DefaultConfig(nodeID uint8) Config {
 // workstation" view: lossless, unlike the in-kernel ring).
 type Collector struct {
 	recs []trace.Record
+	// stage observes the trace pipeline's "source" flow — every record
+	// entering the analysis path from the driver. Nil records nothing.
+	stage *obs.Stage
 }
 
 // Append implements driver.Sink.
-func (c *Collector) Append(r trace.Record) { c.recs = append(c.recs, r) }
+func (c *Collector) Append(r trace.Record) {
+	c.recs = append(c.recs, r)
+	c.stage.Observe(1, trace.RecordSize)
+}
 
 // Records returns the captured trace (shared slice; callers must not
 // modify).
@@ -141,6 +153,11 @@ type Node struct {
 	Pager     *vm.Pager
 	CPU       *CPU
 	Proc      *procfs.FS
+	// Obs is the node's metric registry: the driver, disk, buffer cache,
+	// and trace collector all record into it, and its snapshot is exposed
+	// through /proc ("metrics", "metrics.json") like the paper's own
+	// instrumentation.
+	Obs *obs.Registry
 	// AppIO collects application-level (explicit) file operations from
 	// user processes — the library-instrumentation view the paper
 	// contrasts with its driver-level traces. Daemon I/O is system
@@ -205,6 +222,9 @@ func NewNode(e *sim.Engine, cfg Config) *Node {
 	if cfg.TraceRingRecords == 0 {
 		cfg.TraceRingRecords = def.TraceRingRecords
 	}
+	if cfg.ObsLevel == obs.Unset {
+		cfg.ObsLevel = obs.Counters
+	}
 
 	n := &Node{E: e, Cfg: cfg}
 	n.Disk = disk.New(e, cfg.Disk)
@@ -224,6 +244,10 @@ func NewNode(e *sim.Engine, cfg Config) *Node {
 	n.Collector = &Collector{}
 	n.Driver = driver.New(e, n.Disk, n.Queue, cfg.NodeID, fanout{n.Ring, n.Collector})
 	n.BC = buffercache.New(e, n.Queue, cfg.CacheBlocks)
+	n.Obs = obs.New(cfg.ObsLevel)
+	n.Driver.Instrument(n.Obs)
+	n.BC.Instrument(n.Obs)
+	n.Collector.stage = n.Obs.Stage("source")
 	if cfg.ReadAheadBlocks >= 0 {
 		n.BC.SetReadAhead(cfg.ReadAheadBlocks)
 	}
@@ -290,6 +314,18 @@ func (n *Node) bootInit(p *sim.Proc) error {
 	}
 
 	n.Proc.Register("iotrace", procfs.NewTraceFile(n.Ring))
+	// The node's metric snapshot rides out of the kernel the same way the
+	// trace does: as proc files, in Prometheus text and JSON form.
+	n.Proc.Register("metrics", procfs.NewTextFile(func() string {
+		return n.Obs.Snapshot().Text()
+	}))
+	n.Proc.Register("metrics.json", procfs.NewTextFile(func() string {
+		b, err := n.Obs.Snapshot().JSON()
+		if err != nil {
+			return ""
+		}
+		return string(b) + "\n"
+	}))
 	n.Proc.Register("meminfo", procfs.NewTextFile(func() string {
 		return fmt.Sprintf("frames: %d free: %d resident: %d swap: %d/%d\n",
 			n.Pager.Frames(), n.Pager.FreeFrames(), n.Pager.ResidentPages(),
@@ -309,6 +345,14 @@ func (n *Node) EnableTracing(l driver.Level) {
 // DisableTracing turns instrumentation off.
 func (n *Node) DisableTracing() {
 	_, _ = n.Driver.Ioctl(driver.IoctlTraceOff, 0)
+}
+
+// SetObsLevel switches the node's metric collection level through the
+// driver ioctl — the same run-time knob the study used for its tracing —
+// and returns the prior level.
+func (n *Node) SetObsLevel(l obs.Level) obs.Level {
+	prior, _ := n.Driver.Ioctl(driver.IoctlObsLevel, int(l))
+	return obs.Level(prior)
 }
 
 // Trace returns all records captured by the lossless collector.

@@ -1,0 +1,90 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"essio/internal/driver"
+	"essio/internal/obs"
+	"essio/internal/sim"
+)
+
+// TestMetricsProcFiles proves the node's metric snapshot is readable
+// through /proc in both exposition formats, with real boot-time I/O
+// already counted.
+func TestMetricsProcFiles(t *testing.T) {
+	e, n := bootNode(t, DefaultConfig(0))
+	e.Run(e.Now().Add(time30s))
+	var text, js string
+	e.Spawn("read", func(p *sim.Proc) {
+		for name, out := range map[string]*string{"metrics": &text, "metrics.json": &js} {
+			f, err := n.Proc.Open(name)
+			if err != nil {
+				t.Errorf("open %s: %v", name, err)
+				return
+			}
+			buf := make([]byte, 1<<20)
+			m, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read %s: %v", name, err)
+				return
+			}
+			*out = string(buf[:m])
+		}
+	})
+	e.Run(e.Now().Add(sim.Second))
+
+	if !strings.Contains(text, "# TYPE essio_driver_requests counter") {
+		t.Errorf("metrics text missing driver counter:\n%s", text)
+	}
+	snap, err := obs.ParseJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if snap.Counter("driver/requests") == 0 {
+		t.Error("driver/requests = 0 after 30 s of daemon activity")
+	}
+	if snap.Counter("bcache/writebacks") == 0 {
+		t.Error("bcache/writebacks = 0 after 30 s of daemon activity")
+	}
+}
+
+const time30s = 30 * sim.Second
+
+// TestSetObsLevelIoctl proves the ioctl path switches the live registry
+// level and reports the prior one, and that Off actually stops counting.
+func TestSetObsLevelIoctl(t *testing.T) {
+	e, n := bootNode(t, DefaultConfig(0))
+	if prior := n.SetObsLevel(obs.Off); prior != obs.Counters {
+		t.Fatalf("prior level = %v, want counters (the default)", prior)
+	}
+	before := n.Obs.Snapshot().Counter("driver/requests")
+	e.Run(e.Now().Add(time30s))
+	if got := n.Obs.Snapshot().Counter("driver/requests"); got != before {
+		t.Errorf("driver/requests advanced %d -> %d at level off", before, got)
+	}
+	if prior := n.SetObsLevel(obs.Full); prior != obs.Off {
+		t.Fatalf("prior level = %v, want off", prior)
+	}
+	e.Run(e.Now().Add(time30s))
+	if got := n.Obs.Snapshot().Counter("driver/requests"); got == before {
+		t.Error("driver/requests still frozen after switching back to full")
+	}
+	if n.Obs.Snapshot().Hist("driver/queue_residency_us").Count == 0 {
+		t.Error("no residency observations at level full")
+	}
+}
+
+// TestCollectorSourceStage proves the trace pipeline's source stage counts
+// exactly the records the lossless collector captured.
+func TestCollectorSourceStage(t *testing.T) {
+	e, n := bootNode(t, DefaultConfig(0))
+	n.ResetTrace()
+	n.EnableTracing(driver.LevelFull)
+	e.Run(e.Now().Add(time30s))
+	n.DisableTracing()
+	got := n.Obs.Snapshot().Counter("pipeline/source/records")
+	if want := uint64(len(n.Trace())); got != want || want == 0 {
+		t.Errorf("pipeline/source/records = %d, want %d (and nonzero)", got, want)
+	}
+}

@@ -1,0 +1,44 @@
+package obs_test
+
+import (
+	"testing"
+
+	"essio/internal/core"
+	"essio/internal/obs"
+)
+
+// snapShard builds one worker's snapshot of a deterministic workload;
+// shard 1 shares some names with shard 0 and contributes unique ones,
+// exercising both the sum-shared and adopt-new paths of the merge-join.
+func snapShard(shard int) *obs.Snapshot {
+	r := obs.New(obs.Full)
+	k := shard + 1
+	r.Counter("shared/records").Add(uint64(10 * k))
+	r.Counter("shard/" + string(rune('a'+shard)) + "/only").Add(uint64(k))
+	g := r.Gauge("shared/depth")
+	g.Set(int64(4 * k))
+	g.Set(int64(k))
+	h := r.Histogram("shared/lat", obs.ExpBuckets(1, 2, 5))
+	for i := 0; i < 6; i++ {
+		h.Observe(int64(i * k))
+	}
+	return r.Snapshot()
+}
+
+// TestSnapshotMergePropagatesEveryField runs the runtime merge checker
+// over obs.Snapshot, the mergefields-style complement for the type the
+// static analyzer already covers: every field's state must survive
+// Merge. No ignores — a snapshot is pure merged state, it carries no
+// construction-time configuration.
+func TestSnapshotMergePropagatesEveryField(t *testing.T) {
+	drops, err := core.MergeDrops(
+		func() any { return &obs.Snapshot{} },
+		func(acc any, shard int) { acc.(*obs.Snapshot).Merge(snapShard(shard)) },
+	)
+	if err != nil {
+		t.Fatalf("merge check could not run: %v", err)
+	}
+	for _, f := range drops {
+		t.Errorf("Snapshot.Merge drops field %s: per-worker metrics would silently vanish", f)
+	}
+}

@@ -1,0 +1,446 @@
+// Package obs is the reproduction's observability layer: a deterministic
+// metric registry (counters, gauges, fixed-bucket histograms) plus a
+// span-based stage tracer, exposed the way the paper exposed its own
+// instrumentation — through the (simulated) proc filesystem, with the
+// collection level switchable at run time in the spirit of the study's
+// ioctl knob.
+//
+// Determinism is the design constraint everything else bends around:
+//
+//   - No wall clocks. Every duration a metric or span records comes from
+//     the simulation clock (sim.Time, threaded in as a plain int64) or
+//     from record/batch counts, so two same-seed runs produce identical
+//     metrics and the essvet determinism analyzer stays clean.
+//   - Sorted emission. Snapshots list every metric in sorted name order,
+//     so rendering a snapshot twice yields identical bytes.
+//   - Exact merges. Snapshot.Merge and Registry.Merge fold per-worker
+//     metric state the same way the analysis accumulators fold shards:
+//     the merged result is byte-identical to a single-registry pass,
+//     regardless of worker count.
+//
+// A Registry is deliberately not safe for concurrent use: the simulator
+// is single-threaded, and the parallel drivers give each worker its own
+// registry and Merge them afterwards, exactly as they do with analysis
+// accumulators.
+package obs
+
+import "sort"
+
+// Level selects how much the layer records, mirroring the run-time
+// instrumentation switch of the paper's instrumented driver (ioctl
+// trace-off / trace-basic / trace-full).
+type Level int32
+
+const (
+	// Unset is the zero value; configuration structs treat it as
+	// "use the default". New normalizes it to Off.
+	Unset Level = iota
+	// Off disables all collection. Handle methods reduce to one level
+	// comparison, so instrumented hot paths stay near free.
+	Off
+	// Counters enables counters and gauges: cheap aggregate state with
+	// one add or compare per update.
+	Counters
+	// Full additionally enables histograms and span collection, the
+	// distribution-grade view.
+	Full
+)
+
+// String names the level for reports and flags.
+func (l Level) String() string {
+	switch l {
+	case Off:
+		return "off"
+	case Counters:
+		return "counters"
+	case Full:
+		return "full"
+	default:
+		return "unset"
+	}
+}
+
+// ParseLevel maps a flag string to a Level; unknown strings return Unset.
+func ParseLevel(s string) Level {
+	switch s {
+	case "off":
+		return Off
+	case "counters":
+		return Counters
+	case "full":
+		return Full
+	default:
+		return Unset
+	}
+}
+
+// Registry is one collection domain's set of named metrics: one per
+// simulated node, one per pipeline worker, one per experiment scheduler.
+// The zero value is not usable; create registries with New. A nil
+// *Registry is a valid "uninstrumented" registry: every method on it
+// returns nil handles whose operations are no-ops.
+type Registry struct {
+	level    Level //essvet:mergeignore runtime switch, not merged state
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry collecting at level l (Unset collects as
+// Off).
+func New(l Level) *Registry {
+	if l == Unset {
+		l = Off
+	}
+	return &Registry{
+		level:    l,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Level reports the current collection level (Off for a nil registry).
+func (r *Registry) Level() Level {
+	if r == nil {
+		return Off
+	}
+	return r.level
+}
+
+// SetLevel switches the collection level at run time — the ioctl moment.
+// Existing handles observe the change immediately. No-op on nil.
+func (r *Registry) SetLevel(l Level) {
+	if r == nil {
+		return
+	}
+	if l == Unset {
+		l = Off
+	}
+	r.level = l
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registries return nil, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{lvl: &r.level}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{lvl: &r.level}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on
+// first use with the given ascending upper bounds (an implicit +Inf
+// bucket is appended). Re-registering an existing name ignores bounds
+// and returns the existing histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{lvl: &r.level, bounds: b, buckets: make([]uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds another registry's metric state into r, leaving r exactly
+// as if every update to o had been applied to r: counters and histogram
+// buckets add, gauge values add and high-waters take the maximum.
+// Metrics unknown to r are adopted. Histograms with mismatched bucket
+// geometry panic — merging them silently would corrupt the distribution.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for name, oc := range o.counters {
+		c, ok := r.counters[name]
+		if !ok {
+			c = &Counter{lvl: &r.level}
+			r.counters[name] = c
+		}
+		c.n += oc.n
+	}
+	for name, og := range o.gauges {
+		g, ok := r.gauges[name]
+		if !ok {
+			g = &Gauge{lvl: &r.level}
+			r.gauges[name] = g
+		}
+		g.v += og.v
+		if og.max > g.max {
+			g.max = og.max
+		}
+	}
+	for name, oh := range o.hists {
+		h, ok := r.hists[name]
+		if !ok {
+			b := make([]int64, len(oh.bounds))
+			copy(b, oh.bounds)
+			h = &Histogram{lvl: &r.level, bounds: b, buckets: make([]uint64, len(b)+1)}
+			r.hists[name] = h
+		}
+		h.merge(name, oh)
+	}
+}
+
+// Snapshot captures every metric in sorted name order. The result is
+// independent of the registry (safe to keep after further updates).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Counters = append(s.Counters, CounterSample{Name: name, Value: r.counters[name].n})
+	}
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := r.gauges[name]
+		s.Gauges = append(s.Gauges, GaugeSample{Name: name, Value: g.v, Max: g.max})
+	}
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		hs := HistSample{
+			Name:    name,
+			Bounds:  append([]int64(nil), h.bounds...),
+			Buckets: append([]uint64(nil), h.buckets...),
+			Count:   h.count,
+			Sum:     h.sum,
+		}
+		s.Hists = append(s.Hists, hs)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing count. Updates are active at
+// Counters and above; a nil Counter is a no-op handle.
+type Counter struct {
+	lvl *Level
+	n   uint64
+}
+
+// Add increments the counter by n when the registry level enables it.
+func (c *Counter) Add(n uint64) {
+	if c == nil || *c.lvl < Counters {
+		return
+	}
+	c.n += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is an instantaneous value with a high-water mark. Updates are
+// active at Counters and above; a nil Gauge is a no-op handle.
+type Gauge struct {
+	lvl    *Level
+	v, max int64
+}
+
+// Set records the current value and advances the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil || *g.lvl < Counters {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the current value by d and advances the high-water mark.
+func (g *Gauge) Add(d int64) {
+	if g == nil || *g.lvl < Counters {
+		return
+	}
+	g.v += d
+	if g.v > g.max {
+		g.max = g.v
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max reports the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram counts observations into fixed buckets (ascending upper
+// bounds plus an implicit +Inf overflow bucket). Observations are only
+// collected at Full — histograms are the expensive tier of the level
+// switch. A nil Histogram is a no-op handle.
+type Histogram struct {
+	lvl     *Level
+	bounds  []int64  //essvet:mergeignore geometry is asserted equal in merge
+	buckets []uint64 // len(bounds)+1; last is the overflow bucket
+	count   uint64
+	sum     int64
+}
+
+// Observe records one value when the registry is at Full.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || *h.lvl < Full {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// merge folds another histogram's buckets into h, panicking on geometry
+// mismatch (name makes the panic actionable).
+func (h *Histogram) merge(name string, o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("obs: histogram " + name + " merged with mismatched bucket count")
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			panic("obs: histogram " + name + " merged with mismatched bounds")
+		}
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// ExpBuckets returns n ascending upper bounds starting at start and
+// multiplying by factor: the usual latency/distance histogram shape.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending upper bounds starting at start and
+// stepping by width.
+func LinearBuckets(start, width int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*width
+	}
+	return out
+}
+
+// Stage bundles the three counters of one pipeline stage — records,
+// batches, and bytes moved — under pipeline/<name>/. A nil Stage is a
+// no-op handle, so uninstrumented pipelines cost one comparison.
+type Stage struct {
+	records *Counter
+	batches *Counter
+	bytes   *Counter
+}
+
+// Stage returns the named pipeline stage, creating its counters on
+// first use.
+func (r *Registry) Stage(name string) *Stage {
+	if r == nil {
+		return nil
+	}
+	return &Stage{
+		records: r.Counter("pipeline/" + name + "/records"),
+		batches: r.Counter("pipeline/" + name + "/batches"),
+		bytes:   r.Counter("pipeline/" + name + "/bytes"),
+	}
+}
+
+// Observe counts records and bytes moving through the stage.
+func (st *Stage) Observe(records, bytes int) {
+	if st == nil {
+		return
+	}
+	st.records.Add(uint64(records))
+	st.bytes.Add(uint64(bytes))
+}
+
+// ObserveBatch counts one whole batch moving through the stage.
+func (st *Stage) ObserveBatch(records, bytes int) {
+	if st == nil {
+		return
+	}
+	st.records.Add(uint64(records))
+	st.batches.Inc()
+	st.bytes.Add(uint64(bytes))
+}
+
+// Records reports how many records the stage has seen.
+func (st *Stage) Records() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.records.Value()
+}

@@ -1,0 +1,375 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"essio/internal/obs"
+)
+
+// TestLevelGating proves the ioctl-style switch: counters and gauges
+// need Counters, histograms and spans need Full, and Off records
+// nothing.
+func TestLevelGating(t *testing.T) {
+	for _, tc := range []struct {
+		level              obs.Level
+		wantCtr, wantHist  uint64
+		wantGauge, wantMax int64
+	}{
+		{obs.Off, 0, 0, 0, 0},
+		{obs.Counters, 3, 0, 7, 7},
+		{obs.Full, 3, 2, 7, 7},
+	} {
+		r := obs.New(tc.level)
+		c := r.Counter("c")
+		g := r.Gauge("g")
+		h := r.Histogram("h", obs.LinearBuckets(10, 10, 4))
+		c.Add(3)
+		g.Set(7)
+		h.Observe(15)
+		h.Observe(100)
+		if c.Value() != tc.wantCtr {
+			t.Errorf("level %v: counter = %d, want %d", tc.level, c.Value(), tc.wantCtr)
+		}
+		if g.Value() != tc.wantGauge || g.Max() != tc.wantMax {
+			t.Errorf("level %v: gauge = %d/%d, want %d/%d",
+				tc.level, g.Value(), g.Max(), tc.wantGauge, tc.wantMax)
+		}
+		if h.Count() != tc.wantHist {
+			t.Errorf("level %v: histogram count = %d, want %d", tc.level, h.Count(), tc.wantHist)
+		}
+	}
+}
+
+// TestSetLevelLiveHandles proves handles minted before a level change
+// observe it, the way the paper's driver obeyed ioctl mid-run.
+func TestSetLevelLiveHandles(t *testing.T) {
+	r := obs.New(obs.Off)
+	c := r.Counter("c")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("counter recorded while Off")
+	}
+	r.SetLevel(obs.Counters)
+	c.Inc()
+	c.Inc()
+	r.SetLevel(obs.Off)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("counter = %d after off/on/off, want 2", c.Value())
+	}
+}
+
+// TestNilSafety exercises every handle path against a nil registry: the
+// uninstrumented configuration must be completely inert.
+func TestNilSafety(t *testing.T) {
+	var r *obs.Registry
+	r.SetLevel(obs.Full)
+	if r.Level() != obs.Off {
+		t.Errorf("nil registry level = %v, want Off", r.Level())
+	}
+	c := r.Counter("c")
+	c.Add(1)
+	c.Inc()
+	g := r.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("h", nil)
+	h.Observe(1)
+	st := r.Stage("s")
+	st.Observe(1, 1)
+	st.ObserveBatch(1, 1)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || st.Records() != 0 {
+		t.Errorf("nil handles recorded state")
+	}
+	r.Merge(obs.New(obs.Full))
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Errorf("nil registry snapshot not empty")
+	}
+	tr := obs.NewTracer(r, func() int64 { return 0 })
+	sp := tr.Stage("x").Start()
+	sp.End()
+}
+
+// fill applies a deterministic little workload, scaled by k so shards
+// are distinguishable.
+func fill(r *obs.Registry, k int) {
+	r.Counter("a/reads").Add(uint64(3 * k))
+	r.Counter("b/writes").Add(uint64(5 * k))
+	g := r.Gauge("q/depth")
+	g.Set(int64(2 * k))
+	g.Set(int64(k))
+	h := r.Histogram("lat", obs.ExpBuckets(1, 2, 6))
+	for i := 0; i < 4*k; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// TestRegistryMergeExact proves Registry.Merge equals replaying both
+// update streams into one registry — the invariant the parallel profile
+// driver depends on. Counters and histograms are pure sums, so the
+// merged rendering must match the combined history byte for byte;
+// gauges aggregate as sum-of-values and max-of-maxes, asserted
+// explicitly (a gauge's interleaved history is not reconstructible from
+// shards, which is why the sharded pipeline keeps gauges per-domain).
+func TestRegistryMergeExact(t *testing.T) {
+	a, b := obs.New(obs.Full), obs.New(obs.Full)
+	fill(a, 1)
+	fill(b, 3)
+	b.Counter("only/b").Add(9)
+
+	whole := obs.New(obs.Full)
+	fill(whole, 1)
+	fill(whole, 3)
+	whole.Counter("only/b").Add(9)
+
+	a.Merge(b)
+	got, want := a.Snapshot(), whole.Snapshot()
+	if g := got.Gauge("q/depth"); g.Value != 1+3 || g.Max != 6 {
+		t.Errorf("merged gauge = %+v, want value 4 (sum) max 6 (max of shard maxes)", g)
+	}
+	got.Gauges, want.Gauges = nil, nil
+	if got.Text() != want.Text() {
+		t.Errorf("merged registry differs from combined history:\n--- merged\n%s--- combined\n%s",
+			got.Text(), want.Text())
+	}
+}
+
+// TestSnapshotMergeAssociative proves per-worker snapshots merged in any
+// grouping produce identical bytes, so worker count cannot leak into
+// output.
+func TestSnapshotMergeAssociative(t *testing.T) {
+	snaps := make([]*obs.Snapshot, 4)
+	for i := range snaps {
+		r := obs.New(obs.Full)
+		fill(r, i+1)
+		if i%2 == 0 {
+			r.Counter("even/only").Add(uint64(i + 1))
+		}
+		snaps[i] = r.Snapshot()
+	}
+	// Left fold.
+	left := &obs.Snapshot{}
+	for _, s := range snaps {
+		left.Merge(s)
+	}
+	// Pairwise tree.
+	ab := &obs.Snapshot{}
+	ab.Merge(snaps[0])
+	ab.Merge(snaps[1])
+	cd := &obs.Snapshot{}
+	cd.Merge(snaps[2])
+	cd.Merge(snaps[3])
+	tree := &obs.Snapshot{}
+	tree.Merge(cd)
+	tree.Merge(ab)
+	if left.Text() != tree.Text() {
+		t.Errorf("merge grouping changed snapshot bytes:\n--- fold\n%s--- tree\n%s", left.Text(), tree.Text())
+	}
+}
+
+// TestSnapshotSortedAndStable proves snapshots emit in sorted name
+// order regardless of registration order, and render identically twice.
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := obs.New(obs.Full)
+	for _, name := range []string{"z/last", "m/mid", "a/first"} {
+		r.Counter(name).Inc()
+		r.Gauge("g/" + name).Set(1)
+		r.Histogram("h/"+name, obs.LinearBuckets(1, 1, 2)).Observe(1)
+	}
+	s := r.Snapshot()
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Errorf("counters out of order: %q before %q", s.Counters[i-1].Name, s.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(s.Gauges); i++ {
+		if s.Gauges[i-1].Name >= s.Gauges[i].Name {
+			t.Errorf("gauges out of order: %q before %q", s.Gauges[i-1].Name, s.Gauges[i].Name)
+		}
+	}
+	for i := 1; i < len(s.Hists); i++ {
+		if s.Hists[i-1].Name >= s.Hists[i].Name {
+			t.Errorf("histograms out of order: %q before %q", s.Hists[i-1].Name, s.Hists[i].Name)
+		}
+	}
+	if s.Text() != r.Snapshot().Text() {
+		t.Errorf("two snapshots of unchanged registry render differently")
+	}
+}
+
+// TestSnapshotLookups exercises the by-name accessors.
+func TestSnapshotLookups(t *testing.T) {
+	r := obs.New(obs.Full)
+	fill(r, 2)
+	s := r.Snapshot()
+	if got := s.Counter("a/reads"); got != 6 {
+		t.Errorf("Counter(a/reads) = %d, want 6", got)
+	}
+	if got := s.Counter("absent"); got != 0 {
+		t.Errorf("Counter(absent) = %d, want 0", got)
+	}
+	if g := s.Gauge("q/depth"); g.Value != 2 || g.Max != 4 {
+		t.Errorf("Gauge(q/depth) = %+v, want value 2 max 4", g)
+	}
+	if h := s.Hist("lat"); h == nil || h.Count != 8 {
+		t.Errorf("Hist(lat) = %+v, want count 8", h)
+	}
+	if s.Hist("absent") != nil {
+		t.Errorf("Hist(absent) non-nil")
+	}
+}
+
+// TestJSONRoundTrip proves JSON rendering survives a parse and
+// re-render byte-identically.
+func TestJSONRoundTrip(t *testing.T) {
+	r := obs.New(obs.Full)
+	fill(r, 5)
+	s := r.Snapshot()
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ParseJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("JSON round trip not stable:\n%s\nvs\n%s", data, data2)
+	}
+	if s.Text() != back.Text() {
+		t.Errorf("text rendering changed across JSON round trip")
+	}
+}
+
+// TestTextExposition spot-checks the Prometheus rendering: mangled
+// names, cumulative buckets, +Inf terminator.
+func TestTextExposition(t *testing.T) {
+	r := obs.New(obs.Full)
+	r.Counter("pipeline/source/records").Add(42)
+	h := r.Histogram("disk/seek", obs.LinearBuckets(10, 10, 2))
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(99)
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"# TYPE essio_pipeline_source_records counter",
+		"essio_pipeline_source_records 42",
+		"essio_disk_seek_bucket{le=\"10\"} 1",
+		"essio_disk_seek_bucket{le=\"20\"} 2",
+		"essio_disk_seek_bucket{le=\"+Inf\"} 3",
+		"essio_disk_seek_count 3",
+		"essio_disk_seek_sum 119",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHistogramMergeMismatchPanics proves geometry mismatches fail loud.
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	a, b := obs.New(obs.Full), obs.New(obs.Full)
+	a.Histogram("h", obs.LinearBuckets(1, 1, 3))
+	b.Histogram("h", obs.LinearBuckets(2, 2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Errorf("mismatched histogram merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestTracer proves spans measure on the supplied clock and respect the
+// level gate.
+func TestTracer(t *testing.T) {
+	var now int64
+	r := obs.New(obs.Full)
+	tr := obs.NewTracer(r, func() int64 { return now })
+	st := tr.Stage("merge")
+	sp := st.Start()
+	now += 17
+	sp.End()
+	sp = st.Start()
+	now += 3
+	sp.End()
+	s := r.Snapshot()
+	if got := s.Counter("span/merge/spans"); got != 2 {
+		t.Errorf("spans = %d, want 2", got)
+	}
+	if got := s.Counter("span/merge/ticks"); got != 20 {
+		t.Errorf("ticks = %d, want 20", got)
+	}
+	if h := s.Hist("span/merge/dur"); h == nil || h.Count != 2 {
+		t.Errorf("duration histogram = %+v, want count 2", h)
+	}
+
+	// Below Full, Start returns an inert span.
+	r.SetLevel(obs.Counters)
+	sp = st.Start()
+	now += 100
+	sp.End()
+	if got := r.Snapshot().Counter("span/merge/spans"); got != 2 {
+		t.Errorf("span recorded below Full: %d", got)
+	}
+}
+
+// TestStage proves the per-stage triple counts records, batches, and
+// bytes.
+func TestStage(t *testing.T) {
+	r := obs.New(obs.Counters)
+	st := r.Stage("source")
+	st.ObserveBatch(100, 2000)
+	st.ObserveBatch(50, 1000)
+	st.Observe(1, 20)
+	s := r.Snapshot()
+	if got := s.Counter("pipeline/source/records"); got != 151 {
+		t.Errorf("records = %d, want 151", got)
+	}
+	if got := s.Counter("pipeline/source/batches"); got != 2 {
+		t.Errorf("batches = %d, want 2", got)
+	}
+	if got := s.Counter("pipeline/source/bytes"); got != 3020 {
+		t.Errorf("bytes = %d, want 3020", got)
+	}
+	if st.Records() != 151 {
+		t.Errorf("Stage.Records = %d, want 151", st.Records())
+	}
+}
+
+// TestBucketHelpers pins the two bound generators.
+func TestBucketHelpers(t *testing.T) {
+	exp := obs.ExpBuckets(1, 2, 5)
+	for i, want := range []int64{1, 2, 4, 8, 16} {
+		if exp[i] != want {
+			t.Errorf("ExpBuckets[%d] = %d, want %d", i, exp[i], want)
+		}
+	}
+	lin := obs.LinearBuckets(10, 5, 3)
+	for i, want := range []int64{10, 15, 20} {
+		if lin[i] != want {
+			t.Errorf("LinearBuckets[%d] = %d, want %d", i, lin[i], want)
+		}
+	}
+}
+
+// TestParseLevel pins the flag vocabulary.
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]obs.Level{
+		"off": obs.Off, "counters": obs.Counters, "full": obs.Full, "bogus": obs.Unset,
+	} {
+		if got := obs.ParseLevel(s); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, l := range []obs.Level{obs.Off, obs.Counters, obs.Full} {
+		if obs.ParseLevel(l.String()) != l {
+			t.Errorf("ParseLevel(%v.String()) != %v", l, l)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CounterSample is one counter's state in a snapshot.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSample is one gauge's state in a snapshot: current value and
+// high-water mark.
+type GaugeSample struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// HistSample is one histogram's state in a snapshot. Buckets has one
+// more entry than Bounds: the overflow bucket.
+type HistSample struct {
+	Name    string   `json:"name"`
+	Bounds  []int64  `json:"bounds"`
+	Buckets []uint64 `json:"buckets"`
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+}
+
+// Snapshot is a registry's metric state at one moment, every section
+// sorted by metric name. Equal collection histories yield byte-identical
+// Text and JSON renderings, which is what the determinism tests diff.
+type Snapshot struct {
+	Counters []CounterSample `json:"counters"`
+	Gauges   []GaugeSample   `json:"gauges"`
+	Hists    []HistSample    `json:"histograms"`
+}
+
+// Merge folds another snapshot into s exactly: counters and histogram
+// buckets add, gauge values add and high-waters take the maximum, names
+// unknown to s are adopted in order. Both snapshots being sorted, the
+// result is sorted too, so merging per-worker snapshots in any grouping
+// yields identical bytes. Histograms sharing a name but not bucket
+// geometry panic, as in Registry.Merge.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Counters = mergeCounters(s.Counters, o.Counters)
+	s.Gauges = mergeGauges(s.Gauges, o.Gauges)
+	s.Hists = mergeHists(s.Hists, o.Hists)
+}
+
+// mergeCounters merge-joins two sorted counter lists, summing shared
+// names.
+func mergeCounters(a, b []CounterSample) []CounterSample {
+	out := make([]CounterSample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		case a[i].Name > b[j].Name:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, CounterSample{Name: a[i].Name, Value: a[i].Value + b[j].Value})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mergeGauges merge-joins two sorted gauge lists: values sum, maxes max.
+func mergeGauges(a, b []GaugeSample) []GaugeSample {
+	out := make([]GaugeSample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		case a[i].Name > b[j].Name:
+			out = append(out, b[j])
+			j++
+		default:
+			g := GaugeSample{Name: a[i].Name, Value: a[i].Value + b[j].Value, Max: a[i].Max}
+			if b[j].Max > g.Max {
+				g.Max = b[j].Max
+			}
+			out = append(out, g)
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mergeHists merge-joins two sorted histogram lists, adding buckets of
+// shared names and panicking on geometry mismatch.
+func mergeHists(a, b []HistSample) []HistSample {
+	out := make([]HistSample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		case a[i].Name > b[j].Name:
+			out = append(out, b[j])
+			j++
+		default:
+			x, y := a[i], b[j]
+			if len(x.Bounds) != len(y.Bounds) {
+				panic("obs: histogram " + x.Name + " merged with mismatched bucket count")
+			}
+			m := HistSample{
+				Name:    x.Name,
+				Bounds:  append([]int64(nil), x.Bounds...),
+				Buckets: append([]uint64(nil), x.Buckets...),
+				Count:   x.Count + y.Count,
+				Sum:     x.Sum + y.Sum,
+			}
+			for k, bnd := range y.Bounds {
+				if m.Bounds[k] != bnd {
+					panic("obs: histogram " + x.Name + " merged with mismatched bounds")
+				}
+			}
+			for k, n := range y.Buckets {
+				m.Buckets[k] += n
+			}
+			out = append(out, m)
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Counter looks up a counter's value by name (0 when absent) — the
+// assertion helper CI smoke checks and tests lean on.
+func (s *Snapshot) Counter(name string) uint64 {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value
+	}
+	return 0
+}
+
+// Gauge looks up a gauge sample by name (zero sample when absent).
+func (s *Snapshot) Gauge(name string) GaugeSample {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i]
+	}
+	return GaugeSample{Name: name}
+}
+
+// Hist looks up a histogram sample by name (nil when absent).
+func (s *Snapshot) Hist(name string) *HistSample {
+	i := sort.Search(len(s.Hists), func(i int) bool { return s.Hists[i].Name >= name })
+	if i < len(s.Hists) && s.Hists[i].Name == name {
+		return &s.Hists[i]
+	}
+	return nil
+}
+
+// mangle converts a metric path to a Prometheus-legal series name:
+// essio_pipeline_source_records from pipeline/source/records.
+func mangle(name string) string {
+	return "essio_" + strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(name)
+}
+
+// Text renders the snapshot in Prometheus text exposition format. Being
+// built from sorted sections, equal snapshots render byte-identically.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := mangle(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := mangle(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n%s_max %d\n", n, n, g.Value, n, g.Max)
+	}
+	for _, h := range s.Hists {
+		n := mangle(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bnd := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bnd, cum)
+		}
+		cum += h.Buckets[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON, the form essmon consumes.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseJSON reads a snapshot previously rendered by JSON. Sections are
+// re-sorted defensively so lookups and merges stay correct even if the
+// input was hand-edited.
+func ParseJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: parse snapshot: %w", err)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return &s, nil
+}

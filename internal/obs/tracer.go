@@ -1,0 +1,86 @@
+package obs
+
+// The span tracer gives each pipeline or kernel stage a start/end pair
+// measured on a caller-supplied deterministic clock — the simulation's
+// virtual time for kernel stages, a record/batch counter for the
+// analysis pipeline. Never a wall clock: span durations must be a pure
+// function of the workload, so same-seed runs trace identically.
+//
+// Spans are aggregated, not logged: each End folds into three metrics
+// under span/<stage>/ (spans, ticks, and a duration histogram), which
+// merge across workers like every other metric. Collection is gated at
+// Full; below that Start returns an inert span and the cost is one
+// comparison.
+
+// Tracer mints stage timers against one registry and one clock.
+type Tracer struct {
+	r     *Registry
+	clock func() int64
+}
+
+// NewTracer returns a tracer drawing timestamps from clock. The clock
+// must be deterministic — sim time or an operation count. A nil
+// registry or nil clock yields an inert tracer.
+func NewTracer(r *Registry, clock func() int64) *Tracer {
+	if r == nil || clock == nil {
+		return nil
+	}
+	return &Tracer{r: r, clock: clock}
+}
+
+// spanDurBounds buckets span durations; the unit is whatever the
+// tracer's clock counts (µs of sim time, records, batches).
+var spanDurBounds = ExpBuckets(1, 4, 12)
+
+// StageTimer times one named stage. A nil StageTimer is a no-op handle.
+type StageTimer struct {
+	t     *Tracer
+	spans *Counter
+	ticks *Counter
+	dur   *Histogram
+}
+
+// Stage returns the named stage timer, creating its metrics on first
+// use.
+func (t *Tracer) Stage(name string) *StageTimer {
+	if t == nil {
+		return nil
+	}
+	return &StageTimer{
+		t:     t,
+		spans: t.r.Counter("span/" + name + "/spans"),
+		ticks: t.r.Counter("span/" + name + "/ticks"),
+		dur:   t.r.Histogram("span/"+name+"/dur", spanDurBounds),
+	}
+}
+
+// Span is one in-flight timed interval; End folds it into the stage's
+// metrics. The zero Span is inert.
+type Span struct {
+	st    *StageTimer
+	start int64
+}
+
+// Start opens a span when the registry is at Full; otherwise the
+// returned span is inert and End is free.
+func (st *StageTimer) Start() Span {
+	if st == nil || st.t.r.Level() < Full {
+		return Span{}
+	}
+	return Span{st: st, start: st.t.clock()}
+}
+
+// End closes the span, recording one span, its tick count, and its
+// duration distribution.
+func (s Span) End() {
+	if s.st == nil {
+		return
+	}
+	d := s.st.t.clock() - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.st.spans.Inc()
+	s.st.ticks.Add(uint64(d))
+	s.st.dur.Observe(d)
+}

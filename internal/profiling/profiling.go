@@ -1,0 +1,51 @@
+// Package profiling wires Go's pprof collectors behind the -cpuprofile
+// and -memprofile flags the analysis CLIs share, so the overhead claims
+// of the observability layer (and any pipeline hot spot) can be checked
+// with `go tool pprof` instead of guesswork.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and schedules a heap profile
+// into memPath; either path may be empty to skip that profile. The
+// returned stop function must run exactly once at process exit — it
+// stops the CPU profile and writes the heap snapshot after a final GC.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuPath != "" {
+		cpu, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

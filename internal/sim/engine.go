@@ -47,7 +47,8 @@ type Engine struct {
 	closed bool
 	rng    *rand.Rand
 	// stats
-	fired uint64
+	fired   uint64
+	queueHW int // most events ever pending at once
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose random
@@ -69,6 +70,10 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsFired reports how many events have executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
+// QueueHighWater reports the deepest the event queue has ever been — a
+// deterministic load signal the observability layer exports.
+func (e *Engine) QueueHighWater() int { return e.queueHW }
+
 // schedule enqueues fn to run at time at (engine context).
 func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
@@ -77,6 +82,9 @@ func (e *Engine) schedule(at Time, fn func()) *event {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
+	if n := len(e.events); n > e.queueHW {
+		e.queueHW = n
+	}
 	return ev
 }
 

@@ -1,0 +1,102 @@
+package trace
+
+// Stage observation for the streaming pipeline: ObserveSource and
+// ObserveSink wrap a Source or Sink so that every record, batch, and
+// byte crossing that point of the pipeline is counted into an
+// obs.Stage. The wrappers are capability-preserving — a batching or
+// span-capable input stays batching and span-capable, so Copy keeps its
+// zero-copy fast paths — and counting is record-arithmetic only (count ×
+// RecordSize), never wall time, so observed pipelines stay
+// deterministic.
+
+import "essio/internal/obs"
+
+// ObserveSource wraps src so records pulled from it are counted into
+// st. A nil stage returns src unchanged — observation off costs
+// nothing.
+func ObserveSource(src Source, st *obs.Stage) Source {
+	if st == nil {
+		return src
+	}
+	switch src.(type) {
+	case spanSource:
+		return &observedSpanSource{observedSource{src: src, st: st}}
+	case BatchSource:
+		return &observedBatchSource{observedSource{src: src, st: st}}
+	}
+	return &observedSource{src: src, st: st}
+}
+
+// observedSource counts per-record pulls.
+type observedSource struct {
+	src Source
+	st  *obs.Stage
+}
+
+func (o *observedSource) Next() (Record, error) {
+	r, err := o.src.Next()
+	if err == nil {
+		o.st.Observe(1, RecordSize)
+	}
+	return r, err
+}
+
+// observedBatchSource additionally counts whole batches.
+type observedBatchSource struct{ observedSource }
+
+func (o *observedBatchSource) NextBatch(buf []Record) (int, error) {
+	n, err := o.src.(BatchSource).NextBatch(buf)
+	if n > 0 {
+		o.st.ObserveBatch(n, n*RecordSize)
+	}
+	return n, err
+}
+
+// observedSpanSource additionally passes zero-copy span reads through.
+type observedSpanSource struct{ observedSource }
+
+func (o *observedSpanSource) NextSpan(max int) ([]Record, error) {
+	span, err := o.src.(spanSource).NextSpan(max)
+	if len(span) > 0 {
+		o.st.ObserveBatch(len(span), len(span)*RecordSize)
+	}
+	return span, err
+}
+
+// ObserveSink wraps dst so records pushed into it are counted into st.
+// A nil stage returns dst unchanged. The wrapper of a BatchSink is a
+// BatchSink.
+func ObserveSink(dst Sink, st *obs.Stage) Sink {
+	if st == nil {
+		return dst
+	}
+	if _, ok := dst.(BatchSink); ok {
+		return &observedBatchSink{observedSink{dst: dst, st: st}}
+	}
+	return &observedSink{dst: dst, st: st}
+}
+
+// observedSink counts per-record pushes.
+type observedSink struct {
+	dst Sink
+	st  *obs.Stage
+}
+
+func (o *observedSink) Add(r Record) error {
+	if err := o.dst.Add(r); err != nil {
+		return err
+	}
+	o.st.Observe(1, RecordSize)
+	return nil
+}
+
+// observedBatchSink additionally counts whole batches.
+type observedBatchSink struct{ observedSink }
+
+func (o *observedBatchSink) AddBatch(recs []Record) error {
+	if err := o.dst.(BatchSink).AddBatch(recs); err != nil {
+		return err
+	}
+	o.st.ObserveBatch(len(recs), len(recs)*RecordSize)
+	return nil
+}

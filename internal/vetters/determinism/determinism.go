@@ -4,7 +4,10 @@
 // clocks and the process-global math/rand source break that silently —
 // runs still succeed, they are just unrepeatable — so their use is
 // forbidden in the gated packages (internal/sim, internal/synth,
-// internal/cluster, internal/apps by default; see -detpkgs).
+// internal/cluster, internal/apps, internal/obs by default; see
+// -detpkgs). The observability layer is gated for the same reason: its
+// snapshots must be byte-identical across same-seed runs, so metric
+// values may never derive from wall time.
 //
 // The analyzer also flags, in every package, range-over-map loops whose
 // bodies emit — print, write, encode, or append into a slice that is
@@ -28,7 +31,7 @@ import (
 
 // DefaultGates lists the package-path substrings in which wall-clock
 // and global-randomness use is forbidden.
-const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps"
+const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs"
 
 // name is the analyzer name, referenced from run without creating an
 // initialization cycle through Analyzer.

@@ -1,0 +1,52 @@
+// Fixtures for the determinism analyzer over the observability layer:
+// this path matches internal/obs, so wall clocks are forbidden (metric
+// values must derive from sim time or record counts), and snapshot
+// emission must be sorted, never raw map order.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type registry struct {
+	counters map[string]uint64
+}
+
+func (r *registry) SpanClock() int64 {
+	return time.Now().UnixMicro() // want `time.Now in a seeded package makes runs unrepeatable`
+}
+
+// SnapshotUnsorted emits counters in raw map order: two renderings of
+// the same registry would differ, so the analyzer flags the loop.
+func (r *registry) SnapshotUnsorted() []string {
+	var out []string
+	for name, v := range r.counters { // want `range over map appends in iteration order and the slice is never sorted`
+		out = append(out, fmt.Sprintf("%s %d", name, v))
+	}
+	return out
+}
+
+// Snapshot is the required collect-sort-emit idiom: keys gathered, then
+// sorted, then read back in key order.
+func (r *registry) Snapshot() []string {
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		out = append(out, fmt.Sprintf("%s %d", name, r.counters[name]))
+	}
+	return out
+}
+
+// TextUnsorted writes directly from the map range — flagged even though
+// nothing is appended.
+func (r *registry) TextUnsorted() {
+	for name, v := range r.counters { // want `range over map emits in iteration order`
+		fmt.Printf("%s %d\n", name, v)
+	}
+}
