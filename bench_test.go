@@ -13,6 +13,8 @@
 package essio_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"essio"
@@ -357,6 +359,51 @@ func BenchmarkEngineEvents(b *testing.B) {
 		}
 	}
 	e.RunUntilIdle()
+}
+
+// BenchmarkEngineStep prices one pop-dispatch cycle of the typed 4-ary
+// event heap with a standing event population (the free-list fast path:
+// every fired event is recycled into the next schedule).
+func BenchmarkEngineStep(b *testing.B) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	const standing = 1024
+	var tick func()
+	tick = func() { e.After(sim.Microsecond, tick) }
+	for i := 0; i < standing; i++ {
+		e.After(sim.Duration(i+1)*sim.Microsecond, tick)
+	}
+	b.ResetTimer()
+	for e.EventsFired() < uint64(b.N) {
+		e.Run(e.Now().Add(sim.Millisecond))
+	}
+}
+
+// BenchmarkE1Sharded runs the PPM experiment (the paper's first
+// application measurement) on a 64-node cluster, sequential versus
+// sharded across every CPU, so recorded artifacts track the scaling of
+// the conservative-lookahead engine. The two variants produce
+// byte-identical results (asserted by internal/experiment's shard
+// tests); on a multi-core runner the sharded one is expected to be
+// at least twice as fast.
+func BenchmarkE1Sharded(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.SmallConfig(experiment.PPM, 64)
+				cfg.Shards = shards
+				res, err := experiment.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(res.Merged)), "records")
+			}
+		})
+	}
 }
 
 func BenchmarkWaveletTransform512(b *testing.B) {

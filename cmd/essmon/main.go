@@ -12,6 +12,7 @@
 //	essmon -i metrics.json                  # render a saved snapshot
 //	essmon -run baseline -small -json       # emit the snapshot as JSON
 //	essmon -run baseline -small -check driver/requests,sim/events_fired
+//	essmon -run ppm -small -nodes 64 -shards 8 -check sim/events_fired
 //
 // -check exits nonzero unless every named counter is present and nonzero,
 // which is how CI smoke-tests the observability path end to end.
@@ -34,6 +35,7 @@ func main() {
 	small := flag.Bool("small", false, "scaled-down experiment configuration")
 	nodes := flag.Int("nodes", 16, "cluster size for -run")
 	seed := flag.Int64("seed", 1, "simulation seed for -run")
+	shards := flag.Int("shards", 1, "parallel simulation shards for -run (results are identical at any count)")
 	level := flag.String("level", "counters", "collection level for -run: off, counters, or full")
 	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of rendering")
 	asText := flag.Bool("text", false, "emit the snapshot in Prometheus text format instead of rendering")
@@ -62,9 +64,10 @@ func main() {
 			cfg = essio.Config{Kind: essio.Kind(*run), Nodes: *nodes}
 		}
 		cfg.Seed = *seed
+		cfg.Shards = *shards
 		cfg.ObsLevel = lv
-		fmt.Fprintf(os.Stderr, "running %s experiment (%d nodes, %s collection)...\n",
-			*run, cfg.Nodes, lv)
+		fmt.Fprintf(os.Stderr, "running %s experiment (%d nodes, %d shards, %s collection)...\n",
+			*run, cfg.Nodes, *shards, lv)
 		res, err := essio.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "essmon:", err)

@@ -349,7 +349,7 @@ type (
 
 // NewPious starts PIOUS data servers on every node of a cluster.
 func NewPious(c *Cluster) *Pious {
-	return pious.New(c.E, c.PVM, c.NodeFS())
+	return pious.New(c.PVM, c.NodeFS())
 }
 
 // The workload characterizer — the study's primary contribution as a

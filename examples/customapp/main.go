@@ -57,7 +57,7 @@ func main() {
 	if _, ok := c.WaitAll(procs, 30*essio.Minute); !ok {
 		log.Fatal("solver did not finish")
 	}
-	c.E.Run(c.E.Now().Add(30 * essio.Second)) // catch trailing write-back
+	c.RunFor(30 * essio.Second) // catch trailing write-back
 	c.StopTracing()
 
 	recs := c.MergedTrace()

@@ -19,13 +19,13 @@ func main() {
 	defer c.Close()
 
 	pfs := essio.NewPious(c)
-	c.E.Run(c.E.Now().Add(essio.Second)) // let the data servers start
+	c.RunFor(essio.Second) // let the data servers start
 
 	c.StartTracing()
 	const fileBytes = 512 * 1024
 	done := false
 	task := c.PVM.Enroll(0)
-	c.E.Spawn("client", func(p *essio.Proc) {
+	c.SpawnOn(0, "client", func(p *essio.Proc) {
 		f, err := pfs.Open(p, task, "dataset", true)
 		if err != nil {
 			log.Fatal(err)
@@ -51,9 +51,9 @@ func main() {
 		done = true
 	})
 	for !done {
-		c.E.Run(c.E.Now().Add(essio.Second))
+		c.RunFor(essio.Second)
 	}
-	c.E.Run(c.E.Now().Add(30 * essio.Second)) // trailing write-back
+	c.RunFor(30 * essio.Second) // trailing write-back
 	c.StopTracing()
 
 	fmt.Printf("wrote and verified a %d KB file declustered over %d nodes (stripe unit %d bytes)\n",

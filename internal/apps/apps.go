@@ -13,44 +13,45 @@ import (
 	"essio/internal/vm"
 )
 
-// Team coordinates one parallel application across the cluster: each rank
-// joins at startup; once all expected ranks have joined, a PVM group ordered
-// by node number exists and every member proceeds.
+// Team coordinates one parallel application across the cluster. Tasks are
+// enrolled for every rank up front (NewTeam runs in coordinator context,
+// before the ranks start), rank i living on node i; Join hands the calling
+// rank its pre-enrolled task and synchronizes the whole team through a
+// message-based PVM barrier, so formation works identically whether the
+// ranks share one engine or are sharded across many.
 type Team struct {
 	PV    *pvm.System
-	size  int
 	tasks []*pvm.Task
 	group *pvm.Group
-	ready *sim.WaitQueue
 }
 
-// NewTeam prepares a team of the given size.
-func NewTeam(pv *pvm.System, size int, e *sim.Engine) *Team {
+// NewTeam prepares a team of the given size, enrolling one task per node
+// (rank = node). Call from setup context, before the cluster runs.
+func NewTeam(pv *pvm.System, size int) *Team {
 	if size <= 0 {
 		panic("apps: team size must be positive")
 	}
-	return &Team{PV: pv, size: size, ready: sim.NewWaitQueue(e)}
+	t := &Team{PV: pv}
+	for node := 0; node < size; node++ {
+		t.tasks = append(t.tasks, pv.Enroll(node))
+	}
+	t.group = pv.NewGroup(t.tasks)
+	return t
 }
 
-// Join enrolls the calling rank; it blocks until the whole team has joined
-// and returns the task, the group, and this rank's index (ordered by join).
+// Join hands the rank running on node its task and blocks until every team
+// member has joined (a PVM barrier); it returns the task, the group, and
+// the rank's index (= node).
 func (t *Team) Join(p *sim.Proc, node int) (*pvm.Task, *pvm.Group, int) {
-	task := t.PV.Enroll(node)
-	t.tasks = append(t.tasks, task)
-	rank := len(t.tasks) - 1
-	if len(t.tasks) == t.size {
-		t.group = t.PV.NewGroup(t.tasks)
-		t.ready.WakeAll()
-	} else {
-		for t.group == nil {
-			t.ready.Sleep(p)
-		}
+	task := t.tasks[node]
+	if err := t.group.Barrier(p, task); err != nil {
+		panic("apps: team join barrier: " + err.Error())
 	}
-	return task, t.group, rank
+	return task, t.group, node
 }
 
 // Size reports the team size.
-func (t *Team) Size() int { return t.size }
+func (t *Team) Size() int { return len(t.tasks) }
 
 // Array couples a Go-visible element size with a simulated-memory segment:
 // numerics operate on real Go slices while Touch calls charge the VM for

@@ -13,7 +13,7 @@ func TestTeamJoinReleasesTogether(t *testing.T) {
 	e := sim.NewEngine(1)
 	defer e.Close()
 	pv := pvm.New(e, ethernet.New(e, ethernet.DefaultParams()))
-	team := NewTeam(pv, 3, e)
+	team := NewTeam(pv, 3)
 	var joined []int
 	for i := 0; i < 3; i++ {
 		i := i
@@ -59,7 +59,7 @@ func TestTeamSizePanics(t *testing.T) {
 			t.Fatal("want panic for zero team")
 		}
 	}()
-	NewTeam(pvm.New(e, ethernet.New(e, ethernet.DefaultParams())), 0, e)
+	NewTeam(pvm.New(e, ethernet.New(e, ethernet.DefaultParams())), 0)
 }
 
 func TestRankError(t *testing.T) {

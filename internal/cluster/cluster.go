@@ -3,6 +3,11 @@
 // nodes, and helpers for installing programs on every node, launching one
 // rank per node, and collecting the per-disk traces the experiments
 // analyze.
+//
+// The machine always runs on a sim.Shards group — a set of per-node-group
+// engines advancing under conservative lookahead equal to the wire latency.
+// With Shards=1 that degenerates to the classic sequential run; any other
+// shard count executes the byte-identical schedule in parallel.
 package cluster
 
 import (
@@ -23,7 +28,11 @@ import (
 // Config describes the machine.
 type Config struct {
 	Nodes int   // default 16
-	Seed  int64 // engine seed
+	Seed  int64 // experiment seed (engines, per-node daemon jitter)
+	// Shards selects how many engines the nodes are spread over. 0 and 1
+	// both mean one engine (the sequential schedule); counts above Nodes
+	// are clamped. Results are byte-identical at every setting.
+	Shards int
 	// Node customizes per-node kernel configuration; nil uses defaults.
 	Node func(i int) kernel.Config
 	// Net configures the interconnect; zero value uses defaults.
@@ -35,10 +44,12 @@ type Config struct {
 
 // Cluster is the running machine.
 type Cluster struct {
-	E     *sim.Engine
-	Nodes []*kernel.Node
-	Net   *ethernet.Net
-	PVM   *pvm.System
+	Shards *sim.Shards
+	Nodes  []*kernel.Node
+	Net    *ethernet.Net
+	PVM    *pvm.System
+
+	shardOf []int // node index -> shard index
 }
 
 // New builds and boots the cluster, returning after every node's init has
@@ -53,23 +64,38 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.BootTimeout == 0 {
 		cfg.BootTimeout = 10 * sim.Minute
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
 	netParams := cfg.Net
 	if netParams.Rails == 0 {
 		netParams = ethernet.DefaultParams()
 	}
-	e := sim.NewEngine(cfg.Seed)
-	c := &Cluster{E: e}
-	c.Net = ethernet.New(e, netParams)
-	c.PVM = pvm.New(e, c.Net)
+	c := &Cluster{
+		Shards:  sim.NewShards(shards, netParams.Latency),
+		shardOf: make([]int, cfg.Nodes),
+	}
+	// Contiguous blocks: node i lives on shard i*shards/nodes, so shard
+	// membership is a pure function of (nodes, shards).
+	for i := 0; i < cfg.Nodes; i++ {
+		c.shardOf[i] = i * shards / cfg.Nodes
+	}
+	c.Net = ethernet.NewSharded(c.Shards, netParams)
+	c.PVM = pvm.NewDistributed(c.EngineOf, c.Net)
 	for i := 0; i < cfg.Nodes; i++ {
 		kcfg := kernel.DefaultConfig(uint8(i))
 		if cfg.Node != nil {
 			kcfg = cfg.Node(i)
 			kcfg.NodeID = uint8(i)
 		}
-		c.Nodes = append(c.Nodes, kernel.NewNode(e, kcfg).Boot())
+		kcfg.Seed = cfg.Seed
+		c.Nodes = append(c.Nodes, kernel.NewNode(c.EngineOf(i), kcfg).Boot())
 	}
-	deadline := e.Now().Add(cfg.BootTimeout)
+	deadline := c.Now().Add(cfg.BootTimeout)
 	for {
 		booted := true
 		for _, n := range c.Nodes {
@@ -81,10 +107,10 @@ func New(cfg Config) (*Cluster, error) {
 		if booted {
 			break
 		}
-		if e.Now() >= deadline {
+		if c.Now() >= deadline {
 			return nil, fmt.Errorf("cluster: boot incomplete after %v", cfg.BootTimeout)
 		}
-		e.Run(e.Now().Add(sim.Second))
+		c.RunFor(sim.Second)
 	}
 	for _, n := range c.Nodes {
 		if err := n.Booted().Err(); err != nil {
@@ -94,26 +120,63 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Close releases the engine (kills daemon goroutines).
-func (c *Cluster) Close() { c.E.Close() }
+// Close releases the engines (kills daemon goroutines).
+func (c *Cluster) Close() { c.Shards.Close() }
+
+// Now reports the cluster-wide virtual time.
+func (c *Cluster) Now() sim.Time { return c.Shards.Now() }
+
+// Run advances virtual time to the given instant on every shard.
+func (c *Cluster) Run(until sim.Time) { c.Shards.Run(until) }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d sim.Duration) { c.Shards.Run(c.Now().Add(d)) }
+
+// EngineOf returns the engine node i runs on.
+func (c *Cluster) EngineOf(node int) *sim.Engine {
+	return c.Shards.Engine(c.shardOf[node])
+}
+
+// ShardOf reports which shard a node lives on.
+func (c *Cluster) ShardOf(node int) int { return c.shardOf[node] }
+
+// SpawnOn starts a coroutine on node i's engine. Coordinator context only
+// (between Run windows).
+func (c *Cluster) SpawnOn(node int, name string, fn func(*sim.Proc)) *sim.Proc {
+	return c.EngineOf(node).Spawn(name, fn)
+}
 
 // Install writes a program image onto every node, waiting for completion.
+// Each install runs on its node's own engine; completion flags are per-node
+// slots, written by the owning shard and read only between windows.
 func (c *Cluster) Install(prog *kernel.Program) error {
 	errs := make([]error, len(c.Nodes))
-	done := 0
+	done := make([]bool, len(c.Nodes))
 	for i, n := range c.Nodes {
 		i, n := i, n
-		c.E.Spawn(fmt.Sprintf("install%d", i), func(p *sim.Proc) {
+		c.SpawnOn(i, fmt.Sprintf("install%d", i), func(p *sim.Proc) {
 			errs[i] = n.InstallImage(p, prog)
-			done++
+			done[i] = true
 		})
 	}
-	deadline := c.E.Now().Add(30 * sim.Minute)
-	for done < len(c.Nodes) && c.E.Now() < deadline {
-		c.E.Run(c.E.Now().Add(sim.Second))
+	deadline := c.Now().Add(30 * sim.Minute)
+	for c.Now() < deadline {
+		all := true
+		for _, d := range done {
+			if !d {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		c.RunFor(sim.Second)
 	}
-	if done < len(c.Nodes) {
-		return fmt.Errorf("cluster: install of %s timed out", prog.Name)
+	for _, d := range done {
+		if !d {
+			return fmt.Errorf("cluster: install of %s timed out", prog.Name)
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -146,12 +209,14 @@ func (c *Cluster) StartTracing() {
 }
 
 // AppEvents returns every node's application-level I/O events, merged.
+// Per-node event sequences are shard-invariant and the input order (node
+// major, generation order minor) is fixed, so the sorted merge is too.
 func (c *Cluster) AppEvents() []vfs.IOEvent {
 	var out []vfs.IOEvent
 	for _, n := range c.Nodes {
 		out = append(out, n.AppIO.Events...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
 }
 
@@ -176,14 +241,14 @@ func (c *Cluster) SetObsLevel(l obs.Level) obs.Level {
 }
 
 // ObsSnapshot merges every node's metric registry into one cluster-wide
-// snapshot and adds the shared simulation engine's scheduler metrics
-// (events dispatched, event-queue high-water). Node registries being
-// per-node and the merge exact, the result is deterministic for a given
-// seed and workload.
+// snapshot and adds the simulation's scheduler metrics (events dispatched
+// summed over shards, barrier-sampled queue high-water). Node registries
+// being per-node and both scheduler metrics shard-invariant, the result is
+// byte-identical for a given seed and workload at any shard count.
 func (c *Cluster) ObsSnapshot() *obs.Snapshot {
 	eng := obs.New(obs.Counters)
-	eng.Counter("sim/events_fired").Add(c.E.EventsFired())
-	eng.Gauge("sim/queue_high_water").Set(int64(c.E.QueueHighWater()))
+	eng.Counter("sim/events_fired").Add(c.Shards.EventsFired())
+	eng.Gauge("sim/queue_high_water").Set(int64(c.Shards.QueueHighWater()))
 	s := eng.Snapshot()
 	for _, n := range c.Nodes {
 		s.Merge(n.Obs.Snapshot())
@@ -219,7 +284,7 @@ func (c *Cluster) Launch(prog *kernel.Program) []*kernel.Process {
 // WaitAll advances virtual time until every process exits or the deadline
 // passes, returning the completion time and whether all finished.
 func (c *Cluster) WaitAll(procs []*kernel.Process, deadline sim.Duration) (sim.Time, bool) {
-	limit := c.E.Now().Add(deadline)
+	limit := c.Now().Add(deadline)
 	for {
 		alive := false
 		for _, pr := range procs {
@@ -229,12 +294,12 @@ func (c *Cluster) WaitAll(procs []*kernel.Process, deadline sim.Duration) (sim.T
 			}
 		}
 		if !alive {
-			return c.E.Now(), true
+			return c.Now(), true
 		}
-		if c.E.Now() >= limit {
-			return c.E.Now(), false
+		if c.Now() >= limit {
+			return c.Now(), false
 		}
-		c.E.Run(c.E.Now().Add(sim.Second))
+		c.RunFor(sim.Second)
 	}
 }
 

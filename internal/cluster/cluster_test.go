@@ -69,7 +69,7 @@ func TestInstallAndLaunchEverywhere(t *testing.T) {
 func TestTracingControlAndMerge(t *testing.T) {
 	c := smallCluster(t)
 	c.StartTracing()
-	c.E.Run(c.E.Now().Add(2 * sim.Minute))
+	c.RunFor(2 * sim.Minute)
 	c.StopTracing()
 	traces := c.Traces()
 	nonEmpty := 0
@@ -107,13 +107,13 @@ func TestTracingControlAndMerge(t *testing.T) {
 func TestStopTracingStopsRecords(t *testing.T) {
 	c := smallCluster(t)
 	c.StartTracing()
-	c.E.Run(c.E.Now().Add(time1))
+	c.RunFor(time1)
 	c.StopTracing()
 	counts := make([]int, len(c.Nodes))
 	for i, tr := range c.Traces() {
 		counts[i] = len(tr)
 	}
-	c.E.Run(c.E.Now().Add(2 * sim.Minute))
+	c.RunFor(2 * sim.Minute)
 	for i, tr := range c.Traces() {
 		if len(tr) != counts[i] {
 			t.Fatalf("node %d traced %d records after StopTracing (was %d)", i, len(tr), counts[i])
@@ -131,7 +131,7 @@ func TestDeterministicClusterTraces(t *testing.T) {
 		}
 		defer c.Close()
 		c.StartTracing()
-		c.E.Run(c.E.Now().Add(3 * sim.Minute))
+		c.RunFor(3 * sim.Minute)
 		c.StopTracing()
 		return c.MergedTrace()
 	}
@@ -164,7 +164,7 @@ func TestNodesShapeIndependently(t *testing.T) {
 	}
 	defer c.Close()
 	c.StartTracing()
-	c.E.Run(c.E.Now().Add(5 * sim.Minute))
+	c.RunFor(5 * sim.Minute)
 	for _, r := range c.Nodes[1].Trace() {
 		if r.Origin == trace.OriginTrace {
 			t.Fatal("node 1 traced self-traffic despite DisableSelfTrace")

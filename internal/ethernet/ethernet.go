@@ -8,6 +8,7 @@ package ethernet
 
 import (
 	"fmt"
+	"sort"
 
 	"essio/internal/sim"
 )
@@ -37,20 +38,56 @@ type Stats struct {
 	Frames   uint64
 }
 
-// Net is the shared cluster network.
-type Net struct {
-	e     *sim.Engine
-	p     Params
-	rails []sim.Time // per-rail busy-until
-	stats Stats
+// txReq is a message staged by Transmit during a window, carrying the
+// sender's (time, node, sequence) stamp so the barrier can serialize the
+// shared rails in a shard-count-invariant order.
+type txReq struct {
+	at      sim.Time
+	node    int
+	seq     uint64
+	bytes   int
+	dst     *sim.Engine
+	deliver func()
 }
 
-// New builds a network on engine e.
+// Net is the shared cluster network. It exists in one of two modes: inline
+// (New), where Send reserves rail time at the instant of the call on a
+// single engine, and sharded (NewSharded), where Transmit stages requests
+// per shard and the rail model runs single-threaded at each window barrier
+// — the rails are the one piece of state every node shares, so they are
+// modeled as a sim.BarrierService.
+type Net struct {
+	e      *sim.Engine // inline mode (nil when sharded)
+	sh     *sim.Shards // sharded mode (nil when inline)
+	p      Params
+	rails  []sim.Time // per-rail busy-until
+	staged [][]txReq  // sharded mode: per-shard request staging
+	batch  []txReq    // sharded mode: barrier scratch buffer
+	stats  Stats
+}
+
+// New builds an inline network on engine e.
 func New(e *sim.Engine, p Params) *Net {
 	if p.Rails <= 0 || p.Bandwidth <= 0 || p.FrameSize <= 0 {
 		panic("ethernet: invalid parameters")
 	}
 	return &Net{e: e, p: p, rails: make([]sim.Time, p.Rails)}
+}
+
+// NewSharded builds a network spanning a Shards group and registers it as
+// a barrier service. The propagation latency must cover the group's
+// lookahead, or deliveries could land inside a window some shard already
+// ran past.
+func NewSharded(sh *sim.Shards, p Params) *Net {
+	if p.Rails <= 0 || p.Bandwidth <= 0 || p.FrameSize <= 0 {
+		panic("ethernet: invalid parameters")
+	}
+	if p.Latency < sh.Lookahead() {
+		panic("ethernet: latency below the shard lookahead window")
+	}
+	n := &Net{sh: sh, p: p, rails: make([]sim.Time, p.Rails), staged: make([][]txReq, sh.Size())}
+	sh.AddService(n)
+	return n
 }
 
 // Stats returns a copy of the counters.
@@ -63,9 +100,22 @@ func (n *Net) Params() Params { return n.p }
 // deliver (engine context) when the last frame arrives. The sender is not
 // blocked; PVM buffers sends. Returns the delivery time.
 func (n *Net) Send(bytes int, deliver func()) (sim.Time, error) {
+	if n.sh != nil {
+		panic("ethernet: Send on a sharded net; use Transmit")
+	}
 	if bytes < 0 {
 		return 0, fmt.Errorf("ethernet: negative message size %d", bytes)
 	}
+	arrive := n.reserve(n.e.Now(), bytes)
+	n.e.At(arrive, deliver)
+	return arrive, nil
+}
+
+// reserve runs the shared-rail model for one message sent at the given
+// time: pick the rail freeing first, serialize the frames, and return the
+// delivery time. Inline Send and the sharded barrier share this path so
+// both modes compute identical timings.
+func (n *Net) reserve(sendAt sim.Time, bytes int) sim.Time {
 	if bytes == 0 {
 		bytes = 1
 	}
@@ -78,8 +128,8 @@ func (n *Net) Send(bytes int, deliver func()) (sim.Time, error) {
 		}
 	}
 	start := n.rails[best]
-	if now := n.e.Now(); start < now {
-		start = now
+	if start < sendAt {
+		start = sendAt
 	}
 	// Frame overhead: preamble+header+gap ~ 38 bytes per frame.
 	wire := bytes + frames*38
@@ -89,6 +139,61 @@ func (n *Net) Send(bytes int, deliver func()) (sim.Time, error) {
 	n.stats.Messages++
 	n.stats.Bytes += uint64(bytes)
 	n.stats.Frames += uint64(frames)
-	n.e.At(arrive, deliver)
-	return arrive, nil
+	return arrive
+}
+
+// Transmit schedules delivery of a message from a node on engine src to an
+// endpoint on engine dst. In sharded mode the request is staged in the
+// sender shard's buffer and the rail model runs at the next barrier, so
+// the delivery time is not known at call time; inline mode degenerates to
+// Send. The sender is never blocked.
+func (n *Net) Transmit(src *sim.Engine, node int, dst *sim.Engine, bytes int, deliver func()) error {
+	if bytes < 0 {
+		return fmt.Errorf("ethernet: negative message size %d", bytes)
+	}
+	if n.sh == nil {
+		_, err := n.Send(bytes, deliver)
+		return err
+	}
+	shard := src.Shard()
+	n.staged[shard] = append(n.staged[shard], txReq{
+		at: src.Now(), node: node, seq: src.Stamp(),
+		bytes: bytes, dst: dst, deliver: deliver,
+	})
+	return nil
+}
+
+// Window implements sim.BarrierService: it serializes every request staged
+// during the window onto the shared rails in (time, node, sequence) order
+// — a total order independent of the shard layout — and injects the
+// deliveries.
+func (n *Net) Window(end sim.Time) {
+	n.batch = n.batch[:0]
+	for i := range n.staged {
+		n.batch = append(n.batch, n.staged[i]...)
+		for j := range n.staged[i] {
+			n.staged[i][j].deliver = nil
+		}
+		n.staged[i] = n.staged[i][:0]
+	}
+	if len(n.batch) == 0 {
+		return
+	}
+	sort.Slice(n.batch, func(i, j int) bool {
+		a, b := n.batch[i], n.batch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.seq < b.seq
+	})
+	for _, r := range n.batch {
+		arrive := n.reserve(r.at, r.bytes)
+		n.sh.Inject(r.dst, arrive, r.node, r.seq, r.deliver)
+	}
+	for i := range n.batch {
+		n.batch[i].deliver = nil
+	}
 }

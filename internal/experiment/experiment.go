@@ -41,6 +41,10 @@ type Config struct {
 	Kind  Kind
 	Nodes int   // default 16
 	Seed  int64 // default 1
+	// Shards spreads the simulated nodes over that many parallel engines
+	// (conservative lookahead sync); 0/1 is the sequential schedule.
+	// Results are byte-identical at every setting.
+	Shards int
 
 	// BaselineDuration is how long the no-load experiment observes the
 	// system (the paper used 2000 s).
@@ -155,7 +159,7 @@ func Run(cfg Config) (*Result, error) {
 			return kcfg
 		}
 	}
-	c, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Seed: cfg.Seed, Node: nodeCfg})
+	c, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Seed: cfg.Seed, Shards: cfg.Shards, Node: nodeCfg})
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", cfg.Kind, err)
 	}
@@ -169,23 +173,23 @@ func Run(cfg Config) (*Result, error) {
 	case Baseline:
 	case PPM:
 		pr := cfg.PPM
-		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		progs = append(progs, ppm.Program(pr))
 	case Wavelet:
 		pr := cfg.Wavelet
-		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		progs = append(progs, wavelet.Program(pr))
 	case NBody:
 		pr := cfg.NBody
-		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		pr.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		progs = append(progs, nbody.Program(pr))
 	case Combined:
 		pp := cfg.PPM
-		pp.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		pp.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		wp := cfg.Wavelet
-		wp.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		wp.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		np := cfg.NBody
-		np.Team = apps.NewTeam(c.PVM, cfg.Nodes, c.E)
+		np.Team = apps.NewTeam(c.PVM, cfg.Nodes)
 		progs = append(progs, ppm.Program(pp), wavelet.Program(wp), nbody.Program(np))
 	default:
 		return nil, fmt.Errorf("experiment: unknown kind %q", cfg.Kind)
@@ -199,23 +203,33 @@ func Run(cfg Config) (*Result, error) {
 	// simulation codes).
 	needsImage := cfg.Kind == Wavelet || cfg.Kind == Combined
 	if needsImage {
-		done := 0
-		var installErr error
-		for _, n := range c.Nodes {
-			n := n
+		done := make([]bool, len(c.Nodes))
+		errs := make([]error, len(c.Nodes))
+		for i, n := range c.Nodes {
+			i, n := i, n
 			wcfg := cfg.Wavelet
-			c.E.Spawn("install-image", func(p *sim.Proc) {
-				if err := wavelet.InstallInputs(p, n, wcfg); err != nil && installErr == nil {
-					installErr = err
-				}
-				done++
+			c.SpawnOn(i, "install-image", func(p *sim.Proc) {
+				errs[i] = wavelet.InstallInputs(p, n, wcfg)
+				done[i] = true
 			})
 		}
-		for done < len(c.Nodes) {
-			c.E.Run(c.E.Now().Add(sim.Second))
+		for {
+			all := true
+			for _, d := range done {
+				if !d {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			c.RunFor(sim.Second)
 		}
-		if installErr != nil {
-			return nil, installErr
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, prog := range progs {
@@ -228,10 +242,10 @@ func Run(cfg Config) (*Result, error) {
 		c.DropCaches()
 	}
 	c.StartTracing()
-	res.Start = c.E.Now()
+	res.Start = c.Now()
 
 	if cfg.Kind == Baseline {
-		c.E.Run(res.Start.Add(cfg.BaselineDuration))
+		c.Run(res.Start.Add(cfg.BaselineDuration))
 		res.Finished = true
 	} else {
 		var procs []*kernel.Process
@@ -245,11 +259,11 @@ func Run(cfg Config) (*Result, error) {
 				res.AppErrors = append(res.AppErrors, err)
 			}
 		}
-		c.E.Run(c.E.Now().Add(cfg.Tail))
+		c.RunFor(cfg.Tail)
 	}
 
 	c.StopTracing()
-	res.End = c.E.Now()
+	res.End = c.Now()
 	res.Duration = res.End.Sub(res.Start)
 	res.PerNode = c.Traces()
 	res.Merged = trace.Merge(res.PerNode...)
@@ -269,7 +283,7 @@ func Run(cfg Config) (*Result, error) {
 // by up to a second past the experiment's end.
 func readProcMetrics(c *cluster.Cluster) string {
 	var text string
-	c.E.Spawn("readmetrics", func(p *sim.Proc) {
+	c.SpawnOn(0, "readmetrics", func(p *sim.Proc) {
 		f, err := c.Nodes[0].Proc.Open("metrics")
 		if err != nil {
 			return
@@ -281,7 +295,7 @@ func readProcMetrics(c *cluster.Cluster) string {
 		}
 		text = string(buf[:n])
 	})
-	c.E.Run(c.E.Now().Add(sim.Second))
+	c.RunFor(sim.Second)
 	return text
 }
 

@@ -71,7 +71,7 @@ func TestPPMWritesResultsFile(t *testing.T) {
 	}
 	defer c.Close()
 	pr := SmallConfig(PPM, 2).PPM
-	pr.Team = apps.NewTeam(c.PVM, 2, c.E)
+	pr.Team = apps.NewTeam(c.PVM, 2)
 	prog := ppm.Program(pr)
 	if err := c.Install(prog); err != nil {
 		t.Fatal(err)
@@ -81,7 +81,8 @@ func TestPPMWritesResultsFile(t *testing.T) {
 		t.Fatal("ppm did not finish")
 	}
 	checked := false
-	c.E.Spawn("check", func(p *sim.Proc) {
+	// Single-shard cluster: one engine may touch every node's FS.
+	c.SpawnOn(0, "check", func(p *sim.Proc) {
 		for _, n := range c.Nodes {
 			ino, err := n.FS.Lookup(p, pr.OutputPath)
 			if err != nil {
@@ -106,7 +107,7 @@ func TestPPMWritesResultsFile(t *testing.T) {
 		}
 		checked = true
 	})
-	c.E.Run(c.E.Now().Add(time1))
+	c.RunFor(time1)
 	if !checked {
 		t.Fatal("output check never ran")
 	}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// shardCounts returns the shard counts the equality tests compare:
+// sequential, two, and one per CPU, deduplicated.
+func shardCounts() []int {
+	counts := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestShardedRunsByteIdentical is the sharding refactor's acceptance
+// gate: every experiment must produce byte-identical results — trace
+// records, application events, metric snapshot bytes, procfs text, and
+// timing — at every shard count. Short mode covers the baseline and PPM;
+// the full run covers all five experiments.
+func TestShardedRunsByteIdentical(t *testing.T) {
+	kinds := Kinds
+	if testing.Short() {
+		kinds = []Kind{Baseline, PPM}
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			var base *Result
+			var baseObs []byte
+			for _, shards := range shardCounts() {
+				cfg := SmallConfig(kind, 4)
+				cfg.Shards = shards
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				obsJSON, err := res.Obs.JSON()
+				if err != nil {
+					t.Fatalf("shards=%d: snapshot: %v", shards, err)
+				}
+				if shards == 1 {
+					base, baseObs = res, obsJSON
+					continue
+				}
+				if res.Start != base.Start || res.End != base.End || res.Duration != base.Duration {
+					t.Errorf("shards=%d timing (%v,%v) diverges from sequential (%v,%v)",
+						shards, res.Start, res.End, base.Start, base.End)
+				}
+				if res.Finished != base.Finished {
+					t.Errorf("shards=%d Finished=%v, sequential %v", shards, res.Finished, base.Finished)
+				}
+				if !reflect.DeepEqual(res.PerNode, base.PerNode) {
+					t.Errorf("shards=%d per-node traces diverge from sequential run", shards)
+				}
+				if !reflect.DeepEqual(res.Merged, base.Merged) {
+					t.Errorf("shards=%d merged trace diverges from sequential run", shards)
+				}
+				if !reflect.DeepEqual(res.AppEvents, base.AppEvents) {
+					t.Errorf("shards=%d application events diverge from sequential run", shards)
+				}
+				if !bytes.Equal(obsJSON, baseObs) {
+					t.Errorf("shards=%d metric snapshot bytes diverge from sequential run", shards)
+				}
+				if res.ProcMetrics != base.ProcMetrics {
+					t.Errorf("shards=%d procfs metrics text diverges from sequential run", shards)
+				}
+			}
+		})
+	}
+}

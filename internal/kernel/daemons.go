@@ -16,8 +16,9 @@ import (
 func (n *Node) startDaemons() {
 	name := func(d string) string { return fmt.Sprintf("node%d/%s", n.Cfg.NodeID, d) }
 
-	// update: flush aged dirty buffers. Engine-context periodic task.
-	n.E.Every(n.Cfg.UpdateInterval, func() {
+	// update: flush aged dirty buffers. Engine-context periodic task; the
+	// ticker is retained so shutdown can stop the recurring closure.
+	n.update = n.E.Every(n.Cfg.UpdateInterval, func() {
 		n.BC.WritebackAll(trace.OriginMeta)
 	})
 
@@ -31,7 +32,7 @@ func (n *Node) startDaemons() {
 		t.SetOrigin(fd, trace.OriginLog)
 		seq := 0
 		for {
-			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.SyslogInterval) / 2))
+			jitter := sim.Duration(n.rng.Int63n(int64(n.Cfg.SyslogInterval) / 2))
 			p.Sleep(n.Cfg.SyslogInterval/2 + jitter)
 			seq++
 			line := fmt.Sprintf("%10.3f node%d syslogd[12]: periodic status report seq=%d load ok\n",
@@ -52,7 +53,7 @@ func (n *Node) startDaemons() {
 		t.SetOrigin(fd, trace.OriginLog)
 		seq := 0
 		for {
-			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.KlogInterval) / 2))
+			jitter := sim.Duration(n.rng.Int63n(int64(n.Cfg.KlogInterval) / 2))
 			p.Sleep(n.Cfg.KlogInterval/2 + jitter)
 			seq++
 			line := fmt.Sprintf("%10.3f kernel: scsi/ide heartbeat %d buffers ok\n",
@@ -74,7 +75,7 @@ func (n *Node) startDaemons() {
 		t.SetOrigin(fd, trace.OriginLog)
 		rec := make([]byte, 384)
 		for {
-			jitter := sim.Duration(n.E.Rand().Int63n(int64(n.Cfg.UtmpInterval) / 2))
+			jitter := sim.Duration(n.rng.Int63n(int64(n.Cfg.UtmpInterval) / 2))
 			p.Sleep(n.Cfg.UtmpInterval/2 + jitter)
 			copy(rec, fmt.Sprintf("utmp@%f", p.Now().Seconds()))
 			if _, err := t.Lseek(p, fd, 0, vfs.SeekSet); err != nil {

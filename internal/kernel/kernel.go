@@ -18,6 +18,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/rand"
 
 	"essio/internal/blockio"
 	"essio/internal/buffercache"
@@ -36,6 +37,12 @@ import (
 // defaults from DefaultConfig.
 type Config struct {
 	NodeID uint8
+
+	// Seed parameterizes the node's private random stream (daemon jitter).
+	// The cluster passes its experiment seed through; the stream itself is
+	// derived from (Seed, NodeID), so every node draws independently and
+	// identically at any shard layout.
+	Seed int64
 
 	// Hardware.
 	MemoryBytes int     // total RAM (default 16 MB)
@@ -169,7 +176,18 @@ type Node struct {
 	nprocs        int
 	exitedWQ      *sim.WaitQueue
 	framesPending int // user frame count, carried from NewNode to Boot
+	// rng is the node-private random stream (daemon jitter). Seeded from
+	// (Config.Seed, NodeID) rather than taken from the engine, so the
+	// draw order is a node-local matter and shard layout cannot change it.
+	rng *rand.Rand
+	// update is the dirty-buffer flush ticker, retained so Close-time
+	// accounting (and ablations) can stop the recurring closure instead of
+	// leaking it into a long-running engine.
+	update *sim.Ticker
 }
+
+// Rand returns the node's private deterministic random stream.
+func (n *Node) Rand() *rand.Rand { return n.rng }
 
 // NewNode wires a node's hardware and kernel structures onto engine e. Call
 // Boot to format the disk and start the daemons.
@@ -227,6 +245,9 @@ func NewNode(e *sim.Engine, cfg Config) *Node {
 	}
 
 	n := &Node{E: e, Cfg: cfg}
+	// Golden-ratio mixing keeps per-node streams distinct while remaining
+	// a pure function of (seed, node).
+	n.rng = rand.New(rand.NewSource(int64(uint64(cfg.Seed) ^ (uint64(cfg.NodeID)+1)*0x9E3779B97F4A7C15)))
 	n.Disk = disk.New(e, cfg.Disk)
 	var qopts []blockio.Option
 	if cfg.MaxRequestSectors < 0 {

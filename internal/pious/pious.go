@@ -63,11 +63,9 @@ type Server struct {
 
 // System is the parallel file service: one data server per node.
 type System struct {
-	e          *sim.Engine
 	pv         *pvm.System
 	servers    []*Server
 	stripeUnit int
-	nextFileID int
 }
 
 // Option configures the system.
@@ -79,10 +77,12 @@ func WithStripeUnit(bytes int) Option {
 }
 
 // New starts data servers over the given per-node filesystems. Each server
-// enrolls as a PVM task on its node and serves requests until the engine
-// stops. The segment directory /pious must be creatable on every node.
-func New(e *sim.Engine, pv *pvm.System, nodeFS []*extfs.FS, opts ...Option) *System {
-	s := &System{e: e, pv: pv, stripeUnit: DefaultStripeUnit, nextFileID: 1}
+// enrolls as a PVM task on its node and serves requests on its node's own
+// engine until the engine stops, so servers stay shard-local. Call from
+// setup context. The segment directory /pious must be creatable on every
+// node.
+func New(pv *pvm.System, nodeFS []*extfs.FS, opts ...Option) *System {
+	s := &System{pv: pv, stripeUnit: DefaultStripeUnit}
 	for _, o := range opts {
 		o(s)
 	}
@@ -97,7 +97,7 @@ func New(e *sim.Engine, pv *pvm.System, nodeFS []*extfs.FS, opts ...Option) *Sys
 			files: make(map[int]int),
 		}
 		s.servers = append(s.servers, srv)
-		e.Spawn(fmt.Sprintf("pious/pds%d", node), srv.serve)
+		srv.task.Engine().Spawn(fmt.Sprintf("pious/pds%d", node), srv.serve)
 	}
 	return s
 }
@@ -187,10 +187,12 @@ type File struct {
 	pos  int64
 }
 
-// Open opens (or creates) a parallel file from client task t.
+// Open opens (or creates) a parallel file from client task t. The file ID
+// is drawn from the client task's own sequence (unique system-wide via the
+// task identifier), not a shared counter, so clients on different shards
+// never touch common state.
 func (s *System) Open(p *sim.Proc, t *pvm.Task, name string, create bool) (*File, error) {
-	f := &File{sys: s, id: s.nextFileID, name: name}
-	s.nextFileID++
+	f := &File{sys: s, id: t.NextID(), name: name}
 	for _, srv := range s.servers {
 		req := request{kind: reqOpen, name: name, create: create, fileID: f.id}
 		if err := s.pv.Send(t, srv.task.TID(), tagRequest, 64+len(name), req); err != nil {

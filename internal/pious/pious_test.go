@@ -22,9 +22,9 @@ func newRig(t *testing.T, nodes int, opts ...Option) *rig {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	sys := New(c.E, c.PVM, c.NodeFS(), opts...)
+	sys := New(c.PVM, c.NodeFS(), opts...)
 	// Let the servers create their /pious directories.
-	c.E.Run(c.E.Now().Add(sim.Second))
+	c.RunFor(sim.Second)
 	return &rig{c: c, sys: sys}
 }
 
@@ -34,13 +34,13 @@ func (r *rig) runClient(t *testing.T, fn func(p *sim.Proc, task *pvm.Task)) {
 	t.Helper()
 	done := false
 	task := r.c.PVM.Enroll(0)
-	r.c.E.Spawn("client", func(p *sim.Proc) {
+	r.c.SpawnOn(0, "client", func(p *sim.Proc) {
 		fn(p, task)
 		done = true
 	})
-	deadline := r.c.E.Now().Add(10 * sim.Minute)
-	for !done && r.c.E.Now() < deadline {
-		r.c.E.Run(r.c.E.Now().Add(sim.Second))
+	deadline := r.c.Now().Add(10 * sim.Minute)
+	for !done && r.c.Now() < deadline {
+		r.c.RunFor(sim.Second)
 	}
 	if !done {
 		t.Fatal("client did not finish")
@@ -89,7 +89,7 @@ func TestDeclusteringSpreadsAcrossNodes(t *testing.T) {
 		}
 	})
 	// Wait for write-back so the traffic reaches the disks.
-	r.c.E.Run(r.c.E.Now().Add(time30))
+	r.c.RunFor(time30)
 	r.c.StopTracing()
 	nodesWithData := 0
 	for _, tr := range r.c.Traces() {
@@ -243,7 +243,7 @@ func TestStopShutsDownServers(t *testing.T) {
 	})
 	// After Stop the server goroutines exit; the engine drains without
 	// further PIOUS activity.
-	r.c.E.Run(r.c.E.Now().Add(10 * sim.Second))
+	r.c.RunFor(10 * sim.Second)
 }
 
 func TestWriteAtOffsetPreservesOtherStripes(t *testing.T) {

@@ -30,13 +30,19 @@ type Message struct {
 	Payload interface{}
 }
 
-// Task is one endpoint (one rank on one node).
+// Task is one endpoint (one rank on one node). A task's mailbox and wait
+// queue live on its node's engine and are only touched from that engine's
+// context (delivery closures and the task's own receives), which is what
+// lets tasks on different shards exchange messages without shared locks.
 type Task struct {
-	sys  *System
-	tid  TID
-	node int
-	mbox []Message
-	wq   *sim.WaitQueue
+	sys    *System
+	tid    TID
+	node   int
+	e      *sim.Engine
+	mbox   []Message
+	wq     *sim.WaitQueue
+	exited bool
+	idseq  int
 }
 
 // TID returns the task identifier.
@@ -45,40 +51,93 @@ func (t *Task) TID() TID { return t.tid }
 // Node returns the node index the task runs on.
 func (t *Task) Node() int { return t.node }
 
+// Engine returns the engine the task's node runs on.
+func (t *Task) Engine() *sim.Engine { return t.e }
+
+// NextID allocates a task-scoped identifier that is unique across the
+// system (the task identifier forms the high bits). Services built on PVM
+// (PIOUS file handles, for one) use it instead of a shared counter, which
+// would be a cross-shard data race.
+func (t *Task) NextID() int {
+	t.idseq++
+	return int(t.tid)<<16 | t.idseq
+}
+
 // System is the PVM daemon ensemble for a cluster.
 type System struct {
-	e     *sim.Engine
-	net   *ethernet.Net
-	tasks map[TID]*Task
-	next  TID
+	engineOf func(node int) *sim.Engine
+	net      *ethernet.Net
+	sharded  bool
+	tasks    map[TID]*Task
+	next     TID
 	// localCost is the per-message local delivery cost used when sender
 	// and receiver share a node (no wire traffic).
 	localCost sim.Duration
 }
 
-// New creates a PVM system over a network.
+// New creates a PVM system over an inline network, with every node on
+// engine e.
 func New(e *sim.Engine, net *ethernet.Net) *System {
-	return &System{e: e, net: net, tasks: make(map[TID]*Task), next: 1, localCost: 50 * sim.Microsecond}
+	return &System{
+		engineOf:  func(int) *sim.Engine { return e },
+		net:       net,
+		tasks:     make(map[TID]*Task),
+		next:      1,
+		localCost: 50 * sim.Microsecond,
+	}
 }
 
-// Enroll registers a new task on a node (pvm_mytid).
+// NewDistributed creates a PVM system whose nodes are spread over several
+// engines of one Shards group: engineOf maps a node index to its engine,
+// and remote transfers ride net.Transmit so rail reservations happen at
+// window barriers. Enroll must only be called from coordinator context
+// (between Shards.Run windows), never from a running process.
+func NewDistributed(engineOf func(node int) *sim.Engine, net *ethernet.Net) *System {
+	return &System{
+		engineOf:  engineOf,
+		net:       net,
+		sharded:   true,
+		tasks:     make(map[TID]*Task),
+		next:      1,
+		localCost: 50 * sim.Microsecond,
+	}
+}
+
+// Enroll registers a new task on a node (pvm_mytid). Coordinator/setup
+// context only in distributed systems: the task map is read without locks
+// from every shard during windows.
 func (s *System) Enroll(node int) *Task {
-	t := &Task{sys: s, tid: s.next, node: node, wq: sim.NewWaitQueue(s.e)}
+	e := s.engineOf(node)
+	t := &Task{sys: s, tid: s.next, node: node, e: e, wq: sim.NewWaitQueue(e)}
 	s.next++
 	s.tasks[t.tid] = t
 	return t
 }
 
-// Exit removes a task (pvm_exit).
+// Exit retires a task (pvm_exit): later deliveries to it are dropped. The
+// task map itself is append-only — the flag lives on the task and is only
+// touched from its own engine, so an exit on one shard never races a send
+// from another.
 func (s *System) Exit(t *Task) {
-	delete(s.tasks, t.tid)
+	t.exited = true
 }
 
-// Tasks reports the number of enrolled tasks.
-func (s *System) Tasks() int { return len(s.tasks) }
+// Tasks reports the number of live (enrolled, not exited) tasks.
+func (s *System) Tasks() int {
+	n := 0
+	for _, t := range s.tasks {
+		if !t.exited {
+			n++
+		}
+	}
+	return n
+}
 
 // Send transmits asynchronously (pvm_send): the payload is buffered and the
-// sender continues; delivery happens after the modeled network delay.
+// sender continues; delivery happens after the modeled network delay. The
+// delivery closure runs on the destination node's engine and checks the
+// exit flag there, so sends to just-exited tasks are dropped identically
+// at any shard count.
 func (s *System) Send(from *Task, to TID, tag int, bytes int, payload interface{}) error {
 	dst, ok := s.tasks[to]
 	if !ok {
@@ -86,15 +145,21 @@ func (s *System) Send(from *Task, to TID, tag int, bytes int, payload interface{
 	}
 	msg := Message{From: from.tid, Tag: tag, Bytes: bytes, Payload: payload}
 	deliver := func() {
+		if dst.exited {
+			return
+		}
 		dst.mbox = append(dst.mbox, msg)
 		dst.wq.WakeAll()
 	}
 	if dst.node == from.node {
-		s.e.After(s.localCost, deliver)
+		dst.e.After(s.localCost, deliver)
 		return nil
 	}
-	_, err := s.net.Send(bytes+64, deliver) // +64 for PVM header
-	return err
+	if !s.sharded {
+		_, err := s.net.Send(bytes+64, deliver) // +64 for PVM header
+		return err
+	}
+	return s.net.Transmit(from.e, from.node, dst.e, bytes+64, deliver)
 }
 
 // Mcast sends to several destinations (pvm_mcast).

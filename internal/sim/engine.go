@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -15,37 +14,101 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a typed 4-ary implicit heap ordered by (at, seq). A 4-ary
+// layout halves the tree depth of the binary form, and the typed methods
+// avoid the interface{} boxing of container/heap on the hot step() path
+// (the loser-tree merge in internal/trace is the precedent).
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
+// push appends ev and sifts it up.
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(s[c], s[best]) {
+				best = c
+			}
+		}
+		if !eventLess(s[best], s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// Ticker is the handle for a recurring event created with Every. Stopping
+// it prevents all future ticks; the engine keeps no reference to a stopped
+// ticker's closure past its final (skipped) firing.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels all future ticks. Safe to call more than once, from engine
+// or process context.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }
+
 // Engine is a discrete-event simulator. The zero value is not usable; create
-// engines with NewEngine.
+// engines with NewEngine (standalone) or NewShards (one engine per shard).
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	parked chan struct{} // process -> engine: "I have blocked"
-	cur    *Proc
-	procs  []*Proc
-	closed bool
-	rng    *rand.Rand
+	now     Time
+	seq     uint64
+	events  eventHeap
+	free    []*event      // recycled events, reused by schedule
+	parked  chan struct{} // process -> engine: "I have blocked"
+	cur     *Proc
+	procs   []*Proc
+	closed  bool
+	rng     *rand.Rand
+	tickers []*Ticker
+	// Sharded mode (nil owner means standalone).
+	owner  *Shards
+	shard  int
+	xseq   uint64 // per-engine stamp counter for cross-shard ordering
+	outbox []xmsg // cross-shard messages staged during the current window
 	// stats
 	fired   uint64
 	queueHW int // most events ever pending at once
@@ -65,23 +128,45 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random stream. It must only be
 // used from simulation context (process bodies and scheduled callbacks).
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Engines created by NewShards have no stream: randomness there must come
+// from explicitly seeded per-node sources so draw order cannot depend on
+// the shard layout.
+func (e *Engine) Rand() *rand.Rand {
+	if e.rng == nil {
+		panic("sim: Rand unavailable on a sharded engine; use a per-node seeded source")
+	}
+	return e.rng
+}
 
 // EventsFired reports how many events have executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // QueueHighWater reports the deepest the event queue has ever been — a
-// deterministic load signal the observability layer exports.
+// deterministic load signal the observability layer exports. Sharded runs
+// use Shards.QueueHighWater instead, which samples at barrier cuts so the
+// value is identical at any shard count.
 func (e *Engine) QueueHighWater() int { return e.queueHW }
+
+// Shard reports this engine's index within its Shards group (0 when
+// standalone).
+func (e *Engine) Shard() int { return e.shard }
 
 // schedule enqueues fn to run at time at (engine context).
 func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	if n := len(e.events); n > e.queueHW {
 		e.queueHW = n
 	}
@@ -96,17 +181,31 @@ func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
 func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
 
 // Every schedules fn to run in engine context every period, starting after
-// the first period elapses, until the engine stops.
-func (e *Engine) Every(period Duration, fn func()) {
+// the first period elapses, until the returned ticker is stopped or the
+// engine closes. The tick closure holds no event pointer, so a stopped
+// ticker's state is released after its next (skipped) firing.
+func (e *Engine) Every(period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
+	t := &Ticker{}
+	e.tickers = append(e.tickers, t)
 	var tick func()
 	tick = func() {
+		if t.stopped {
+			return
+		}
 		fn()
 		e.After(period, tick)
 	}
 	e.After(period, tick)
+	return t
+}
+
+// recycle returns an executed event to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // step pops and executes the earliest event. It reports false when no events
@@ -115,13 +214,16 @@ func (e *Engine) step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	if ev.fn == nil { // cancelled
+		e.free = append(e.free, ev)
 		return true
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -131,6 +233,9 @@ func (e *Engine) Run(until Time) {
 	if e.closed {
 		panic("sim: Run on closed engine")
 	}
+	if e.owner != nil {
+		panic("sim: Run on a sharded engine; drive the Shards coordinator instead")
+	}
 	for len(e.events) > 0 && e.events[0].at <= until {
 		e.step()
 	}
@@ -139,16 +244,38 @@ func (e *Engine) Run(until Time) {
 	}
 }
 
+// runWindow executes events strictly before the window cap. Called by the
+// Shards coordinator; the engine may be driven by a different OS goroutine
+// each window (the coordinator's join provides the happens-before edge).
+func (e *Engine) runWindow(limit Time) {
+	for len(e.events) > 0 && e.events[0].at < limit {
+		e.step()
+	}
+}
+
+// next reports the earliest pending event time and whether one exists.
+func (e *Engine) next() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // RunUntilIdle executes events until none remain.
 func (e *Engine) RunUntilIdle() {
 	if e.closed {
 		panic("sim: RunUntilIdle on closed engine")
 	}
+	if e.owner != nil {
+		panic("sim: RunUntilIdle on a sharded engine; drive the Shards coordinator instead")
+	}
 	for e.step() {
 	}
 }
 
-// Close terminates all parked processes so their goroutines exit. The engine
+// Close terminates all parked processes so their goroutines exit, stops
+// every ticker created with Every, and releases all pending events
+// (including the recurring tick closures Every keeps alive). The engine
 // must not be used afterwards. It is safe to call Close more than once.
 func (e *Engine) Close() {
 	if e.closed {
@@ -162,7 +289,13 @@ func (e *Engine) Close() {
 			<-e.parked
 		}
 	}
+	for _, t := range e.tickers {
+		t.stopped = true
+	}
+	e.tickers = nil
 	e.events = nil
+	e.free = nil
+	e.outbox = nil
 }
 
 // killedErr is the sentinel panic value used to unwind killed processes.
@@ -171,9 +304,10 @@ type killedErr struct{ name string }
 func (k killedErr) String() string { return "sim: process " + k.name + " killed" }
 
 // Proc is a simulated process. A Proc's body function runs on its own
-// goroutine but is strictly serialized with all other simulation activity:
-// it only runs while the engine has handed control to it, and hands control
-// back whenever it blocks (Sleep, Completion.Wait, WaitQueue.Sleep, Yield).
+// goroutine but is strictly serialized with all other simulation activity
+// on its engine: it only runs while the engine has handed control to it,
+// and hands control back whenever it blocks (Sleep, Completion.Wait,
+// WaitQueue.Sleep, Yield).
 type Proc struct {
 	e      *Engine
 	name   string
@@ -201,7 +335,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
 	e.procs = append(e.procs, p)
-	go func() {
+	go func() { //essvet:ignore determinism — engine-owned coroutine, serialized by park/resume
 		// The final park signal is deferred so that even abnormal
 		// goroutine exits (runtime.Goexit, e.g. t.Fatal in tests)
 		// release the engine instead of deadlocking it.

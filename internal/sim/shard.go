@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Shards runs several engines as one conservatively synchronized
+// simulation. Each engine owns a disjoint partition of the model (per-node
+// state in the cluster) and advances independently inside bounded time
+// windows; engines only interact at window barriers, where cross-shard
+// messages staged during the window are sorted into a total order and
+// injected into their target engines.
+//
+// The window discipline is classic conservative lookahead: every window is
+// [T, T+L) where T is the globally earliest pending event and L is the
+// lookahead — the minimum latency of any cross-shard interaction. A message
+// sent at time t inside the window is delivered no earlier than t+L ≥ T+L,
+// i.e. always in a strictly later window, so engines never see a message
+// for their past and no rollback is needed.
+//
+// Determinism is by construction, not by accident of goroutine timing:
+//   - Window boundaries depend only on virtual event times, which are
+//     identical at any shard count.
+//   - Cross-shard messages carry a (time, node, sequence) stamp; the
+//     barrier sorts all staged messages by that total order before
+//     injecting them, so target-engine scheduling order — and therefore
+//     firing order — is identical whether the senders shared one engine or
+//     ran on sixteen.
+//   - Within a window, concurrently running engines touch only their own
+//     partition; the barrier join is the single synchronization point.
+//
+// One shard degenerates to a sequential simulation that still runs the
+// same windowed algorithm, which is what makes shards=1 and shards=N
+// byte-identical.
+type Shards struct {
+	engines   []*Engine
+	lookahead Duration
+	services  []BarrierService
+	pending   []xmsg
+	now       Time
+	windowEnd Time
+	inBarrier bool
+	queueHW   int
+	closed    bool
+}
+
+// BarrierService is a shared-resource model that cannot run inside a
+// window (its state spans shards — the ethernet rails, for instance).
+// During a window, shards stage requests into service-private per-shard
+// buffers; at each barrier the coordinator calls Window, and the service
+// processes all staged requests in (time, node, sequence) order on the
+// coordinator goroutine, injecting any resulting deliveries via Inject.
+type BarrierService interface {
+	// Window processes requests staged during the window ending at end.
+	Window(end Time)
+}
+
+// xmsg is a cross-shard message: a callback to fire at time at on engine
+// to, stamped with the sender's (node, seq) for deterministic ordering.
+type xmsg struct {
+	to   *Engine
+	at   Time
+	node int
+	seq  uint64
+	fn   func()
+}
+
+// NewShards builds n engines coupled under the given lookahead (the
+// minimum cross-shard delivery latency, typically the interconnect's
+// propagation delay). Sharded engines have no Rand stream: randomness must
+// come from explicitly seeded per-node sources so draw order cannot depend
+// on the shard layout.
+func NewShards(n int, lookahead Duration) *Shards {
+	if n < 1 {
+		panic("sim: NewShards needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewShards needs positive lookahead")
+	}
+	s := &Shards{lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		s.engines = append(s.engines, &Engine{
+			parked: make(chan struct{}),
+			owner:  s,
+			shard:  i,
+		})
+	}
+	return s
+}
+
+// Size reports the number of shards.
+func (s *Shards) Size() int { return len(s.engines) }
+
+// Engine returns shard i's engine.
+func (s *Shards) Engine(i int) *Engine { return s.engines[i] }
+
+// Lookahead reports the window length.
+func (s *Shards) Lookahead() Duration { return s.lookahead }
+
+// Now reports the coordinator clock: the time the last Run advanced to.
+func (s *Shards) Now() Time { return s.now }
+
+// AddService registers a shared-resource model processed at each barrier.
+// Services run in registration order.
+func (s *Shards) AddService(svc BarrierService) { s.services = append(s.services, svc) }
+
+// EventsFired sums executed events across all engines. The global event
+// set is identical at any shard count, so this total is too.
+func (s *Shards) EventsFired() uint64 {
+	var n uint64
+	for _, e := range s.engines {
+		n += e.fired
+	}
+	return n
+}
+
+// QueueHighWater reports the most events pending across all engines as
+// sampled at barrier cuts. Barrier cuts fall at identical virtual times at
+// any shard count, so the value is shard-invariant (unlike the per-engine
+// exact high-water, which depends on how schedules interleave on a shared
+// engine).
+func (s *Shards) QueueHighWater() int { return s.queueHW }
+
+// Run advances all engines to until under the window discipline. Events
+// scheduled at until itself still execute, matching Engine.Run.
+func (s *Shards) Run(until Time) {
+	if s.closed {
+		panic("sim: Run on closed shards")
+	}
+	for {
+		start, ok := s.earliest()
+		if !ok || start > until {
+			break
+		}
+		end := start.Add(s.lookahead)
+		if end > until+1 {
+			end = until + 1
+		}
+		s.window(end)
+	}
+	for _, e := range s.engines {
+		if e.now < until {
+			e.now = until
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunUntilIdle advances windows until no engine has pending events.
+func (s *Shards) RunUntilIdle() {
+	if s.closed {
+		panic("sim: RunUntilIdle on closed shards")
+	}
+	for {
+		start, ok := s.earliest()
+		if !ok {
+			break
+		}
+		s.window(start.Add(s.lookahead))
+	}
+	for _, e := range s.engines {
+		if e.now > s.now {
+			s.now = e.now
+		}
+	}
+}
+
+// earliest reports the globally earliest pending event time.
+func (s *Shards) earliest() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range s.engines {
+		if at, ok := e.next(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// window runs every engine with work before end, in parallel when more
+// than one has any, then synchronizes at the barrier.
+func (s *Shards) window(end Time) {
+	var active []*Engine
+	for _, e := range s.engines {
+		if at, ok := e.next(); ok && at < end {
+			active = append(active, e)
+		}
+	}
+	switch len(active) {
+	case 0:
+	case 1:
+		active[0].runWindow(end)
+	default:
+		var wg sync.WaitGroup
+		for _, e := range active {
+			wg.Add(1)
+			go func(e *Engine) { //essvet:ignore determinism — barrier-joined window worker
+				defer wg.Done()
+				e.runWindow(end)
+			}(e)
+		}
+		wg.Wait()
+	}
+	s.barrier(end)
+}
+
+// barrier drains every engine's outbox, lets services process their staged
+// requests, then injects all resulting messages in (time, node, sequence)
+// order. Runs on the coordinator goroutine after the window join.
+func (s *Shards) barrier(end Time) {
+	s.windowEnd = end
+	s.inBarrier = true
+	for _, e := range s.engines {
+		if len(e.outbox) == 0 {
+			continue
+		}
+		s.pending = append(s.pending, e.outbox...)
+		for i := range e.outbox {
+			e.outbox[i].fn = nil
+		}
+		e.outbox = e.outbox[:0]
+	}
+	for _, svc := range s.services {
+		svc.Window(end)
+	}
+	// (at, node, seq) stamps are unique — same-node messages share a
+	// monotone per-engine counter, different nodes differ in node — so
+	// this order is total and identical at any shard count.
+	sort.Slice(s.pending, func(i, j int) bool {
+		a, b := s.pending[i], s.pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range s.pending {
+		m.to.schedule(m.at, m.fn)
+	}
+	for i := range s.pending {
+		s.pending[i].fn = nil
+	}
+	s.pending = s.pending[:0]
+	s.inBarrier = false
+	total := 0
+	for _, e := range s.engines {
+		total += len(e.events)
+	}
+	if total > s.queueHW {
+		s.queueHW = total
+	}
+}
+
+// Inject schedules a cross-shard delivery from a BarrierService.
+// Coordinator context only (inside Window). at must not precede the
+// current window's end, or a target engine could have already run past it.
+func (s *Shards) Inject(to *Engine, at Time, node int, seq uint64, fn func()) {
+	if !s.inBarrier {
+		panic("sim: Inject outside a barrier")
+	}
+	if at < s.windowEnd {
+		panic(fmt.Sprintf("sim: Inject at %v inside the window ending %v breaks lookahead", at, s.windowEnd))
+	}
+	s.pending = append(s.pending, xmsg{to: to, at: at, node: node, seq: seq, fn: fn})
+}
+
+// Close closes every engine (killing their processes, stopping tickers,
+// releasing events). Safe to call more than once.
+func (s *Shards) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, e := range s.engines {
+		e.Close()
+	}
+	s.pending = nil
+	s.services = nil
+}
+
+// Cross schedules fn at time at on engine to from shard context. node is
+// the sending node's index, the middle component of the deterministic
+// (time, node, sequence) delivery order. In sharded mode the message is
+// staged and injected at the next barrier — at must be at least the
+// lookahead past the sender's clock. On a standalone engine Cross is a
+// plain schedule (to must be the engine itself).
+func (e *Engine) Cross(to *Engine, node int, at Time, fn func()) {
+	if e.owner == nil {
+		if to != e {
+			panic("sim: Cross between unrelated engines")
+		}
+		e.schedule(at, fn)
+		return
+	}
+	if to.owner != e.owner {
+		panic("sim: Cross to an engine of a different Shards group")
+	}
+	if at < e.now.Add(e.owner.lookahead) {
+		panic(fmt.Sprintf("sim: Cross delivery at %v within lookahead of %v", at, e.now))
+	}
+	e.outbox = append(e.outbox, xmsg{to: to, at: at, node: node, seq: e.Stamp(), fn: fn})
+}
+
+// Stamp allocates the next cross-shard sequence number for work staged
+// from this engine. Cross uses it internally; BarrierServices use it to
+// give their staged requests the same per-node total order as Cross
+// messages (the counter is shared, so one node's sends and service
+// requests are mutually ordered).
+func (e *Engine) Stamp() uint64 {
+	n := e.xseq
+	e.xseq++
+	return n
+}

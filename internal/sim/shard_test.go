@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: want panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestShardsCrossOrdering(t *testing.T) {
+	s := NewShards(2, Millisecond)
+	defer s.Close()
+	e0, e1 := s.Engine(0), s.Engine(1)
+	var got []string
+	e0.At(Time(0), func() {
+		at := e0.Now().Add(Millisecond)
+		// Stamp order is n5, n2a, n2b; delivery order must follow
+		// (time, node, seq): node 2 first, then node 5.
+		e0.Cross(e1, 5, at, func() { got = append(got, "n5") })
+		e0.Cross(e1, 2, at, func() { got = append(got, "n2a") })
+		e0.Cross(e1, 2, at, func() { got = append(got, "n2b") })
+	})
+	s.RunUntilIdle()
+	if want := []string{"n2a", "n2b", "n5"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivery order %v, want %v", got, want)
+	}
+	if e1.Now() < Time(0).Add(Millisecond) {
+		t.Fatalf("receiver clock %v never reached delivery time", e1.Now())
+	}
+}
+
+// shardWorkload drives a fixed cross-communicating workload over nodes
+// logical nodes spread across s's engines and returns each node's event
+// log. The logs must be identical at any shard count.
+func shardWorkload(s *Shards, nodes int) ([][]Time, uint64) {
+	logs := make([][]Time, nodes)
+	n := s.Size()
+	for node := 0; node < nodes; node++ {
+		node := node
+		rcv := (node + 1) % nodes
+		e := s.Engine(node * n / nodes)
+		dst := s.Engine(rcv * n / nodes)
+		i := 0
+		var step func()
+		step = func() {
+			logs[node] = append(logs[node], e.Now())
+			i++
+			if i >= 20 {
+				return
+			}
+			e.After(Duration(node+1)*100*Microsecond, step)
+			// Cross-shard (or same-engine, depending on layout) message:
+			// the delivery appends to the receiving node's log, which its
+			// engine owns.
+			e.Cross(dst, node, e.Now().Add(Millisecond+Duration(i)*Microsecond), func() {
+				logs[rcv] = append(logs[rcv], dst.Now())
+			})
+		}
+		e.At(Time(0).Add(Duration(node)*Microsecond), step)
+	}
+	s.RunUntilIdle()
+	return logs, s.EventsFired()
+}
+
+func TestShardsMatchSingleShard(t *testing.T) {
+	const nodes = 4
+	base, baseFired := shardWorkload(NewShards(1, Millisecond), nodes)
+	for _, count := range []int{2, 4} {
+		s := NewShards(count, Millisecond)
+		logs, fired := shardWorkload(s, nodes)
+		if fired != baseFired {
+			t.Fatalf("shards=%d fired %d events, shards=1 fired %d", count, fired, baseFired)
+		}
+		if !reflect.DeepEqual(logs, base) {
+			t.Fatalf("shards=%d logs diverge from sequential run", count)
+		}
+		s.Close()
+	}
+}
+
+func TestShardsRunAdvancesClocks(t *testing.T) {
+	s := NewShards(3, Millisecond)
+	defer s.Close()
+	fired := false
+	s.Engine(1).At(Time(0).Add(Second), func() { fired = true })
+	until := Time(0).Add(2 * Second)
+	s.Run(until)
+	if !fired {
+		t.Fatal("event within horizon never fired")
+	}
+	if s.Now() != until {
+		t.Fatalf("Now = %v, want %v", s.Now(), until)
+	}
+	for i := 0; i < s.Size(); i++ {
+		if got := s.Engine(i).Now(); got != until {
+			t.Fatalf("shard %d clock %v, want %v", i, got, until)
+		}
+	}
+}
+
+func TestShardsGuards(t *testing.T) {
+	s := NewShards(2, Millisecond)
+	defer s.Close()
+	e := s.Engine(0)
+	mustPanic(t, "Run on sharded engine", func() { e.Run(Time(100)) })
+	mustPanic(t, "RunUntilIdle on sharded engine", func() { e.RunUntilIdle() })
+	mustPanic(t, "Rand on sharded engine", func() { e.Rand() })
+	mustPanic(t, "Cross within lookahead", func() {
+		e.Cross(s.Engine(1), 0, e.Now().Add(Microsecond), func() {})
+	})
+	other := NewShards(1, Millisecond)
+	defer other.Close()
+	mustPanic(t, "Cross between groups", func() {
+		e.Cross(other.Engine(0), 0, e.Now().Add(Second), func() {})
+	})
+	mustPanic(t, "Inject outside barrier", func() {
+		s.Inject(e, Time(0).Add(Second), 0, 0, func() {})
+	})
+	mustPanic(t, "zero shards", func() { NewShards(0, Millisecond) })
+	mustPanic(t, "zero lookahead", func() { NewShards(1, 0) })
+}
+
+func TestStandaloneCross(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	fired := false
+	e.Cross(e, 0, Time(0).Add(Second), func() { fired = true })
+	e.RunUntilIdle()
+	if !fired {
+		t.Fatal("standalone Cross never delivered")
+	}
+	e2 := NewEngine(2)
+	defer e2.Close()
+	mustPanic(t, "standalone Cross to another engine", func() {
+		e.Cross(e2, 0, Time(0).Add(Second), func() {})
+	})
+}
+
+func TestTickerStopHaltsTicks(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	n := 0
+	tk := e.Every(Second, func() { n++ })
+	e.Run(Time(0).Add(3 * Second))
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+	tk.Stop()
+	if !tk.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	e.Run(e.Now().Add(5 * Second))
+	if n != 3 {
+		t.Fatalf("ticker fired %d times after Stop", n-3)
+	}
+}
+
+// TestCloseReleasesTickers guards the Every leak: Close must stop
+// recurring closures so a closed engine retains no scheduled events.
+func TestCloseReleasesTickers(t *testing.T) {
+	e := NewEngine(1)
+	tk := e.Every(Second, func() {})
+	e.Run(Time(0).Add(2 * Second))
+	e.Close()
+	if !tk.Stopped() {
+		t.Fatal("Close left the ticker running")
+	}
+	e.Close() // idempotent
+}
+
+func TestShardsQueueHighWater(t *testing.T) {
+	s := NewShards(2, Millisecond)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Engine(i%2).At(Time(0).Add(Duration(i+1)*Second), func() {})
+	}
+	s.RunUntilIdle()
+	if hw := s.QueueHighWater(); hw < 1 || hw > 10 {
+		t.Fatalf("queue high-water %d out of range", hw)
+	}
+	if s.EventsFired() != 10 {
+		t.Fatalf("EventsFired = %d, want 10", s.EventsFired())
+	}
+}

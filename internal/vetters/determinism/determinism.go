@@ -18,6 +18,7 @@ package determinism
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -30,8 +31,11 @@ import (
 )
 
 // DefaultGates lists the package-path substrings in which wall-clock
-// and global-randomness use is forbidden.
-const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs"
+// and global-randomness use is forbidden. The sharded-simulation layers
+// (sim, cluster, pvm, ethernet) are additionally held to the shard
+// rules: no raw goroutines outside the barrier discipline and no
+// package-level maps reachable from several shards at once.
+const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs,internal/pvm,internal/ethernet"
 
 // name is the analyzer name, referenced from run without creating an
 // initialization cycle through Analyzer.
@@ -70,6 +74,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	gated := vetutil.PathGated(pass.Pkg.Path(), gates)
 	if gated {
 		checkClockAndRand(pass, ins, ignores)
+		checkShardSharing(pass, ins, ignores)
 	}
 	checkMapOrder(pass, ins, ignores)
 	return nil, nil
@@ -93,9 +98,14 @@ func checkClockAndRand(pass *analysis.Pass, ins *inspector.Inspector, ignores *v
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			switch fn.Name() {
+			case "Now", "Since", "Until":
 				pass.Reportf(call.Pos(),
 					"time.%s in a seeded package makes runs unrepeatable; thread sim.Time or a seed-derived value instead",
+					fn.Name())
+			case "Sleep", "After", "Tick", "AfterFunc", "NewTimer", "NewTicker":
+				pass.Reportf(call.Pos(),
+					"time.%s blocks on the wall clock; simulated delays must go through the engine (After/Every/Proc.Sleep)",
 					fn.Name())
 			}
 		case "math/rand", "math/rand/v2":
@@ -106,6 +116,53 @@ func checkClockAndRand(pass *analysis.Pass, ins *inspector.Inspector, ignores *v
 			}
 		}
 	})
+}
+
+// checkShardSharing enforces the shard discipline in gated packages:
+// raw go statements bypass the window-barrier synchronization the
+// sharded engine provides (only barrier-joined workers, annotated with
+// //essvet:ignore determinism, may spawn), and package-level maps are
+// mutable state reachable from every shard at once — a data race the
+// moment two engines advance in parallel.
+func checkShardSharing(pass *analysis.Pass, ins *inspector.Inspector, ignores *vetutil.Ignores) {
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if vetutil.InTestFile(pass.Fset, g.Pos()) ||
+			ignores.Suppressed(g.Pos(), name) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"go statement in a seeded package escapes the shard barrier discipline; spawn through the engine, or annotate a barrier-joined worker with //essvet:ignore determinism")
+	})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nm := range vs.Names {
+					obj := pass.TypesInfo.Defs[nm]
+					if obj == nil {
+						continue
+					}
+					if _, isMap := obj.Type().Underlying().(*types.Map); !isMap {
+						continue
+					}
+					if vetutil.InTestFile(pass.Fset, nm.Pos()) ||
+						ignores.Suppressed(nm.Pos(), name) {
+						continue
+					}
+					pass.Reportf(nm.Pos(),
+						"package-level map %s in a seeded package is shared across shards without synchronization; hang it off a per-engine or per-node struct", nm.Name)
+				}
+			}
+		}
+	}
 }
 
 // emitNames are method names whose call inside a map-range body writes

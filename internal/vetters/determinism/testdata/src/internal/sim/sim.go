@@ -32,3 +32,36 @@ func Suppressed() int64 {
 	//essvet:ignore determinism startup banner only
 	return time.Now().Unix()
 }
+
+// Shard discipline, half one: wall-clock waits are forbidden alongside
+// wall-clock reads — simulated delays belong to the engine.
+func Delay() {
+	time.Sleep(time.Second) // want `time.Sleep blocks on the wall clock`
+}
+
+func Poll() <-chan time.Time {
+	return time.After(time.Second) // want `time.After blocks on the wall clock`
+}
+
+// Shard discipline, half two: raw goroutines escape the window-barrier
+// synchronization of the sharded engine.
+func Fork(fn func()) {
+	go fn() // want `go statement in a seeded package escapes the shard barrier discipline`
+}
+
+// ForkJoined is a barrier-joined worker and says so.
+func ForkJoined(fn func()) {
+	go fn() //essvet:ignore determinism — barrier-joined window worker
+}
+
+// registry is package-level mutable state reachable from every shard.
+var registry = map[string]int{} // want `package-level map registry in a seeded package is shared across shards`
+
+// table hangs its map off a struct (per-engine ownership): fine, as are
+// function-local maps.
+type table struct{ m map[string]int }
+
+func Local(t table) int {
+	m := map[string]int{"a": 1}
+	return m["a"] + len(t.m)
+}

@@ -78,3 +78,12 @@ func SuppressedEmit(m map[string]int) {
 		fmt.Println(k)
 	}
 }
+
+// Spawn uses a raw goroutine outside the gated packages: fine.
+func Spawn(fn func()) { go fn() }
+
+// Wait sleeps on the wall clock outside the gated packages: fine.
+func Wait() { time.Sleep(time.Millisecond) }
+
+// cache is a package-level map outside the gated packages: fine.
+var cache = map[string]int{}

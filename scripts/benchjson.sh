@@ -22,7 +22,7 @@ echo "gating on go vet + essvet" >&2
 go vet ./... || { echo "benchjson.sh: go vet failed, not benching" >&2; exit 1; }
 go run ./cmd/essvet ./... || { echo "benchjson.sh: essvet failed, not benching" >&2; exit 1; }
 
-pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|MergeBatch|MergeStreaming|MergeHeap|MergeLoserTree|CharacterizeParallel|CharacterizeStreaming|CharacterizeObs|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
+pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|EngineStep|E1Sharded|MergeBatch|MergeStreaming|MergeHeap|MergeLoserTree|CharacterizeParallel|CharacterizeStreaming|CharacterizeObs|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
 out=${2:-BENCH_$(date +%Y%m%d).json}
 benchtime=${BENCHTIME:-1x}
 
