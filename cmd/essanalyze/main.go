@@ -5,7 +5,8 @@
 // -workers the file is split into record-aligned chunks analyzed
 // concurrently and the per-chunk accumulators are folded back together
 // with their exact Merge methods, so the output is identical to the
-// sequential pass.
+// sequential pass. `-i -` reads the trace from stdin, so the command
+// composes in pipelines (and mirrors what the essd daemon serves).
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	essanalyze -i combined.trc -spatial -temporal      # locality reports
 //	essanalyze -i ppm.trc -hist                        # request size histogram
 //	essanalyze -i combined.trc -workers 8 -spatial     # multi-core pass
+//	esssynth generate ... -o - | essanalyze -i -       # stdin pipeline
 package main
 
 import (
@@ -20,115 +22,40 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 
 	"essio"
+	"essio/internal/characterize"
 	"essio/internal/profiling"
+	"essio/internal/trace"
 )
 
-// accSet is one worker's set of requested accumulators.
-type accSet struct {
-	sum   *essio.SummaryAcc
-	hist  *essio.SizeHistAcc
-	bands *essio.BandsAcc
-	heat  *essio.HeatAcc
-	inter *essio.InterAccessAcc
-	pend  *essio.PendingAcc
-	orig  *essio.OriginAcc
-}
-
-// options selects which metrics to compute.
-type options struct {
-	label       string
-	nodes       int
-	hist        bool
-	spatial     bool
-	temporal    bool
-	queue       bool
-	origins     bool
-	diskSectors uint32
-}
-
-func newAccSet(o options) *accSet {
-	s := &accSet{sum: essio.NewSummaryAcc(o.label, 0, o.nodes)}
-	if o.hist {
-		s.hist = essio.NewSizeHistAcc()
+// analyzeSequential streams the whole input through one accumulator
+// set; path "-" reads stdin.
+func analyzeSequential(path, format string, o characterize.Options) (*characterize.Set, int, error) {
+	var src essio.TraceSource
+	if path == "-" {
+		rs, err := trace.NewReaderSource(os.Stdin, format)
+		if err != nil {
+			return nil, 0, err
+		}
+		src = rs
+	} else {
+		fs, err := essio.OpenTraceFile(path, format)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer fs.Close()
+		src = fs
 	}
-	if o.spatial {
-		s.bands = essio.NewBandsAcc(100000, o.diskSectors)
-	}
-	if o.temporal {
-		s.heat = essio.NewHeatAcc()
-		s.inter = essio.NewInterAccessAcc()
-	}
-	if o.queue {
-		s.pend = essio.NewPendingAcc()
-	}
-	if o.origins {
-		s.orig = essio.NewOriginAcc()
-	}
-	return s
-}
-
-func (s *accSet) sinks() []essio.TraceSink {
-	out := []essio.TraceSink{s.sum}
-	if s.hist != nil {
-		out = append(out, s.hist)
-	}
-	if s.bands != nil {
-		out = append(out, s.bands)
-	}
-	if s.heat != nil {
-		out = append(out, s.heat, s.inter)
-	}
-	if s.pend != nil {
-		out = append(out, s.pend)
-	}
-	if s.orig != nil {
-		out = append(out, s.orig)
-	}
-	return out
-}
-
-// merge folds b, which consumed the records immediately following s's,
-// into s. Every fold is the accumulator's exact Merge, so the combined
-// set matches a sequential pass over the whole file.
-func (s *accSet) merge(b *accSet) {
-	s.sum.Merge(b.sum)
-	if s.hist != nil {
-		s.hist.Merge(b.hist)
-	}
-	if s.bands != nil {
-		s.bands.Merge(b.bands)
-	}
-	if s.heat != nil {
-		s.heat.Merge(b.heat)
-		s.inter.Merge(b.inter)
-	}
-	if s.pend != nil {
-		s.pend.Merge(b.pend)
-	}
-	if s.orig != nil {
-		s.orig.Merge(b.orig)
-	}
-}
-
-// analyzeSequential streams the whole file through one accumulator set.
-func analyzeSequential(path, format string, o options) (*accSet, int, error) {
-	src, err := essio.OpenTraceFile(path, format)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer src.Close()
-	s := newAccSet(o)
-	n, err := essio.CopyTrace(essio.TeeSinks(s.sinks()...), src)
+	s := characterize.New(o)
+	n, err := essio.CopyTrace(s.Sink(), src)
 	return s, n, err
 }
 
 // analyzeChunked splits the file into record-aligned chunks, analyzes
 // them concurrently, and folds the per-chunk accumulators in file order.
-func analyzeChunked(path string, o options, workers int) (*accSet, int, error) {
+func analyzeChunked(path string, o characterize.Options, workers int) (*characterize.Set, int, error) {
 	chunks, err := essio.OpenTraceFileChunks(path, workers)
 	if err != nil {
 		return nil, 0, err
@@ -138,16 +65,16 @@ func analyzeChunked(path string, o options, workers int) (*accSet, int, error) {
 			c.Close()
 		}
 	}()
-	sets := make([]*accSet, len(chunks))
+	sets := make([]*characterize.Set, len(chunks))
 	counts := make([]int, len(chunks))
 	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
 	for i, c := range chunks {
-		sets[i] = newAccSet(o)
+		sets[i] = characterize.New(o)
 		wg.Add(1)
 		go func(i int, c *essio.TraceFileSource) {
 			defer wg.Done()
-			counts[i], errs[i] = essio.CopyTrace(essio.TeeSinks(sets[i].sinks()...), c)
+			counts[i], errs[i] = essio.CopyTrace(sets[i].Sink(), c)
 		}(i, c)
 	}
 	wg.Wait()
@@ -158,7 +85,7 @@ func analyzeChunked(path string, o options, workers int) (*accSet, int, error) {
 	}
 	total := 0
 	for i := 1; i < len(sets); i++ {
-		sets[0].merge(sets[i])
+		sets[0].Merge(sets[i])
 	}
 	for _, n := range counts {
 		total += n
@@ -167,7 +94,7 @@ func analyzeChunked(path string, o options, workers int) (*accSet, int, error) {
 }
 
 func main() {
-	in := flag.String("i", "", "input trace file (required)")
+	in := flag.String("i", "", "input trace file (required; - reads stdin)")
 	nodes := flag.Int("nodes", 16, "number of disks the trace covers")
 	label := flag.String("label", "trace", "row label")
 	hist := flag.Bool("hist", false, "print request-size histogram")
@@ -196,15 +123,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "essanalyze:", err)
 		}
 	}()
-	o := options{
-		label:       *label,
-		nodes:       *nodes,
-		hist:        *hist,
-		spatial:     *spatial,
-		temporal:    *temporal,
-		queue:       *queue,
-		origins:     *origins,
-		diskSectors: uint32(*diskSectors),
+	o := characterize.Options{
+		Label:       *label,
+		Nodes:       *nodes,
+		Hist:        *hist,
+		Spatial:     *spatial,
+		Temporal:    *temporal,
+		Queue:       *queue,
+		Origins:     *origins,
+		DiskSectors: uint32(*diskSectors),
 	}
 	w := *workers
 	if w <= 0 {
@@ -212,11 +139,11 @@ func main() {
 	}
 
 	var (
-		s   *accSet
+		s   *characterize.Set
 		n   int
 		err error
 	)
-	if w > 1 {
+	if w > 1 && *in != "-" {
 		s, n, err = analyzeChunked(*in, o, w)
 		if err != nil {
 			// Text traces and odd-sized files cannot be chunked; the
@@ -232,60 +159,5 @@ func main() {
 		_ = stopProf()
 		os.Exit(1)
 	}
-	if n == 0 {
-		fmt.Println("empty trace")
-		return
-	}
-	duration := s.sum.Span()
-	s.sum.SetDuration(duration)
-	fmt.Println(s.sum.Summary())
-
-	if *hist {
-		h := s.hist.Histogram()
-		sizes := make([]int, 0, len(h))
-		for kb := range h {
-			sizes = append(sizes, kb)
-		}
-		sort.Ints(sizes)
-		fmt.Println("request sizes:")
-		for _, kb := range sizes {
-			fmt.Printf("  %3d KB: %6d\n", kb, h[kb])
-		}
-	}
-	if *spatial {
-		bands := s.bands.Bands()
-		fmt.Println("spatial locality (100K-sector bands):")
-		for _, b := range bands {
-			if b.Count > 0 {
-				fmt.Printf("  %7d-%7d: %6d (%5.1f%%)\n", b.Lo, b.Hi, b.Count, b.Pct)
-			}
-		}
-		fmt.Printf("  80%% of requests in %.0f%% of bands\n", 100*essio.Pareto(bands, 0.8))
-	}
-	if *temporal {
-		heat := s.heat.Heat(duration)
-		fmt.Println("hottest sectors:")
-		for _, h := range essio.Hottest(heat, 10) {
-			fmt.Printf("  sector %7d: %6d accesses (%.3f/s)\n", h.Sector, h.Count, h.PerSec)
-		}
-		mean, sectors := s.inter.Result()
-		fmt.Printf("  mean inter-access time %.2fs over %d revisited sectors\n", mean.Seconds(), sectors)
-	}
-	if *queue {
-		q := s.pend.Stats()
-		fmt.Printf("driver queue: mean depth %.2f, max %d, busy on %.0f%% of issues\n",
-			q.MeanPending, q.MaxPending, 100*q.BusyFrac)
-	}
-	if *origins {
-		fmt.Println("origins:")
-		counts := s.orig.Breakdown()
-		keys := make([]int, 0, len(counts))
-		for o := range counts {
-			keys = append(keys, int(o))
-		}
-		sort.Ints(keys)
-		for _, o := range keys {
-			fmt.Printf("  %-8s %6d\n", essio.Origin(o), counts[essio.Origin(o)])
-		}
-	}
+	fmt.Print(s.Report(n))
 }

@@ -1,0 +1,84 @@
+// Command essd runs the trace service daemon: live trace ingestion
+// with streamed characterization, content-addressed model fitting, and
+// admission-controlled experiment multiplexing, over HTTP/JSON.
+//
+//	essd -addr :9406 -workers 4 -queue 32 -ingest 64 -timeout 30s
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops taking
+// connections, in-flight uploads and queued experiment runs finish,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"essio/internal/essd"
+	"essio/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":9406", "listen address")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "experiment queue depth (full queue answers 429)")
+	ingest := flag.Int("ingest", 64, "max concurrent uploads (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-upload processing timeout (0 = none)")
+	retry := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	stored := flag.Int("stored", 64, "max retained ingested traces")
+	obsLevel := flag.String("obs", "full", "daemon metric level: off, counters, full")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	lvl := obs.ParseLevel(*obsLevel)
+	if lvl == obs.Unset && *obsLevel != "" {
+		fmt.Fprintf(os.Stderr, "essd: unknown -obs level %q\n", *obsLevel)
+		os.Exit(2)
+	}
+	srv := essd.NewServer(essd.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxIngest:       *ingest,
+		RequestTimeout:  *timeout,
+		RetryAfter:      *retry,
+		MaxStoredTraces: *stored,
+		ObsLevel:        lvl,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("essd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("essd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("essd draining (budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("essd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("essd: drain: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("essd: %v", err)
+	}
+	log.Printf("essd stopped")
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"essio"
+	"essio/internal/trace"
 )
 
 func main() {
@@ -32,15 +33,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "essreplay: -i is required")
 		os.Exit(2)
 	}
-	src, err := essio.OpenTraceFile(*in, *format)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "essreplay:", err)
+	var (
+		src  essio.TraceSource
+		cls  func() error = func() error { return nil }
+		oerr error
+	)
+	if *in == "-" {
+		src, oerr = trace.NewReaderSource(os.Stdin, *format)
+	} else {
+		fs, err := essio.OpenTraceFile(*in, *format)
+		if err == nil {
+			src, cls = fs, fs.Close
+		}
+		oerr = err
+	}
+	if oerr != nil {
+		fmt.Fprintln(os.Stderr, "essreplay:", oerr)
 		os.Exit(1)
 	}
 	// Replay needs the request sequence, so collect it from the
 	// incremental decoder in one streaming pass.
 	recs, err := essio.CollectTrace(src)
-	src.Close()
+	if cerr := cls(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essreplay:", err)
 		os.Exit(1)

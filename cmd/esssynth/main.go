@@ -9,6 +9,7 @@
 //	esssynth generate -m combined.model.json -o synth.trc -duration 7000 -seed 1
 //	esssynth generate -m combined.model.json -o big.trc -duration 700 -nodes 64 -rate 2
 //	esssynth validate -a combined.trc -b synth.trc
+//	esssynth load -url http://localhost:9406 -streams 1000 -records 5000
 //
 // fit reads any trace the pipeline can decode (binary or text, sniffed by
 // default) and writes the model as JSON, suitable for diffing and version
@@ -57,6 +58,8 @@ func main() {
 		err = runGenerate(os.Args[2:])
 	case "validate":
 		err = runValidate(os.Args[2:])
+	case "load":
+		err = runLoad(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -75,7 +78,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   esssynth fit      -i trace -o model.json [-format auto|bin|text] [-label L] [-nodes N] [-disk SECTORS] [-band SECTORS]
   esssynth generate -m model.json -o trace -duration SECONDS [-format bin|text] [-seed N] [-nodes N] [-rate X] [-readfrac F] [-max N]
-  esssynth validate -a trace-or-model -b trace-or-model [-disk SECTORS] [-band SECTORS] [-sizeks F] [-minbandp F]`)
+  esssynth validate -a trace-or-model -b trace-or-model [-disk SECTORS] [-band SECTORS] [-sizeks F] [-minbandp F]
+  esssynth load     -url http://host:9406 [-streams N] [-records N] [-seed N] [-m model.json] [-query Q] [-timeout D]`)
 }
 
 func runFit(args []string) (err error) {

@@ -417,7 +417,18 @@ func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
 type (
 	// TraceFileSource is a Source reading a trace file (call Close).
 	TraceFileSource = trace.FileSource
+	// TraceReaderSource is a Source decoding any io.Reader without
+	// seeking (stdin pipelines, network streams, HTTP bodies).
+	TraceReaderSource = trace.ReaderSource
 )
+
+// NewTraceReaderSource wraps an io.Reader as a streaming trace source;
+// format is "bin", "text", or "auto"/"" to sniff the encoding by
+// peeking (no Seek required). It is the ingest path of the essd daemon
+// and the `-i -` stdin path of essanalyze/essreplay.
+func NewTraceReaderSource(r io.Reader, format string) (*TraceReaderSource, error) {
+	return trace.NewReaderSource(r, format)
+}
 
 // Trace file format names for OpenTraceFile.
 const (

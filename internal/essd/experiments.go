@@ -1,0 +1,200 @@
+package essd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"essio/internal/experiment"
+	"essio/internal/obs"
+	"essio/internal/sim"
+)
+
+// expRequest is the POST /v1/experiments body: an experiment.Config in
+// JSON clothing. Small selects experiment.SmallConfig scaling (the
+// test-sized problems), which is what a multiplexing service wants by
+// default for interactive callers.
+type expRequest struct {
+	Kind   string `json:"kind"`
+	Nodes  int    `json:"nodes,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Small  bool   `json:"small,omitempty"`
+	// Obs is the per-run simulation metric level: off, counters, full.
+	Obs string `json:"obs,omitempty"`
+}
+
+// expStatus is the GET /v1/experiments/{id} response.
+type expStatus struct {
+	ID       string  `json:"id"`
+	Kind     string  `json:"kind"`
+	Status   string  `json:"status"` // queued | running | done | failed
+	Error    string  `json:"error,omitempty"`
+	Seed     int64   `json:"seed"`
+	Nodes    int     `json:"nodes"`
+	Shards   int     `json:"shards,omitempty"`
+	Queue    int     `json:"queue_depth,omitempty"`
+	Records  int     `json:"records,omitempty"`
+	Duration float64 `json:"duration_sec,omitempty"`
+	Finished bool    `json:"finished,omitempty"`
+	Summary  string  `json:"summary,omitempty"`
+	// ObsSnapshot is the run's deterministic cluster metric snapshot
+	// (Result.Obs), per request — same seed, same snapshot.
+	ObsSnapshot *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// job is one queued experiment run.
+type job struct {
+	id  string
+	cfg experiment.Config
+
+	mu       sync.Mutex
+	status   string
+	err      string
+	records  int
+	duration sim.Duration
+	finished bool
+	summary  string
+	snap     *obs.Snapshot
+}
+
+func (j *job) setStatus(st string) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}
+
+func (j *job) view(queueDepth int) expStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return expStatus{
+		ID:          j.id,
+		Kind:        string(j.cfg.Kind),
+		Status:      j.status,
+		Error:       j.err,
+		Seed:        j.cfg.Seed,
+		Nodes:       j.cfg.Nodes,
+		Shards:      j.cfg.Shards,
+		Queue:       queueDepth,
+		Records:     j.records,
+		Duration:    j.duration.Seconds(),
+		Finished:    j.finished,
+		Summary:     j.summary,
+		ObsSnapshot: j.snap,
+	}
+}
+
+// handleExperimentPost validates and enqueues one experiment config.
+// Admission control is a non-blocking send into the bounded queue: a
+// full queue answers 429 with Retry-After and the request is never
+// partially admitted.
+func (s *Server) handleExperimentPost(w http.ResponseWriter, r *http.Request) {
+	var req expRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad experiment config: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	kind := experiment.Kind(req.Kind)
+	valid := false
+	for _, k := range experiment.Kinds {
+		if k == kind {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		http.Error(w, fmt.Sprintf("unknown experiment kind %q", req.Kind), http.StatusBadRequest)
+		return
+	}
+
+	var cfg experiment.Config
+	if req.Small {
+		cfg = experiment.SmallConfig(kind, req.Nodes)
+	} else {
+		cfg = experiment.Config{Kind: kind, Nodes: req.Nodes}
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	cfg.Shards = req.Shards
+	if lvl := obs.ParseLevel(req.Obs); lvl != obs.Unset {
+		cfg.ObsLevel = lvl
+	}
+
+	j := &job{id: fmt.Sprintf("e%d", s.nextID.Add(1)), cfg: cfg, status: "queued"}
+
+	s.admission.Lock()
+	if s.draining {
+		s.admission.Unlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.Store(j.id, j)
+		s.wall.count("wall/exp/enqueued", 1)
+		s.wall.gaugeAdd("wall/exp/queue_depth", 1)
+		s.admission.Unlock()
+	default:
+		s.admission.Unlock()
+		s.wall.count("wall/exp/rejected", 1)
+		s.reject429(w, "experiment queue")
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j.view(len(s.queue)))
+}
+
+// handleExperimentGet reports a job's status and, once done, its
+// result summary and obs snapshot.
+func (s *Server) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Load(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such experiment "+r.PathValue("id"), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v.(*job).view(len(s.queue)))
+}
+
+// expWorker is one slot of the multiplexing pool: it claims queued
+// jobs and runs each as a one-config RunConcurrentObs batch, folding
+// the scheduler's deterministic sched/* metrics into the daemon's sim
+// registry. Workers exit when Shutdown closes the queue, after
+// finishing whatever was already admitted — that is the drain.
+func (s *Server) expWorker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.wall.gaugeAdd("wall/exp/queue_depth", -1)
+		s.wall.gaugeAdd("wall/exp/inflight", 1)
+		j.setStatus("running")
+		start := time.Now()
+		reg := obs.New(obs.Counters)
+		results, err := s.runBatch([]experiment.Config{j.cfg}, 1, reg)
+		s.sim.merge(reg)
+		s.wall.observe("wall/exp/run_wall_us", latencyBuckets(),
+			time.Since(start).Microseconds())
+		s.wall.gaugeAdd("wall/exp/inflight", -1)
+
+		j.mu.Lock()
+		if err != nil {
+			j.status = "failed"
+			j.err = err.Error()
+			s.wall.count("wall/exp/failed", 1)
+		} else {
+			res := results[0]
+			j.status = "done"
+			j.records = len(res.Merged)
+			j.duration = res.Duration
+			j.finished = res.Finished
+			j.summary = experiment.Table1(map[experiment.Kind]*experiment.Result{res.Kind: res})
+			j.snap = res.Obs
+			s.wall.count("wall/exp/completed", 1)
+		}
+		j.mu.Unlock()
+	}
+}

@@ -1,0 +1,77 @@
+package essd
+
+import (
+	"sync"
+
+	"essio/internal/obs"
+)
+
+// lockedRegistry wraps an obs.Registry for concurrent handlers. The
+// registry itself is deliberately single-threaded (the simulator never
+// needs locking); the daemon is the one place metrics are updated from
+// many goroutines, so the lock lives here, at the server boundary,
+// instead of leaking into the deterministic layer.
+//
+// The daemon keeps two of these, and the split is load-bearing: the
+// wall registry holds metrics derived from real time and real traffic
+// (request counts, ingested bytes, wall-clock latency histograms,
+// queue depth) under the wall/ prefix, while the sim registry holds
+// only metrics merged out of deterministic experiment runs (the
+// sched/* scheduler family, in virtual microseconds). A /metrics
+// scrape merges the two snapshots, but no value ever crosses from one
+// domain to the other, so the sim side stays reproducible run to run.
+type lockedRegistry struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func newLockedRegistry(l obs.Level) *lockedRegistry {
+	return &lockedRegistry{reg: obs.New(l)}
+}
+
+// count adds n to the named counter.
+func (l *lockedRegistry) count(name string, n uint64) {
+	l.mu.Lock()
+	l.reg.Counter(name).Add(n)
+	l.mu.Unlock()
+}
+
+// gaugeAdd shifts the named gauge by d (high-water tracked).
+func (l *lockedRegistry) gaugeAdd(name string, d int64) {
+	l.mu.Lock()
+	l.reg.Gauge(name).Add(d)
+	l.mu.Unlock()
+}
+
+// gaugeSet sets the named gauge to v.
+func (l *lockedRegistry) gaugeSet(name string, v int64) {
+	l.mu.Lock()
+	l.reg.Gauge(name).Set(v)
+	l.mu.Unlock()
+}
+
+// observe records v into the named histogram, creating it with bounds
+// on first use.
+func (l *lockedRegistry) observe(name string, bounds []int64, v int64) {
+	l.mu.Lock()
+	l.reg.Histogram(name, bounds).Observe(v)
+	l.mu.Unlock()
+}
+
+// merge folds a foreign registry (a per-run scheduler registry) in.
+func (l *lockedRegistry) merge(o *obs.Registry) {
+	l.mu.Lock()
+	l.reg.Merge(o)
+	l.mu.Unlock()
+}
+
+// snapshot captures the current state.
+func (l *lockedRegistry) snapshot() *obs.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Snapshot()
+}
+
+// latencyBuckets is the shared wall-latency histogram geometry:
+// exponential from 64 µs to ~67 s.
+func latencyBuckets() []int64 { return obs.ExpBuckets(64, 4, 11) }

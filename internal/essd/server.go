@@ -1,0 +1,267 @@
+// Package essd is the long-running trace service: the whole batch
+// surface of the reproduction — single-pass characterization, workload
+// model fitting, experiment execution — served over HTTP/JSON by an
+// always-on daemon. It is the repo's "millions of users" story: live
+// trace ingestion with streamed results, content-addressed model
+// caching, and admission-controlled experiment multiplexing over the
+// existing RunConcurrentObs worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/traces            chunked trace stream in (binary or text,
+//	                           sniffed), NDJSON progress + final
+//	                           characterization out; the report bytes
+//	                           equal `essanalyze` output exactly
+//	POST /v1/models            fit-and-cache a WorkloadModel, keyed by
+//	                           sha256 of the canonical binary encoding
+//	GET  /v1/models/{hash}     cached model JSON
+//	POST /v1/experiments       enqueue an experiment config; 429 +
+//	                           Retry-After when the queue is full
+//	GET  /v1/experiments/{id}  status / result summary / obs snapshot
+//	GET  /metrics              the daemon's own registry, Prometheus text
+//	GET  /healthz              ok | draining
+//
+// The daemon lives outside the determinism boundary: it uses wall
+// clocks, goroutines, and the network freely (the essvet determinism
+// allowlist exempts it), but everything it runs — experiments, fits,
+// characterizations — is the same deterministic machinery the CLIs
+// use, and the /metrics page keeps wall-domain series (wall/*) strictly
+// apart from sim-domain series (sched/*, in virtual time).
+package essd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"essio/internal/experiment"
+	"essio/internal/obs"
+)
+
+// Config parameterizes the daemon. Zero fields take defaults.
+type Config struct {
+	// Workers is the experiment worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the experiment run queue; a full queue answers
+	// 429 with Retry-After (default 16).
+	QueueDepth int
+	// MaxIngest bounds concurrently served trace/model uploads; excess
+	// streams are rejected 429 (default 0 = unlimited).
+	MaxIngest int
+	// RequestTimeout bounds one upload's processing time; exceeded
+	// ingests abort with an NDJSON error event (default 0 = none).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxStoredTraces bounds the ingested-trace retention store
+	// (default 64 traces); beyond it, ingests report stored:false.
+	MaxStoredTraces int
+	// ObsLevel sets the daemon registries' collection level (default
+	// Full, so the wall latency histograms populate).
+	ObsLevel obs.Level
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxStoredTraces <= 0 {
+		c.MaxStoredTraces = 64
+	}
+	if c.ObsLevel == obs.Unset {
+		c.ObsLevel = obs.Full
+	}
+}
+
+// Server is the daemon: an http.Handler plus the experiment worker
+// pool behind it. Create with NewServer, serve with net/http, stop
+// with Shutdown.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	wall *lockedRegistry // wall-clock domain: wall/* series
+	sim  *lockedRegistry // deterministic domain: sched/* series
+
+	traces *traceStore
+	models *modelCache
+
+	queue  chan *job
+	jobs   sync.Map // id → *job
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+
+	// admission guards enqueue against a concurrent Shutdown closing
+	// the queue; draining also flips /healthz and rejects new work.
+	admission sync.Mutex
+	draining  bool
+
+	ingestSem chan struct{} // nil when MaxIngest == 0
+
+	// runBatch executes one dequeued experiment batch; tests stub it to
+	// control run latency without simulating anything.
+	runBatch func(cfgs []experiment.Config, workers int, reg *obs.Registry) ([]*experiment.Result, error)
+}
+
+// NewServer builds the daemon and starts its experiment workers.
+func NewServer(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		wall:     newLockedRegistry(cfg.ObsLevel),
+		sim:      newLockedRegistry(cfg.ObsLevel),
+		traces:   newTraceStore(cfg.MaxStoredTraces),
+		models:   newModelCache(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		runBatch: experiment.RunConcurrentObs,
+	}
+	if cfg.MaxIngest > 0 {
+		s.ingestSem = make(chan struct{}, cfg.MaxIngest)
+	}
+	s.mux.HandleFunc("POST /v1/traces", s.instrument("ingest", s.handleTraces))
+	s.mux.HandleFunc("POST /v1/models", s.instrument("models", s.handleModelFit))
+	s.mux.HandleFunc("GET /v1/models/{hash}", s.instrument("models", s.handleModelGet))
+	s.mux.HandleFunc("POST /v1/experiments", s.instrument("experiments", s.handleExperimentPost))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiments", s.handleExperimentGet))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.expWorker()
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the daemon's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with per-endpoint request counting and
+// wall-latency observation.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.wall.count("wall/http/"+name+"/requests", 1)
+		h(w, r)
+		s.wall.observe("wall/http/"+name+"/latency_us", latencyBuckets(),
+			time.Since(start).Microseconds())
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.admission.Lock()
+	defer s.admission.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the daemon gracefully: new work is rejected (503 on
+// POSTs, draining on /healthz), queued and in-flight experiment runs
+// finish, then the workers exit. It returns ctx's error if the drain
+// outlives the context. In-flight HTTP requests are the
+// http.Server.Shutdown caller's concern; call this after (or instead
+// of) it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admission.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.admission.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleHealthz answers ok while admitting, draining (503) afterwards.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders both metric domains as one Prometheus text
+// page. The snapshots merge cleanly because the name spaces are
+// disjoint by construction: wall/* never appears in the sim registry
+// and sched/* never appears in the wall registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.wall.gaugeSet("wall/store/traces", int64(s.traces.len()))
+	s.wall.gaugeSet("wall/store/models", int64(s.models.len()))
+	snap := s.wall.snapshot()
+	snap.Merge(s.sim.snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, snap.Text())
+}
+
+// reject429 answers an over-capacity request with Retry-After.
+func (s *Server) reject429(w http.ResponseWriter, what string) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	http.Error(w, what+" at capacity, retry later", http.StatusTooManyRequests)
+}
+
+// acquireIngest claims an upload slot, reporting false (and counting
+// the rejection) when the daemon is saturated.
+func (s *Server) acquireIngest() bool {
+	if s.ingestSem == nil {
+		return true
+	}
+	select {
+	case s.ingestSem <- struct{}{}:
+		return true
+	default:
+		s.wall.count("wall/ingest/rejected", 1)
+		return false
+	}
+}
+
+func (s *Server) releaseIngest() {
+	if s.ingestSem != nil {
+		<-s.ingestSem
+	}
+}
+
+// queryBool parses a boolean-ish query parameter ("1", "true", "yes").
+func queryBool(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// queryInt parses an integer query parameter, def when absent/garbled.
+func queryInt(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

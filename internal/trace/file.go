@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -47,12 +48,10 @@ func (s *FileSource) Format() string { return s.format }
 // OpenFileSource opens a trace file as a streaming Source. format is
 // FormatBinary, FormatText, or FormatAuto (sniff); the empty string means
 // FormatAuto. It is the shared open/sniff path of essanalyze, essreplay,
-// and esssynth.
+// and esssynth, and is NewReaderSource plus the file lifecycle.
 func OpenFileSource(path, format string) (*FileSource, error) {
 	switch format {
-	case FormatBinary, FormatText, FormatAuto:
-	case "":
-		format = FormatAuto
+	case FormatBinary, FormatText, FormatAuto, "":
 	default:
 		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
 			format, FormatBinary, FormatText, FormatAuto)
@@ -61,20 +60,12 @@ func OpenFileSource(path, format string) (*FileSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	if format == FormatAuto {
-		format, err = sniffFormat(f)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("trace: %s: %w", path, err)
-		}
+	rs, err := NewReaderSource(f, format)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	s := &FileSource{f: f, format: format}
-	if format == FormatText {
-		s.src = NewTextReader(f)
-	} else {
-		s.src = NewReader(f)
-	}
-	return s, nil
+	return &FileSource{src: rs, f: f, format: rs.Format()}, nil
 }
 
 // OpenFileChunks opens a binary trace file as n record-aligned,
@@ -93,7 +84,7 @@ func OpenFileChunks(path string, n int) ([]*FileSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	format, err := sniffFormat(f)
+	format, err := sniffReader(bufio.NewReader(f))
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
@@ -144,33 +135,4 @@ func closeFileSources(srcs []*FileSource) {
 	for _, s := range srcs {
 		s.Close()
 	}
-}
-
-// sniffFormat decides between the binary and text encodings by examining
-// the first bytes of f, then rewinds it. The text format is pure
-// printable ASCII with tabs and newlines (it opens with a header line);
-// binary records contain NUL padding and timestamp bytes within the first
-// RecordSize bytes.
-func sniffFormat(f *os.File) (string, error) {
-	var buf [256]byte
-	n, err := f.Read(buf[:])
-	if err != nil && err != io.EOF {
-		return "", err
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return "", err
-	}
-	if n == 0 {
-		// An empty file is a valid empty trace in either encoding.
-		return FormatBinary, nil
-	}
-	for _, b := range buf[:n] {
-		if b == '\t' || b == '\n' || b == '\r' {
-			continue
-		}
-		if b < 0x20 || b > 0x7e {
-			return FormatBinary, nil
-		}
-	}
-	return FormatText, nil
 }

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReaderSource is a Source decoding a trace stream from an arbitrary
+// io.Reader — a pipe, a network connection, an HTTP request body —
+// without ever seeking. Format sniffing peeks through a buffered
+// reader instead of rewinding, so stdin pipelines and live ingestion
+// work on the same open path files use. It is also a BatchSource:
+// binary streams decode whole 64 KiB buffers per NextBatch, text
+// streams fall back to a per-record fill.
+type ReaderSource struct {
+	src    Source
+	batch  BatchSource
+	format string
+}
+
+// NewReaderSource wraps r as a streaming trace Source. format is
+// FormatBinary, FormatText, or FormatAuto (the empty string means
+// FormatAuto); auto-detection peeks at the first bytes without
+// consuming them, so it needs no Seek. It is the non-seeking core of
+// OpenFileSource and the ingest path of essd.
+func NewReaderSource(r io.Reader, format string) (*ReaderSource, error) {
+	switch format {
+	case FormatBinary, FormatText, FormatAuto:
+	case "":
+		format = FormatAuto
+	default:
+		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
+			format, FormatBinary, FormatText, FormatAuto)
+	}
+	br := bufio.NewReaderSize(r, batchBytes)
+	if format == FormatAuto {
+		var err error
+		format, err = sniffReader(br)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &ReaderSource{format: format}
+	if format == FormatText {
+		s.src = NewTextReader(br)
+	} else {
+		// NewReader re-wraps br in a same-sized bufio.Reader, which
+		// bufio collapses to br itself: no double buffering.
+		s.src = NewReader(br)
+	}
+	return s, nil
+}
+
+// Next yields the next record of the stream.
+func (s *ReaderSource) Next() (Record, error) { return s.src.Next() }
+
+// NextBatch yields up to len(buf) records of the stream.
+func (s *ReaderSource) NextBatch(buf []Record) (int, error) {
+	if s.batch == nil {
+		s.batch = ToBatchSource(s.src)
+	}
+	return s.batch.NextBatch(buf)
+}
+
+// Format reports the resolved encoding, FormatBinary or FormatText.
+func (s *ReaderSource) Format() string { return s.format }
+
+// sniffReader decides between the binary and text encodings by peeking
+// at the first bytes of br without consuming them. The text format is
+// pure printable ASCII with tabs and newlines (it opens with a header
+// line); binary records contain NUL padding and timestamp bytes within
+// the first RecordSize bytes.
+func sniffReader(br *bufio.Reader) (string, error) {
+	buf, err := br.Peek(256)
+	if err != nil && err != io.EOF {
+		return "", err
+	}
+	if len(buf) == 0 {
+		// An empty stream is a valid empty trace in either encoding.
+		return FormatBinary, nil
+	}
+	for _, b := range buf {
+		if b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if b < 0x20 || b > 0x7e {
+			return FormatBinary, nil
+		}
+	}
+	return FormatText, nil
+}

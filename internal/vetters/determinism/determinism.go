@@ -37,6 +37,14 @@ import (
 // package-level maps reachable from several shards at once.
 const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs,internal/pvm,internal/ethernet"
 
+// DefaultAllow lists package-path substrings exempt from the gates even
+// when -detpkgs matches them. The daemon boundary lives here: essd
+// serves real traffic, so wall clocks, goroutines, and the network are
+// its job — only the deterministic machinery it invokes is gated. The
+// allowlist keeps that exemption stable under broadened -detpkgs
+// sweeps (e.g. auditing with -detpkgs=internal/).
+const DefaultAllow = "internal/essd"
+
 // name is the analyzer name, referenced from run without creating an
 // initialization cycle through Analyzer.
 const name = "determinism"
@@ -54,11 +62,16 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
-var gates string
+var (
+	gates string
+	allow string
+)
 
 func init() {
 	Analyzer.Flags.StringVar(&gates, "detpkgs", DefaultGates,
 		"comma-separated package-path substrings where wall-clock/global-rand use is forbidden")
+	Analyzer.Flags.StringVar(&allow, "detallow", DefaultAllow,
+		"comma-separated package-path substrings exempt from -detpkgs gating (daemon-boundary packages)")
 }
 
 // randConstructors are the math/rand package-level functions that build
@@ -71,7 +84,8 @@ var randConstructors = map[string]bool{
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ignores := vetutil.ParseIgnores(pass)
-	gated := vetutil.PathGated(pass.Pkg.Path(), gates)
+	gated := vetutil.PathGated(pass.Pkg.Path(), gates) &&
+		!vetutil.PathGated(pass.Pkg.Path(), allow)
 	if gated {
 		checkClockAndRand(pass, ins, ignores)
 		checkShardSharing(pass, ins, ignores)

@@ -1,9 +1,19 @@
 package determinism_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"essio/internal/vetters/vettest"
 )
 
 func TestDeterminism(t *testing.T) { vettest.Run(t, "determinism") }
+
+// TestDeterminismAllowlist broadens the gates to every internal/
+// package and checks that the default -detallow still exempts the
+// daemon boundary (internal/essd) while sibling packages are gated.
+func TestDeterminismAllowlist(t *testing.T) {
+	vettest.RunDir(t, "determinism",
+		filepath.Join("testdata", "allow", "src"),
+		"-determinism.detpkgs=internal/")
+}

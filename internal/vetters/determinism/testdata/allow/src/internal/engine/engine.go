@@ -1,0 +1,11 @@
+// Package engine is a deterministic package swept into the gates by
+// the broadened -detpkgs=internal/ this suite runs with; unlike its
+// essd sibling it is not on the allowlist, so wall-clock use here must
+// still be flagged.
+package engine
+
+import "time"
+
+func Step() time.Time {
+	return time.Now() // want `time.Now in a seeded package`
+}

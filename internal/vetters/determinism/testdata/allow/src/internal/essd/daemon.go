@@ -1,0 +1,14 @@
+// Package essd stands in for the daemon boundary: this suite gates all
+// of internal/ via -detpkgs, and the default -detallow must still
+// exempt the daemon — wall clocks, goroutines, and package state are
+// its job. Nothing in this file may be flagged.
+package essd
+
+import "time"
+
+var sessions = map[string]int{}
+
+func Serve() time.Time {
+	go func() { sessions["x"]++ }()
+	return time.Now()
+}

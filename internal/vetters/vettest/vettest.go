@@ -37,11 +37,20 @@ import (
 // calling test (testdata/src/** becomes the throwaway module).
 func Run(t *testing.T, analyzer string) {
 	t.Helper()
+	RunDir(t, analyzer, filepath.Join("testdata", "src"))
+}
+
+// RunDir is Run against an explicit testdata tree, with optional extra
+// analyzer flags (already in go vet spelling, e.g.
+// "-determinism.detpkgs=internal/"). Suites use it to pin down flag
+// behaviour — alternate gates, allowlists — that the default tree
+// cannot express, since want expectations are baked into the sources.
+func RunDir(t *testing.T, analyzer, src string, flags ...string) {
+	t.Helper()
 	root := repoRoot(t)
 	tool := buildTool(t, root)
 
 	mod := t.TempDir()
-	src := filepath.Join("testdata", "src")
 	wants, err := copyTree(src, mod)
 	if err != nil {
 		t.Fatalf("copy testdata: %v", err)
@@ -51,7 +60,7 @@ func Run(t *testing.T, analyzer string) {
 		t.Fatal(err)
 	}
 
-	diags := runVet(t, tool, mod, analyzer)
+	diags := runVet(t, tool, mod, analyzer, flags)
 	compare(t, mod, analyzer, wants, diags)
 }
 
@@ -202,9 +211,10 @@ func splitPatterns(s string) []string {
 
 // runVet executes the vet tool over the throwaway module, enabling only
 // the analyzer under test, and parses the JSON diagnostics.
-func runVet(t *testing.T, tool, mod, analyzer string) []*diag {
+func runVet(t *testing.T, tool, mod, analyzer string, flags []string) []*diag {
 	t.Helper()
-	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "-"+analyzer, "./...")
+	args := append([]string{"vet", "-vettool=" + tool, "-json", "-" + analyzer}, flags...)
+	cmd := exec.Command("go", append(args, "./...")...)
 	cmd.Dir = mod
 	cmd.Env = append(os.Environ(), "GOWORK=off", "GOPROXY=off", "GOFLAGS=")
 	var stdout, stderr bytes.Buffer

@@ -1,0 +1,50 @@
+#!/bin/sh
+# essd_load.sh — start an essd daemon, drive it with N concurrent
+# synthetic trace streams via `esssynth load`, and shut it down
+# cleanly. Prints the load generator's latency/rejection report.
+#
+# Usage: scripts/essd_load.sh [streams] [records-per-stream]
+#
+#   streams             concurrent uploads (default 1000)
+#   records             records per stream  (default 5000)
+#
+# Environment:
+#   ESSD_ADDR     listen address      (default 127.0.0.1:9406)
+#   ESSD_INGEST   max concurrent uploads, 0 = unlimited (default 0,
+#                 so a full-admission run has zero 429s; set it low to
+#                 watch admission control reject)
+#   ESSD_FLAGS    extra essd flags
+set -eu
+
+cd "$(dirname "$0")/.."
+
+STREAMS="${1:-1000}"
+RECORDS="${2:-5000}"
+ADDR="${ESSD_ADDR:-127.0.0.1:9406}"
+INGEST="${ESSD_INGEST:-0}"
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/essd" ./cmd/essd
+go build -o "$bin/esssynth" ./cmd/esssynth
+
+"$bin/essd" -addr "$ADDR" -ingest "$INGEST" ${ESSD_FLAGS:-} &
+essd_pid=$!
+trap 'kill "$essd_pid" 2>/dev/null; wait "$essd_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+# Wait for the daemon to answer.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "essd never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+# set -e aborts here on a failed load run; the EXIT trap still reaps
+# the daemon.
+"$bin/esssynth" load -url "http://$ADDR" -streams "$STREAMS" -records "$RECORDS"
+
+# Graceful shutdown: SIGTERM, then wait for the drain.
+kill -TERM "$essd_pid"
+wait "$essd_pid"
+trap 'rm -rf "$bin"' EXIT

@@ -1,0 +1,59 @@
+#!/bin/sh
+# essd_smoke.sh — end-to-end daemon smoke test: capture an E1 (PPM)
+# trace, start essd, stream the trace at it with curl, and require the
+# streamed characterization to match `essanalyze` output byte for
+# byte; then scrape /metrics and shut the daemon down cleanly.
+#
+# Usage: scripts/essd_smoke.sh
+# Environment: ESSD_ADDR (default 127.0.0.1:9407)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ESSD_ADDR:-127.0.0.1:9407}"
+work="$(mktemp -d)"
+essd_pid=""
+cleanup() {
+    [ -n "$essd_pid" ] && kill "$essd_pid" 2>/dev/null && wait "$essd_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/essd" ./cmd/essd
+go build -o "$work/esstrace" ./cmd/esstrace
+go build -o "$work/essanalyze" ./cmd/essanalyze
+
+"$work/esstrace" -kind ppm -small -nodes 2 -o "$work/e1.trc"
+"$work/essanalyze" -i "$work/e1.trc" -label e1 \
+    -hist -spatial -temporal -queue -origins > "$work/expected.txt"
+
+"$work/essd" -addr "$ADDR" &
+essd_pid=$!
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "essd never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS --data-binary "@$work/e1.trc" \
+    "http://$ADDR/v1/traces?label=e1&hist=1&spatial=1&temporal=1&queue=1&origins=1" \
+    > "$work/events.ndjson"
+
+tail -n1 "$work/events.ndjson" | jq -e '.event == "done" and .records > 0 and (.hash | startswith("sha256:"))' >/dev/null
+tail -n1 "$work/events.ndjson" | jq -j '.characterization' > "$work/got.txt"
+if ! diff -u "$work/expected.txt" "$work/got.txt"; then
+    echo "streamed characterization diverges from essanalyze output" >&2
+    exit 1
+fi
+echo "characterization matches essanalyze byte for byte"
+
+curl -fsS "http://$ADDR/metrics" > "$work/metrics.txt"
+grep -q '^essio_wall_ingest_streams 1$' "$work/metrics.txt"
+grep -q '^essio_wall_http_ingest_requests 1$' "$work/metrics.txt"
+echo "metrics scrape ok"
+
+kill -TERM "$essd_pid"
+wait "$essd_pid"
+essd_pid=""
+echo "clean shutdown ok"
