@@ -14,6 +14,8 @@ package essio_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -609,6 +611,46 @@ func BenchmarkCharacterizeStreaming(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = p.Profile()
+	}
+}
+
+// BenchmarkCharacterizeColumnar is BenchmarkCharacterizeStreaming's
+// fixture characterized from a columnar trace file: the mmap-backed
+// source yields zero-copy column views and the profiler folds them with
+// the vectorized AddCols scans, no per-record materialization anywhere.
+func BenchmarkCharacterizeColumnar(b *testing.B) {
+	traces := benchTraces(16, 4096)
+	path := filepath.Join(b.TempDir(), "bench.col")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := essio.NewTraceColWriter(f)
+	n, err := trace.Copy(w, trace.MergeSlices(traces...))
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || n != 16*4096 {
+		b.Fatalf("fixture: n=%d err=%v", n, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := essio.OpenTraceFile(path, essio.TraceFormatCol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := essio.NewProfiler("bench", 70*sim.Second, 16, 4194304)
+		if _, err := trace.Copy(p, src); err != nil {
+			b.Fatal(err)
+		}
+		_ = p.Profile()
+		if err := src.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

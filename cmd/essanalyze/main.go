@@ -102,7 +102,7 @@ func main() {
 	temporal := flag.Bool("temporal", false, "print hottest sectors")
 	origins := flag.Bool("origins", false, "print ground-truth origin breakdown")
 	queue := flag.Bool("queue", false, "print driver queue-depth statistics")
-	format := flag.String("format", "auto", "input format: auto, bin, or text")
+	format := flag.String("format", "auto", "input format: auto, bin, text, or col")
 	diskSectors := flag.Uint("disk", 1024000, "disk size in sectors")
 	workers := flag.Int("workers", 1, "analyze the file in N concurrent chunks (0 = all cores)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -146,8 +146,9 @@ func main() {
 	if w > 1 && *in != "-" {
 		s, n, err = analyzeChunked(*in, o, w)
 		if err != nil {
-			// Text traces and odd-sized files cannot be chunked; the
-			// sequential pass handles them.
+			// Text and columnar traces and odd-sized files cannot be
+			// chunked; the sequential pass handles them (for columnar
+			// files it is the mmap-backed columnar fast path).
 			fmt.Fprintf(os.Stderr, "essanalyze: %v; falling back to one worker\n", err)
 			s, n, err = analyzeSequential(*in, *format, o)
 		}

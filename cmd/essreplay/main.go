@@ -26,7 +26,7 @@ func main() {
 	xfer := flag.Float64("xfer", 0, "override media transfer rate (bytes/s)")
 	seekScale := flag.Float64("seek", 1, "scale seek times by this factor")
 	rpm := flag.Float64("rpm", 0, "override spindle speed")
-	format := flag.String("format", "auto", "input format: auto, bin, or text")
+	format := flag.String("format", "auto", "input format: auto, bin, text, or col")
 	flag.Parse()
 
 	if *in == "" {

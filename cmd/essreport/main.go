@@ -32,6 +32,50 @@ func fail(code int, err error) {
 	os.Exit(code)
 }
 
+// dumpTrace writes res's merged trace under dir in the requested wire
+// format, streaming the k-way per-node merge straight into the encoder.
+func dumpTrace(dir, format string, kind essio.Kind, res *essio.Result) (string, int, error) {
+	type flushSink interface {
+		essio.TraceSink
+		Flush() error
+	}
+	var (
+		ext string
+		mk  func(f *os.File) flushSink
+	)
+	switch format {
+	case "bin":
+		ext = ".trc"
+		mk = func(f *os.File) flushSink { return essio.NewTraceWriter(f) }
+	case "text":
+		ext = ".txt"
+		mk = func(f *os.File) flushSink { return essio.NewTraceTextWriter(f) }
+	case "col":
+		ext = ".col"
+		mk = func(f *os.File) flushSink { return essio.NewTraceColWriter(f) }
+	default:
+		return "", 0, fmt.Errorf("unknown -format %q (want bin, text, or col)", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	path := filepath.Join(dir, string(kind)+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return path, 0, err
+	}
+	defer f.Close()
+	sink := mk(f)
+	n, err := essio.CopyTrace(sink, res.Source())
+	if err != nil {
+		return path, n, err
+	}
+	if err := sink.Flush(); err != nil {
+		return path, n, err
+	}
+	return path, n, f.Close()
+}
+
 func runOne(kind essio.Kind, nodes int, seed int64, small bool) (*essio.Result, error) {
 	var cfg essio.Config
 	if small {
@@ -52,6 +96,8 @@ func main() {
 	table1 := flag.Bool("table1", false, "render only Table 1")
 	seeds := flag.Int("seeds", 1, "repeat each experiment across N seeds and report mean±stddev")
 	svgDir := flag.String("svg", "", "also write Figures 1-8 as SVG files into this directory")
+	dumpDir := flag.String("dump", "", "also write each experiment's merged trace into this directory")
+	format := flag.String("format", "bin", "trace format for -dump: bin, text, or col")
 	workers := flag.Int("workers", 0, "worker pool size for experiment runs and characterization (0 = all cores)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -125,6 +171,16 @@ func main() {
 	}, *workers)
 	if err != nil {
 		fail(1, err)
+	}
+
+	if *dumpDir != "" {
+		for _, k := range kinds {
+			path, n, err := dumpTrace(*dumpDir, *format, k, results[k])
+			if err != nil {
+				fail(1, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", n, path)
+		}
 	}
 
 	fmt.Println(essio.Table1(results))

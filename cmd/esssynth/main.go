@@ -76,8 +76,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  esssynth fit      -i trace -o model.json [-format auto|bin|text] [-label L] [-nodes N] [-disk SECTORS] [-band SECTORS]
-  esssynth generate -m model.json -o trace -duration SECONDS [-format bin|text] [-seed N] [-nodes N] [-rate X] [-readfrac F] [-max N]
+  esssynth fit      -i trace -o model.json [-format auto|bin|text|col] [-label L] [-nodes N] [-disk SECTORS] [-band SECTORS]
+  esssynth generate -m model.json -o trace -duration SECONDS [-format bin|text|col] [-seed N] [-nodes N] [-rate X] [-readfrac F] [-max N]
   esssynth validate -a trace-or-model -b trace-or-model [-disk SECTORS] [-band SECTORS] [-sizeks F] [-minbandp F]
   esssynth load     -url http://host:9406 [-streams N] [-records N] [-seed N] [-m model.json] [-query Q] [-timeout D]`)
 }
@@ -86,7 +86,7 @@ func runFit(args []string) (err error) {
 	fs := flag.NewFlagSet("fit", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
 	out := fs.String("o", "", "output model JSON file (required, - for stdout)")
-	format := fs.String("format", "auto", "input format: auto, bin, or text")
+	format := fs.String("format", "auto", "input format: auto, bin, text, or col")
 	label := fs.String("label", "", "model label (default: input file name)")
 	nodes := fs.Int("nodes", 0, "node count (0 = infer from trace)")
 	disk := fs.Uint("disk", 1024000, "disk size in sectors")
@@ -139,7 +139,7 @@ func runGenerate(args []string) (err error) {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	modelPath := fs.String("m", "", "input model JSON file (required)")
 	out := fs.String("o", "", "output trace file (required, - for stdout)")
-	format := fs.String("format", "bin", "output format: bin or text")
+	format := fs.String("format", "bin", "output format: bin, text, or col")
 	seed := fs.Uint64("seed", 1, "random seed (same seed, same trace)")
 	duration := fs.Float64("duration", 0, "generated span in seconds (required unless -max)")
 	nodes := fs.Int("nodes", 0, "node count (0 = model's)")
@@ -206,8 +206,14 @@ func runGenerate(args []string) (err error) {
 		if err == nil {
 			err = tw.Flush()
 		}
+	case "col":
+		tw := essio.NewTraceColWriter(w)
+		n, err = copyMax(tw, g, *max)
+		if err == nil {
+			err = tw.Flush()
+		}
 	default:
-		return fmt.Errorf("generate: unknown -format %q (want bin or text)", *format)
+		return fmt.Errorf("generate: unknown -format %q (want bin, text, or col)", *format)
 	}
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "output trace file (binary format); empty writes no file")
 	outText := flag.String("otext", "", "output trace file in tab-separated text format")
+	outCol := flag.String("ocol", "", "output trace file in compressed columnar format")
 	text := flag.Bool("text", false, "dump records as text to stdout")
 	small := flag.Bool("small", false, "scaled-down configuration (quick)")
 	flag.Parse()
@@ -63,6 +64,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d records to %s (text)\n", n, *outText)
+	}
+	if *outCol != "" {
+		n, err := writeStream(*outCol, res, func(f *os.File) flushSink {
+			return essio.NewTraceColWriter(f)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s (col)\n", n, *outCol)
 	}
 	if *text {
 		for _, r := range res.Merged {

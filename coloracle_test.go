@@ -1,0 +1,88 @@
+package essio_test
+
+// The columnar pipeline's end-to-end oracle: for each of the five
+// experiments (E0 baseline through E4 combined), the characterization
+// computed from a columnar-encoded copy of the trace must render byte
+// for byte the same profile as the row pipeline over the original
+// records. This is the acceptance gate the ISSUE states: the column
+// codec, the column views, and the vectorized accumulator folds are
+// allowed to change the cost of the pass, never its output.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"essio"
+	"essio/internal/trace"
+)
+
+func TestColumnarCharacterizationMatchesRowOracle(t *testing.T) {
+	for _, kind := range essio.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			res, err := essio.Run(essio.SmallConfig(kind, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Row pipeline: records fed one by one, no column views
+			// anywhere.
+			rowProf := essio.NewProfiler(string(res.Kind), res.Duration, res.Nodes, res.DiskSectors)
+			for _, r := range res.Merged {
+				if err := rowProf.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Columnar pipeline: encode the same trace with the column
+			// codec, decode it back as column views, and fold them through
+			// the vectorized accumulators via the Copy fast path.
+			var buf bytes.Buffer
+			if err := trace.WriteCol(&buf, res.Merged); err != nil {
+				t.Fatal(err)
+			}
+			colProf := essio.NewProfiler(string(res.Kind), res.Duration, res.Nodes, res.DiskSectors)
+			n, err := trace.Copy(colProf, trace.NewColReader(bytes.NewReader(buf.Bytes())))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(res.Merged) {
+				t.Fatalf("columnar pass saw %d records, trace has %d", n, len(res.Merged))
+			}
+
+			rp, cp := rowProf.Profile(), colProf.Profile()
+			if !reflect.DeepEqual(rp, cp) {
+				t.Errorf("%s: columnar profile state diverged from row oracle", kind)
+			}
+			rs, cs := rp.String(), cp.String()
+			if rs != cs {
+				t.Fatalf("%s: rendered profiles differ\n--- row ---\n%s\n--- columnar ---\n%s", kind, rs, cs)
+			}
+			// Round-trip sanity on the same trace: the decoded records are
+			// exactly the originals.
+			got, err := trace.ReadCol(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(res.Merged) || !reflect.DeepEqual(got, res.Merged) {
+				t.Fatalf("%s: columnar round trip diverged", kind)
+			}
+			// And the columnar file must not cost more than the fixed-width
+			// binary encoding on real experiment traces.
+			var bin bytes.Buffer
+			if err := trace.WriteAll(&bin, res.Merged); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() >= bin.Len() && len(res.Merged) > 0 {
+				t.Errorf("%s: columnar file (%d bytes) not smaller than binary (%d bytes)",
+					kind, buf.Len(), bin.Len())
+			}
+			t.Log(fmt.Sprintf("%s: %d records, binary %d bytes, columnar %d bytes (%.1f%%)",
+				kind, len(res.Merged), bin.Len(), buf.Len(),
+				100*float64(buf.Len())/float64(bin.Len())))
+		})
+	}
+}

@@ -221,6 +221,19 @@ type (
 	TraceWriter = trace.Writer
 	// TraceTextWriter is the streaming text encoder (a Sink; call Flush).
 	TraceTextWriter = trace.TextWriter
+	// TraceColBatch is a batch of records in struct-of-arrays layout:
+	// one dense slice per record field.
+	TraceColBatch = trace.ColBatch
+	// TraceColSource is a pull iterator over columnar batch views.
+	TraceColSource = trace.ColSource
+	// TraceColSink is a push consumer of columnar batch views.
+	TraceColSink = trace.ColSink
+	// TraceColWriter is the streaming columnar encoder (a Sink, a
+	// BatchSink, and a ColSink; call Flush).
+	TraceColWriter = trace.ColWriter
+	// TraceColReader is the streaming columnar decoder (a Source, a
+	// BatchSource, and a ColSource).
+	TraceColReader = trace.ColReader
 
 	// SummaryAcc incrementally builds a Table 1 row.
 	SummaryAcc = analysis.SummaryAcc
@@ -276,6 +289,28 @@ var (
 	// it already batches); FromTraceBatchSink goes the other way.
 	ToTraceBatchSink   = trace.ToBatchSink
 	FromTraceBatchSink = trace.FromBatchSink
+	// NewTraceColReader decodes the columnar format incrementally.
+	NewTraceColReader = trace.NewColReader
+	// NewTraceColWriter encodes the columnar format incrementally.
+	NewTraceColWriter = trace.NewColWriter
+	// SliceTraceColSource adapts an in-memory columnar batch to a Source
+	// (also a ColSource serving zero-copy column views).
+	SliceTraceColSource = trace.SliceColSource
+	// CopyTraceCols pumps a ColSource into a ColSink at column
+	// granularity, never materializing records.
+	CopyTraceCols = trace.CopyCols
+	// ToTraceColSource adapts any Source to columnar reads (pass-through
+	// for columnar-native sources); FromTraceColSource goes the other
+	// way.
+	ToTraceColSource   = trace.ToColSource
+	FromTraceColSource = trace.FromColSource
+	// AsTraceColSource probes a Source for a columnar-native view, the
+	// zero-transpose test CopyTrace uses to pick the columnar fast path.
+	AsTraceColSource = trace.AsColSource
+	// WriteTraceCol and ReadTraceCol are the whole-trace columnar codec
+	// conveniences, siblings of WriteTrace/ReadTrace.
+	WriteTraceCol = trace.WriteCol
+	ReadTraceCol  = trace.ReadCol
 	// TeeSinks fans one stream out to several sinks.
 	TeeSinks = trace.Tee
 	// MergeTraceSources k-way-merges ordered sources in (Time, Node,
@@ -423,7 +458,7 @@ type (
 )
 
 // NewTraceReaderSource wraps an io.Reader as a streaming trace source;
-// format is "bin", "text", or "auto"/"" to sniff the encoding by
+// format is "bin", "text", "col", or "auto"/"" to sniff the encoding by
 // peeking (no Seek required). It is the ingest path of the essd daemon
 // and the `-i -` stdin path of essanalyze/essreplay.
 func NewTraceReaderSource(r io.Reader, format string) (*TraceReaderSource, error) {
@@ -434,11 +469,14 @@ func NewTraceReaderSource(r io.Reader, format string) (*TraceReaderSource, error
 const (
 	TraceFormatBinary = trace.FormatBinary
 	TraceFormatText   = trace.FormatText
+	TraceFormatCol    = trace.FormatCol
 	TraceFormatAuto   = trace.FormatAuto
 )
 
 // OpenTraceFile opens a trace file as a streaming source; format is
-// "bin", "text", or "auto"/"" to sniff the encoding.
+// "bin", "text", "col", or "auto"/"" to sniff the encoding. Columnar
+// files are memory-mapped where the platform allows, yielding zero-copy
+// column views.
 func OpenTraceFile(path, format string) (*TraceFileSource, error) {
 	return trace.OpenFileSource(path, format)
 }
@@ -446,9 +484,10 @@ func OpenTraceFile(path, format string) (*TraceFileSource, error) {
 // OpenTraceFileChunks opens a binary trace file as n record-aligned,
 // time-contiguous chunk sources covering the file in order, so workers
 // can analyze one file in parallel and fold their accumulators back
-// together with the exact Merge methods. It fails for text-encoded or
-// truncated files; callers fall back to the sequential OpenTraceFile
-// path.
+// together with the exact Merge methods. It fails for text- or
+// columnar-encoded and truncated files; callers fall back to the
+// sequential OpenTraceFile path (for columnar files that fallback is the
+// mmap-backed fast path).
 func OpenTraceFileChunks(path string, n int) ([]*TraceFileSource, error) {
 	return trace.OpenFileChunks(path, n)
 }

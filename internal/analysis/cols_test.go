@@ -1,0 +1,134 @@
+package analysis
+
+// Columnar-vs-row equivalence: every accumulator's AddCols must leave
+// exactly the same internal state as folding the records one at a time
+// through Add, for any chunking of the stream into column batches. The
+// row path is the oracle; reflect.DeepEqual over the accumulator structs
+// (maps, counters, flags — everything) is the strictest check available.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// mkColStream builds a randomized trace with the clustered shapes the
+// column codec optimizes for: repeated sizes, bursts in time, runs of
+// the same op/origin, sector revisits.
+func mkColStream(rng *rand.Rand) []trace.Record {
+	recs := make([]trace.Record, rng.Intn(600))
+	var t sim.Time
+	for i := range recs {
+		t += sim.Time(rng.Intn(int(sim.Second / 4)))
+		recs[i] = trace.Record{
+			Time:    t,
+			Sector:  uint32(rng.Intn(32)) * 1000,
+			Count:   uint16([]int{2, 8, 8, 8, 32, 200}[rng.Intn(6)]),
+			Pending: uint16(rng.Intn(5)),
+			Op:      trace.Op(rng.Intn(2)),
+			Node:    uint8(rng.Intn(3)),
+			Origin:  trace.Origin(rng.Intn(7)),
+		}
+	}
+	return recs
+}
+
+// feedCols plays recs into sink in randomly sized column batches.
+func feedCols(t *testing.T, rng *rand.Rand, sink trace.ColSink, recs []trace.Record) {
+	t.Helper()
+	var b trace.ColBatch
+	for len(recs) > 0 {
+		n := 1 + rng.Intn(len(recs))
+		b.Reset()
+		b.AppendRecords(recs[:n])
+		if err := sink.AddCols(&b); err != nil {
+			t.Fatal(err)
+		}
+		recs = recs[n:]
+	}
+}
+
+func TestQuickColsMatchRows(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (rows interface{ Add(trace.Record) error }, cols trace.ColSink)
+	}{
+		{"SummaryAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewSummaryAcc("wl", 10*sim.Second, 3), NewSummaryAcc("wl", 10*sim.Second, 3)
+		}},
+		{"SizeHistAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewSizeHistAcc(), NewSizeHistAcc()
+		}},
+		{"SizeClassAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewSizeClassAcc(), NewSizeClassAcc()
+		}},
+		{"OriginAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewOriginAcc(), NewOriginAcc()
+		}},
+		{"BandsAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewBandsAcc(1<<13, 1<<15), NewBandsAcc(1<<13, 1<<15)
+		}},
+		{"HeatAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewHeatAcc(), NewHeatAcc()
+		}},
+		{"RateAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewRateAcc(), NewRateAcc()
+		}},
+		{"PendingAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewPendingAcc(), NewPendingAcc()
+		}},
+		{"InterAccessAcc", func() (interface{ Add(trace.Record) error }, trace.ColSink) {
+			return NewInterAccessAcc(), NewInterAccessAcc()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				recs := mkColStream(rng)
+				rows, cols := tc.mk()
+				for _, r := range recs {
+					if err := rows.Add(r); err != nil {
+						return false
+					}
+				}
+				feedCols(t, rng, cols, recs)
+				if !reflect.DeepEqual(rows, cols) {
+					t.Logf("row state:  %+v", rows)
+					t.Logf("col state:  %+v", cols)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickRateAnchoredColsMatchRows re-runs the rate check with an
+// explicit anchor, the configuration parallel drivers use.
+func TestQuickRateAnchoredColsMatchRows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := mkColStream(rng)
+		rows, cols := NewRateAcc(), NewRateAcc()
+		rows.SetAnchor(sim.Time(3 * sim.Second))
+		cols.SetAnchor(sim.Time(3 * sim.Second))
+		for _, r := range recs {
+			if err := rows.Add(r); err != nil {
+				return false
+			}
+		}
+		feedCols(t, rng, cols, recs)
+		return reflect.DeepEqual(rows, cols)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

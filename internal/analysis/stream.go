@@ -408,16 +408,7 @@ func NewInterAccessAcc() *InterAccessAcc {
 
 // Add observes one record.
 func (a *InterAccessAcc) Add(r trace.Record) error {
-	e, ok := a.m[r.Sector]
-	if ok {
-		a.total += r.Time.Sub(e.last)
-		a.n++
-		e.last = r.Time
-		e.revisited = true
-	} else {
-		e = interAccess{first: r.Time, last: r.Time}
-	}
-	a.m[r.Sector] = e
+	a.Observe(r.Sector, r.Time)
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package core
+
+// The Profiler's columnar fold must be indistinguishable from the
+// per-record fold — including the per-disk sequentiality maps the
+// column path caches in dense arrays, and the first-sector bookkeeping
+// Merge replays across shard boundaries.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// mkProfStream builds a time-ordered multi-node stream with frequent
+// back-to-back sequential pairs so the seq/seqTotal counters move.
+func mkProfStream(rng *rand.Rand) []trace.Record {
+	recs := make([]trace.Record, rng.Intn(800))
+	var t sim.Time
+	next := map[uint8]uint32{}
+	for i := range recs {
+		t += sim.Time(rng.Intn(int(sim.Second / 8)))
+		node := uint8(rng.Intn(4))
+		sec, ok := next[node]
+		if !ok || rng.Intn(3) == 0 {
+			sec = uint32(rng.Intn(1 << 20))
+		}
+		count := uint16(1 + rng.Intn(64))
+		next[node] = sec + uint32(count)
+		recs[i] = trace.Record{
+			Time:    t,
+			Sector:  sec,
+			Count:   count,
+			Pending: uint16(rng.Intn(4)),
+			Op:      trace.Op(rng.Intn(2)),
+			Node:    node,
+			Origin:  trace.Origin(rng.Intn(7)),
+		}
+	}
+	return recs
+}
+
+func TestQuickProfilerColsMatchRows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := mkProfStream(rng)
+		rows := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		cols := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		for _, r := range recs {
+			if err := rows.Add(r); err != nil {
+				return false
+			}
+		}
+		var b trace.ColBatch
+		rest := recs
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(len(rest))
+			b.Reset()
+			b.AppendRecords(rest[:n])
+			if err := cols.AddCols(&b); err != nil {
+				return false
+			}
+			rest = rest[n:]
+		}
+		if !reflect.DeepEqual(rows, cols) {
+			return false
+		}
+		// The derived profiles must agree too (belt and braces: Profile
+		// walks every accumulator).
+		return reflect.DeepEqual(rows.Profile(), cols.Profile())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilerColsThenMerge drives two shard profilers — one fed rows,
+// one fed columns — through the Merge boundary replay and requires the
+// same merged state, proving the column path maintains the maps Merge
+// depends on.
+func TestProfilerColsThenMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	recsA := mkProfStream(rng)
+	recsB := mkProfStream(rng)
+
+	viaRows := func() *Profiler {
+		a := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		b := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		a.SetAnchor(0)
+		b.SetAnchor(0)
+		for _, r := range recsA {
+			a.Add(r)
+		}
+		for _, r := range recsB {
+			b.Add(r)
+		}
+		a.Merge(b)
+		return a
+	}()
+	viaCols := func() *Profiler {
+		a := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		b := NewProfiler("wl", 70*sim.Second, 4, 1<<20)
+		a.SetAnchor(0)
+		b.SetAnchor(0)
+		var batch trace.ColBatch
+		batch.AppendRecords(recsA)
+		a.AddCols(&batch)
+		batch.Reset()
+		batch.AppendRecords(recsB)
+		b.AddCols(&batch)
+		a.Merge(b)
+		return a
+	}()
+	if !reflect.DeepEqual(viaRows, viaCols) {
+		t.Fatal("merged profiler state diverged between row and columnar shard feeds")
+	}
+}

@@ -141,6 +141,67 @@ func (p *Profiler) AddBatch(recs []trace.Record) error {
 	return nil
 }
 
+// AddCols folds a whole columnar batch into the profile. The six
+// whole-trace accumulators each scan just the columns they read; node-0
+// temporal locality and per-disk sequentiality fuse into one pass over
+// the node/sector/count/time columns. The per-disk tail state must stay
+// in the maps (Merge replays and perturbs them per field), but within a
+// batch it is cached in dense node-indexed arrays, so the two map
+// operations per record of the row path become two per (node, batch).
+func (p *Profiler) AddCols(cols *trace.ColBatch) error {
+	sp := p.om.span.Start()
+	p.summary.AddCols(cols)
+	p.classes.AddCols(cols)
+	p.origins.AddCols(cols)
+	p.bands.AddCols(cols)
+	p.rate.AddCols(cols)
+	p.pending.AddCols(cols)
+
+	var (
+		end    [256]uint32
+		endOK  [256]bool
+		loaded [256]bool
+	)
+	nodes, secs := cols.Nodes, cols.Sectors
+	cnts, times := cols.Counts, cols.Times
+	for i, node := range nodes {
+		sec := secs[i]
+		if node == 0 {
+			p.node0Heat.Observe(sec)
+			p.node0Inter.Observe(sec, times[i])
+		}
+		if !loaded[node] {
+			loaded[node] = true
+			if e, ok := p.lastEnd[node]; ok {
+				end[node], endOK[node] = e, true
+			} else {
+				// First record ever seen for this disk: remember its
+				// opening sector for Merge's boundary replay, exactly
+				// as the row path does.
+				p.firstSector[node] = sec
+			}
+		}
+		if endOK[node] {
+			p.seqTotal++
+			if sec == end[node] {
+				p.seq++
+			}
+		}
+		end[node] = sec + uint32(cnts[i])
+		endOK[node] = true
+	}
+	for n, ok := range loaded {
+		if ok {
+			p.lastEnd[uint8(n)] = end[n]
+		}
+	}
+
+	p.om.stage.ObserveBatch(cols.Len(), cols.Len()*trace.RecordSize)
+	p.om.batchLen.Observe(int64(cols.Len()))
+	sp.End()
+	return nil
+}
+
 // Merge folds another profiler into p, leaving p exactly as if it had
 // consumed both record streams in one pass. It is exact when the shards
 // are node-disjoint (each disk's records went wholly to one profiler, as

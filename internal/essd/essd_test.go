@@ -121,6 +121,28 @@ func TestIngestMatchesBatchCharacterization(t *testing.T) {
 	if textDone.Characterization != want || textDone.Hash != done.Hash {
 		t.Errorf("text upload diverges: hash %s vs %s", textDone.Hash, done.Hash)
 	}
+
+	// So must the columnar encoding: the sniffer recognizes the column
+	// magic, and the characterization flows through the zero-copy column
+	// views — still byte-identical and content-addressed the same.
+	var col bytes.Buffer
+	if err := trace.WriteCol(&col, recs); err != nil {
+		t.Fatalf("write col: %v", err)
+	}
+	colDone := lastEvent(t, ts.Client(), url, &col)
+	if colDone.Event != "done" {
+		t.Fatalf("columnar upload final event %q (error %q), want done", colDone.Event, colDone.Error)
+	}
+	if colDone.Records != len(recs) {
+		t.Errorf("columnar upload streamed %d records, want %d", colDone.Records, len(recs))
+	}
+	if colDone.Characterization != want {
+		t.Errorf("columnar upload characterization diverges from batch output:\n--- columnar ---\n%s--- batch ---\n%s",
+			colDone.Characterization, want)
+	}
+	if colDone.Hash != done.Hash {
+		t.Errorf("columnar upload hash %s, want %s", colDone.Hash, done.Hash)
+	}
 }
 
 func TestIngestEmptyTrace(t *testing.T) {

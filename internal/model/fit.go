@@ -182,6 +182,18 @@ func (f *Fitter) AddBatch(recs []trace.Record) error {
 	return nil
 }
 
+// AddCols folds a columnar batch into the fit. Every fitted statistic
+// couples consecutive records (inter-arrival gaps, per-disk run
+// lengths), so the fold is inherently sequential; records are
+// reassembled from the columns and pushed through the exact per-record
+// path, which keeps columnar inputs bit-identical to row inputs.
+func (f *Fitter) AddCols(cols *trace.ColBatch) error {
+	for i, n := 0, cols.Len(); i < n; i++ {
+		f.Add(cols.Record(i))
+	}
+	return nil
+}
+
 // Merge folds another fitter into f, leaving f exactly as if it had
 // consumed both record streams in one sequential pass. It is exact when o
 // saw a time-contiguous continuation of f's merged stream — the shape

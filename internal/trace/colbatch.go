@@ -1,0 +1,382 @@
+// Columnar record batches: the struct-of-arrays counterpart of the
+// []Record batch layer. A ColBatch keeps each record field in its own
+// slice, so an accumulator that touches two fields of every record scans
+// two dense arrays instead of dragging all RecordSize bytes of each
+// record through cache — the layout the vectorized AddCols fast paths of
+// the analysis accumulators iterate. ColSource and ColSink move column
+// views across stage boundaries with the same zero-copy discipline as
+// record spans: a view is valid only until the next call into the
+// source, and must never be retained.
+
+package trace
+
+import (
+	"io"
+
+	"essio/internal/sim"
+)
+
+// ColBatch is a batch of records in struct-of-arrays (columnar) layout.
+// All seven column slices are always the same length; Len is the record
+// count. The zero value is an empty batch.
+type ColBatch struct {
+	// Times holds Record.Time per record.
+	Times []sim.Time
+	// Sectors holds Record.Sector per record.
+	Sectors []uint32
+	// Counts holds Record.Count per record.
+	Counts []uint16
+	// Pendings holds Record.Pending per record.
+	Pendings []uint16
+	// Ops holds Record.Op per record.
+	Ops []Op
+	// Nodes holds Record.Node per record.
+	Nodes []uint8
+	// Origins holds Record.Origin per record.
+	Origins []Origin
+}
+
+// Len reports the number of records in the batch.
+func (b *ColBatch) Len() int { return len(b.Times) }
+
+// Reset empties the batch, keeping the column capacity for reuse.
+func (b *ColBatch) Reset() {
+	b.Times = b.Times[:0]
+	b.Sectors = b.Sectors[:0]
+	b.Counts = b.Counts[:0]
+	b.Pendings = b.Pendings[:0]
+	b.Ops = b.Ops[:0]
+	b.Nodes = b.Nodes[:0]
+	b.Origins = b.Origins[:0]
+}
+
+// growCol returns s with length n, reallocating when capacity is short.
+// Existing contents are not preserved; callers overwrite every element.
+func growCol[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resize sets every column to length n for a decoder to fill in place.
+func (b *ColBatch) resize(n int) {
+	b.Times = growCol(b.Times, n)
+	b.Sectors = growCol(b.Sectors, n)
+	b.Counts = growCol(b.Counts, n)
+	b.Pendings = growCol(b.Pendings, n)
+	b.Ops = growCol(b.Ops, n)
+	b.Nodes = growCol(b.Nodes, n)
+	b.Origins = growCol(b.Origins, n)
+}
+
+// AppendRecord transposes one record onto the columns.
+func (b *ColBatch) AppendRecord(r Record) {
+	b.Times = append(b.Times, r.Time)
+	b.Sectors = append(b.Sectors, r.Sector)
+	b.Counts = append(b.Counts, r.Count)
+	b.Pendings = append(b.Pendings, r.Pending)
+	b.Ops = append(b.Ops, r.Op)
+	b.Nodes = append(b.Nodes, r.Node)
+	b.Origins = append(b.Origins, r.Origin)
+}
+
+// AppendRecords transposes a whole record slice onto the columns.
+func (b *ColBatch) AppendRecords(recs []Record) {
+	for _, r := range recs {
+		b.AppendRecord(r)
+	}
+}
+
+// AppendCols appends every column of o onto b.
+func (b *ColBatch) AppendCols(o *ColBatch) {
+	b.Times = append(b.Times, o.Times...)
+	b.Sectors = append(b.Sectors, o.Sectors...)
+	b.Counts = append(b.Counts, o.Counts...)
+	b.Pendings = append(b.Pendings, o.Pendings...)
+	b.Ops = append(b.Ops, o.Ops...)
+	b.Nodes = append(b.Nodes, o.Nodes...)
+	b.Origins = append(b.Origins, o.Origins...)
+}
+
+// Record reassembles record i from the columns.
+func (b *ColBatch) Record(i int) Record {
+	return Record{
+		Time:    b.Times[i],
+		Sector:  b.Sectors[i],
+		Count:   b.Counts[i],
+		Pending: b.Pendings[i],
+		Op:      b.Ops[i],
+		Node:    b.Nodes[i],
+		Origin:  b.Origins[i],
+	}
+}
+
+// AppendTo materializes the batch as records appended to dst.
+func (b *ColBatch) AppendTo(dst []Record) []Record {
+	for i := range b.Times {
+		dst = append(dst, b.Record(i))
+	}
+	return dst
+}
+
+// Slice returns a view of records [i, j) sharing the column backing
+// arrays; like a record span, the view is only as durable as the batch
+// it came from.
+func (b *ColBatch) Slice(i, j int) ColBatch {
+	return ColBatch{
+		Times:    b.Times[i:j],
+		Sectors:  b.Sectors[i:j],
+		Counts:   b.Counts[i:j],
+		Pendings: b.Pendings[i:j],
+		Ops:      b.Ops[i:j],
+		Nodes:    b.Nodes[i:j],
+		Origins:  b.Origins[i:j],
+	}
+}
+
+// ColSource is a pull iterator over columnar batches. NextCols returns a
+// view of up to max records that is valid only until the next call —
+// the same zero-copy contract as record spans — io.EOF at a clean end
+// of stream, and a terminal error otherwise. Sources of this package
+// never return an empty view with a nil error.
+type ColSource interface {
+	NextCols(max int) (*ColBatch, error)
+}
+
+// ColSink is a push consumer of columnar batches. AddCols consumes every
+// record of cols or returns the first error; cols must not be retained.
+type ColSink interface {
+	AddCols(cols *ColBatch) error
+}
+
+// colNativeSource is implemented by wrappers (file and reader sources)
+// that can reveal a columnar-native inner source; it returns nil when
+// the wrapped stream is row-encoded.
+type colNativeSource interface{ colNative() ColSource }
+
+// AsColSource reports the columnar-native view of src, if it has one:
+// src itself when it is a ColSource, or the inner columnar decoder of a
+// file or reader source opened on a columnar stream. Row-backed sources
+// report false; Copy uses this probe to pick the all-columnar fast path
+// only when no transpose would be needed.
+func AsColSource(src Source) (ColSource, bool) {
+	switch s := src.(type) {
+	case colNativeSource:
+		if cs := s.colNative(); cs != nil {
+			return cs, true
+		}
+	case ColSource:
+		return s, true
+	}
+	return nil, false
+}
+
+// CopyCols streams every record from src into dst at column granularity
+// and reports how many records were transferred; the columnar form of
+// Copy. No record is ever materialized: views move straight from the
+// decoder (or mapped file) into the sink's column scans.
+func CopyCols(dst ColSink, src ColSource) (int, error) {
+	n := 0
+	for {
+		cols, err := src.NextCols(DefaultBatchLen)
+		if cols != nil && cols.Len() > 0 {
+			if aerr := dst.AddCols(cols); aerr != nil {
+				return n, aerr
+			}
+			n += cols.Len()
+		}
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+// ToColSource adapts src to the columnar interface: columnar-native
+// sources are returned unchanged, everything else is read through the
+// span layer and transposed one batch at a time.
+func ToColSource(src Source) ColSource {
+	if cs, ok := AsColSource(src); ok {
+		return cs
+	}
+	return &colBatcher{in: newSpanReader(src, DefaultBatchLen)}
+}
+
+// colBatcher transposes record spans into a reused columnar buffer, the
+// compatibility path for row sources under columnar consumers.
+type colBatcher struct {
+	in   *spanReader
+	span []Record
+	pos  int
+	buf  ColBatch
+}
+
+func (c *colBatcher) NextCols(max int) (*ColBatch, error) {
+	if max <= 0 {
+		max = DefaultBatchLen
+	}
+	if c.pos >= len(c.span) {
+		span, err := c.in.nextSpan()
+		if err != nil {
+			return nil, err
+		}
+		// The buffered span is fully consumed before the next nextSpan
+		// call refills it, so holding it across NextCols calls is safe.
+		c.span, c.pos = span, 0 //essvet:ignore spanretain
+	}
+	n := len(c.span) - c.pos
+	if n > max {
+		n = max
+	}
+	c.buf.Reset()
+	c.buf.AppendRecords(c.span[c.pos : c.pos+n])
+	c.pos += n
+	return &c.buf, nil
+}
+
+// FromColSource adapts a columnar source back to the per-record
+// interfaces; sources that already serve records are returned unchanged.
+func FromColSource(src ColSource) Source {
+	if s, ok := src.(Source); ok {
+		return s
+	}
+	return &colUnpacker{src: src}
+}
+
+// colUnpacker materializes columnar views one record (or span) at a
+// time.
+type colUnpacker struct {
+	src  ColSource
+	cols *ColBatch
+	pos  int
+	recs []Record // span materialization scratch
+}
+
+// fill buffers the next non-empty view.
+func (u *colUnpacker) fill() error {
+	cols, err := u.src.NextCols(DefaultBatchLen)
+	if err != nil {
+		return err
+	}
+	// The buffered view is fully consumed before the next NextCols call
+	// invalidates it, so holding it across calls is safe.
+	u.cols, u.pos = cols, 0 //essvet:ignore spanretain
+	return nil
+}
+
+func (u *colUnpacker) Next() (Record, error) {
+	if u.cols == nil || u.pos >= u.cols.Len() {
+		if err := u.fill(); err != nil {
+			return Record{}, err
+		}
+	}
+	r := u.cols.Record(u.pos)
+	u.pos++
+	return r, nil
+}
+
+func (u *colUnpacker) NextBatch(buf []Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if u.cols == nil || u.pos >= u.cols.Len() {
+			if err := u.fill(); err != nil {
+				if err == io.EOF && n > 0 {
+					return n, io.EOF
+				}
+				return n, err
+			}
+		}
+		m := u.cols.Len() - u.pos
+		if m > len(buf)-n {
+			m = len(buf) - n
+		}
+		for i := 0; i < m; i++ {
+			buf[n+i] = u.cols.Record(u.pos + i)
+		}
+		n += m
+		u.pos += m
+	}
+	return n, nil
+}
+
+func (u *colUnpacker) NextSpan(max int) ([]Record, error) {
+	if max > DefaultBatchLen {
+		max = DefaultBatchLen
+	}
+	if u.recs == nil {
+		u.recs = make([]Record, DefaultBatchLen)
+	}
+	n, err := u.NextBatch(u.recs[:max])
+	return u.recs[:n], err
+}
+
+// SliceColSource adapts an in-memory columnar batch to the Source
+// interface. The returned Source is also a ColSource serving sub-views
+// of b without copying, a BatchSource, and a span source, so both row
+// and columnar consumers read it at full width.
+func SliceColSource(b *ColBatch) Source { return &colSliceSource{b: b} }
+
+// colSliceSource iterates an in-memory columnar batch.
+type colSliceSource struct {
+	b    *ColBatch
+	i    int
+	view ColBatch
+	recs []Record // span materialization scratch
+}
+
+func (s *colSliceSource) Next() (Record, error) {
+	if s.i >= s.b.Len() {
+		return Record{}, io.EOF
+	}
+	r := s.b.Record(s.i)
+	s.i++
+	return r, nil
+}
+
+func (s *colSliceSource) NextCols(max int) (*ColBatch, error) {
+	if s.i >= s.b.Len() {
+		return nil, io.EOF
+	}
+	if max <= 0 {
+		max = DefaultBatchLen
+	}
+	j := s.i + max
+	if j > s.b.Len() {
+		j = s.b.Len()
+	}
+	s.view = s.b.Slice(s.i, j)
+	s.i = j
+	return &s.view, nil
+}
+
+func (s *colSliceSource) NextBatch(buf []Record) (int, error) {
+	n := s.b.Len() - s.i
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = s.b.Record(s.i + i)
+	}
+	s.i += n
+	if s.i >= s.b.Len() {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (s *colSliceSource) NextSpan(max int) ([]Record, error) {
+	if s.i >= s.b.Len() {
+		return nil, io.EOF
+	}
+	if max > DefaultBatchLen {
+		max = DefaultBatchLen
+	}
+	if s.recs == nil {
+		s.recs = make([]Record, DefaultBatchLen)
+	}
+	n, err := s.NextBatch(s.recs[:max])
+	return s.recs[:n], err
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; OpenFileSource falls back to
+// the streaming columnar decoder.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	return nil, nil, errors.New("trace: mmap unsupported on this platform")
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only in its entirety and returns the bytes with
+// an unmap function. An empty file maps to an empty (nil) image.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if !mmapSizeOK(size) {
+		return nil, nil, errors.New("trace: col: file too large to map")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -15,6 +15,8 @@ const (
 	FormatText = "text"
 	// FormatAuto sniffs the encoding from the file's first bytes.
 	FormatAuto = "auto"
+	// FormatCol (declared in colcodec.go) is the compressed columnar
+	// encoding.
 )
 
 // FileSource is a Source reading a trace file; Close releases the file.
@@ -24,6 +26,8 @@ const (
 type FileSource struct {
 	src    Source
 	batch  BatchSource
+	col    ColSource    // non-nil when the file is columnar
+	unmap  func() error // releases an mmap-backed columnar view
 	f      *os.File
 	format string
 }
@@ -39,22 +43,40 @@ func (s *FileSource) NextBatch(buf []Record) (int, error) {
 	return s.batch.NextBatch(buf)
 }
 
-// Close closes the underlying file.
-func (s *FileSource) Close() error { return s.f.Close() }
+// Close closes the underlying file, releasing the mapping first when
+// the source is mmap-backed.
+func (s *FileSource) Close() error {
+	if s.unmap != nil {
+		if err := s.unmap(); err != nil {
+			s.f.Close()
+			return err
+		}
+		s.unmap = nil
+	}
+	return s.f.Close()
+}
 
-// Format reports the resolved encoding, FormatBinary or FormatText.
+// Format reports the resolved encoding: FormatBinary, FormatText, or
+// FormatCol.
 func (s *FileSource) Format() string { return s.format }
 
+// colNative reveals the inner columnar source when the file is
+// columnar, nil otherwise; the AsColSource probe.
+func (s *FileSource) colNative() ColSource { return s.col }
+
 // OpenFileSource opens a trace file as a streaming Source. format is
-// FormatBinary, FormatText, or FormatAuto (sniff); the empty string means
-// FormatAuto. It is the shared open/sniff path of essanalyze, essreplay,
-// and esssynth, and is NewReaderSource plus the file lifecycle.
+// FormatBinary, FormatText, FormatCol, or FormatAuto (sniff); the empty
+// string means FormatAuto. It is the shared open/sniff path of
+// essanalyze, essreplay, and esssynth, and is NewReaderSource plus the
+// file lifecycle. Columnar files are memory-mapped where the platform
+// allows, so column views alias the page cache with no decode pass;
+// when mapping fails the streaming columnar decoder takes over.
 func OpenFileSource(path, format string) (*FileSource, error) {
 	switch format {
-	case FormatBinary, FormatText, FormatAuto, "":
+	case FormatBinary, FormatText, FormatCol, FormatAuto, "":
 	default:
-		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
-			format, FormatBinary, FormatText, FormatAuto)
+		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, %s, or %s)",
+			format, FormatBinary, FormatText, FormatCol, FormatAuto)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -65,6 +87,15 @@ func OpenFileSource(path, format string) (*FileSource, error) {
 		f.Close()
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
+	if rs.Format() == FormatCol {
+		if ms, unmap, merr := newColMmapFile(f); merr == nil {
+			return &FileSource{src: ms, col: ms, unmap: unmap, f: f, format: FormatCol}, nil
+		}
+		// Mapping failed (unsupported platform, exotic file): rs has
+		// consumed nothing material — its buffered reader still holds
+		// the stream — so the streaming decoder serves the file.
+		return &FileSource{src: rs, col: rs.colNative(), f: f, format: FormatCol}, nil
+	}
 	return &FileSource{src: rs, f: f, format: rs.Format()}, nil
 }
 
@@ -74,8 +105,9 @@ func OpenFileSource(path, format string) (*FileSource, error) {
 // back together with the exact concatenation merges. Fewer than n chunks
 // come back when the file holds fewer than n records. It fails — and the
 // caller should fall back to the sequential single-source path — when the
-// file is text-encoded, is not a whole number of records long, or is
-// empty.
+// file is text- or columnar-encoded, is not a whole number of records
+// long, or is empty. (For columnar files the sequential fallback is the
+// fast path anyway: it reads the mmap-backed columnar source.)
 func OpenFileChunks(path string, n int) ([]*FileSource, error) {
 	if n < 1 {
 		n = 1

@@ -65,6 +65,87 @@ func FuzzDecodeBinary(f *testing.F) {
 	})
 }
 
+func FuzzDecodeColumnar(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteCol(&valid, fileTestRecords()); err != nil {
+		f.Fatal(err)
+	}
+	vb := valid.Bytes()
+	f.Add(vb)
+	f.Add([]byte{})
+	f.Add(vb[:len(colMagic)]) // magic only: empty trace
+	// Truncated headers: cut inside the magic, inside the block header,
+	// and inside the first column payload.
+	f.Add(vb[:len(colMagic)-3])
+	f.Add(vb[:len(colMagic)+colHeaderLen/2])
+	f.Add(vb[:len(vb)-5])
+	// Corrupt varint runs: continuation bits forced high in a payload.
+	corruptVarint := append([]byte(nil), vb...)
+	for i := len(colMagic) + colHeaderLen; i < len(corruptVarint); i++ {
+		corruptVarint[i] |= 0x80
+	}
+	f.Add(corruptVarint)
+	// Column-length mismatch: the header claims more records than the
+	// encoded columns carry.
+	overCount := append([]byte(nil), vb...)
+	overCount[len(colMagic)] = 0xff
+	f.Add(overCount)
+	zeroCount := append([]byte(nil), vb...)
+	zeroCount[len(colMagic)] = 0
+	f.Add(zeroCount)
+	// Bogus encoding tags and oversized column declarations.
+	badEnc := append([]byte(nil), vb...)
+	badEnc[len(colMagic)+4] = 0x7f
+	f.Add(badEnc)
+	bigCol := append([]byte(nil), vb...)
+	bigCol[len(colMagic)+4+3] = 0xff // high byte of column 0's size
+	f.Add(bigCol)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCol(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		for _, r := range recs {
+			validateRecord(t, r)
+		}
+		// Accepted input must round-trip exactly, and the mapped decoder
+		// must agree with the streaming one on the re-encoded bytes.
+		var out bytes.Buffer
+		if err := WriteCol(&out, recs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadCol(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if len(again) == 0 {
+			again = []Record{}
+		}
+		if len(recs) == 0 {
+			recs = []Record{}
+		}
+		if !reflect.DeepEqual(again, recs) {
+			t.Fatalf("columnar round trip diverged: %v vs %v", again, recs)
+		}
+		ms, err := newMappedColSource(out.Bytes())
+		if err != nil {
+			t.Fatalf("mapped decoder rejected our own encoding: %v", err)
+		}
+		mapped := []Record{}
+		for {
+			r, err := ms.Next()
+			if err != nil {
+				break
+			}
+			mapped = append(mapped, r)
+		}
+		if !reflect.DeepEqual(mapped, recs) {
+			t.Fatalf("mapped decode diverged: %v vs %v", mapped, recs)
+		}
+	})
+}
+
 func FuzzDecodeText(f *testing.F) {
 	var valid bytes.Buffer
 	if err := WriteText(&valid, fileTestRecords()); err != nil {

@@ -170,8 +170,28 @@ func (m *mergeSource) Next() (Record, error) {
 	return r, nil
 }
 
+// runnerUp returns the strongest rival of winner w: the best loser on
+// w's leaf-to-root path, which is the input that would win the
+// tournament if w paused. -1 when there is no rival (k == 1).
+func (m *mergeSource) runnerUp(w int) int {
+	k := len(m.ins)
+	ru := -1
+	for node := (k + w) / 2; node > 0; node /= 2 {
+		c := m.tree[node]
+		if ru < 0 || m.beats(c, ru) {
+			ru = c
+		}
+	}
+	return ru
+}
+
 // NextBatch fills buf with merged records, amortizing the per-record
-// interface dispatch of the output side over whole buffers.
+// interface dispatch of the output side over whole buffers. Column-run
+// copying: per-node traces are long sorted runs, so after each
+// tournament the winner's buffered span keeps winning for many records —
+// those are bulk-copied against the fixed runner-up with one comparison
+// each, and the tree is replayed once per run instead of once per
+// record.
 func (m *mergeSource) NextBatch(buf []Record) (int, error) {
 	if !m.init {
 		if err := m.start(); err != nil {
@@ -194,6 +214,28 @@ func (m *mergeSource) NextBatch(buf []Record) (int, error) {
 		}
 		buf[n] = in.cur
 		n++
+		if ru := m.runnerUp(w); ru < 0 || !m.ins[ru].ok {
+			// No live rival: drain the winner's span freely.
+			for n < len(buf) && in.pos < len(in.span) {
+				buf[n] = in.span[in.pos]
+				n++
+				in.pos++
+			}
+		} else {
+			// Copy while the winner's next record still beats the
+			// runner-up's fixed head, preserving (Time, Node, Sector)
+			// order and input-index stability on ties.
+			rc := m.ins[ru].cur
+			for n < len(buf) && in.pos < len(in.span) {
+				h := in.span[in.pos]
+				if !less(h, rc) && (less(rc, h) || w > ru) {
+					break
+				}
+				buf[n] = h
+				n++
+				in.pos++
+			}
+		}
 		if err := in.advance(); err != nil {
 			// Records already extracted are valid; surface the error on
 			// the next call.

@@ -18,6 +18,11 @@ func ObserveSource(src Source, st *obs.Stage) Source {
 	if st == nil {
 		return src
 	}
+	if cs, ok := AsColSource(src); ok {
+		if _, batch := src.(BatchSource); batch {
+			return &observedColSource{observedSource{src: src, st: st}, cs}
+		}
+	}
 	switch src.(type) {
 	case spanSource:
 		return &observedSpanSource{observedSource{src: src, st: st}}
@@ -63,12 +68,40 @@ func (o *observedSpanSource) NextSpan(max int) ([]Record, error) {
 	return span, err
 }
 
+// observedColSource additionally counts whole column views, keeping the
+// columnar fast path under observation.
+type observedColSource struct {
+	observedSource
+	cs ColSource
+}
+
+func (o *observedColSource) NextBatch(buf []Record) (int, error) {
+	n, err := o.src.(BatchSource).NextBatch(buf)
+	if n > 0 {
+		o.st.ObserveBatch(n, n*RecordSize)
+	}
+	return n, err
+}
+
+func (o *observedColSource) NextCols(max int) (*ColBatch, error) {
+	cols, err := o.cs.NextCols(max)
+	if cols != nil && cols.Len() > 0 {
+		o.st.ObserveBatch(cols.Len(), cols.Len()*RecordSize)
+	}
+	return cols, err
+}
+
 // ObserveSink wraps dst so records pushed into it are counted into st.
 // A nil stage returns dst unchanged. The wrapper of a BatchSink is a
-// BatchSink.
+// BatchSink, and of a columnar BatchSink a ColSink too.
 func ObserveSink(dst Sink, st *obs.Stage) Sink {
 	if st == nil {
 		return dst
+	}
+	if _, ok := dst.(ColSink); ok {
+		if _, batch := dst.(BatchSink); batch {
+			return &observedColSink{observedBatchSink{observedSink{dst: dst, st: st}}}
+		}
 	}
 	if _, ok := dst.(BatchSink); ok {
 		return &observedBatchSink{observedSink{dst: dst, st: st}}
@@ -98,5 +131,16 @@ func (o *observedBatchSink) AddBatch(recs []Record) error {
 		return err
 	}
 	o.st.ObserveBatch(len(recs), len(recs)*RecordSize)
+	return nil
+}
+
+// observedColSink additionally counts whole column views.
+type observedColSink struct{ observedBatchSink }
+
+func (o *observedColSink) AddCols(cols *ColBatch) error {
+	if err := o.dst.(ColSink).AddCols(cols); err != nil {
+		return err
+	}
+	o.st.ObserveBatch(cols.Len(), cols.Len()*RecordSize)
 	return nil
 }

@@ -16,22 +16,23 @@ import (
 type ReaderSource struct {
 	src    Source
 	batch  BatchSource
+	col    ColSource // non-nil when the stream is columnar
 	format string
 }
 
 // NewReaderSource wraps r as a streaming trace Source. format is
-// FormatBinary, FormatText, or FormatAuto (the empty string means
-// FormatAuto); auto-detection peeks at the first bytes without
+// FormatBinary, FormatText, FormatCol, or FormatAuto (the empty string
+// means FormatAuto); auto-detection peeks at the first bytes without
 // consuming them, so it needs no Seek. It is the non-seeking core of
 // OpenFileSource and the ingest path of essd.
 func NewReaderSource(r io.Reader, format string) (*ReaderSource, error) {
 	switch format {
-	case FormatBinary, FormatText, FormatAuto:
+	case FormatBinary, FormatText, FormatCol, FormatAuto:
 	case "":
 		format = FormatAuto
 	default:
-		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
-			format, FormatBinary, FormatText, FormatAuto)
+		return nil, fmt.Errorf("trace: unknown format %q (want %s, %s, %s, or %s)",
+			format, FormatBinary, FormatText, FormatCol, FormatAuto)
 	}
 	br := bufio.NewReaderSize(r, batchBytes)
 	if format == FormatAuto {
@@ -42,9 +43,13 @@ func NewReaderSource(r io.Reader, format string) (*ReaderSource, error) {
 		}
 	}
 	s := &ReaderSource{format: format}
-	if format == FormatText {
+	switch format {
+	case FormatText:
 		s.src = NewTextReader(br)
-	} else {
+	case FormatCol:
+		cr := NewColReader(br)
+		s.src, s.col = cr, cr
+	default:
 		// NewReader re-wraps br in a same-sized bufio.Reader, which
 		// bufio collapses to br itself: no double buffering.
 		s.src = NewReader(br)
@@ -63,14 +68,22 @@ func (s *ReaderSource) NextBatch(buf []Record) (int, error) {
 	return s.batch.NextBatch(buf)
 }
 
-// Format reports the resolved encoding, FormatBinary or FormatText.
+// Format reports the resolved encoding: FormatBinary, FormatText, or
+// FormatCol.
 func (s *ReaderSource) Format() string { return s.format }
 
-// sniffReader decides between the binary and text encodings by peeking
-// at the first bytes of br without consuming them. The text format is
-// pure printable ASCII with tabs and newlines (it opens with a header
-// line); binary records contain NUL padding and timestamp bytes within
-// the first RecordSize bytes.
+// colNative reveals the inner columnar decoder when the stream is
+// columnar, nil otherwise; the AsColSource probe.
+func (s *ReaderSource) colNative() ColSource { return s.col }
+
+// sniffReader decides among the binary, text, and columnar encodings by
+// peeking at the first bytes of br without consuming them. The columnar
+// magic is checked first — its leading byte is non-printable, so it can
+// never be mistaken for text, and no binary record stream is misread as
+// columnar because the magic check wins before the printability scan.
+// The text format is pure printable ASCII with tabs and newlines (it
+// opens with a header line); binary records contain NUL padding and
+// timestamp bytes within the first RecordSize bytes.
 func sniffReader(br *bufio.Reader) (string, error) {
 	buf, err := br.Peek(256)
 	if err != nil && err != io.EOF {
@@ -79,6 +92,9 @@ func sniffReader(br *bufio.Reader) (string, error) {
 	if len(buf) == 0 {
 		// An empty stream is a valid empty trace in either encoding.
 		return FormatBinary, nil
+	}
+	if len(buf) >= len(colMagic) && [len(colMagic)]byte(buf[:len(colMagic)]) == colMagic {
+		return FormatCol, nil
 	}
 	for _, b := range buf {
 		if b == '\t' || b == '\n' || b == '\r' {

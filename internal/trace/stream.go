@@ -94,6 +94,12 @@ func (c *Collector) AddBatch(recs []Record) error {
 	return nil
 }
 
+// AddCols appends a whole columnar batch, transposing once.
+func (c *Collector) AddCols(cols *ColBatch) error {
+	c.Recs = cols.AppendTo(c.Recs)
+	return nil
+}
+
 // Collect drains src into a slice.
 func Collect(src Source) ([]Record, error) { return CollectSize(src, 0) }
 
@@ -111,8 +117,15 @@ func CollectSize(src Source, sizeHint int) ([]Record, error) {
 // were transferred. It stops at the first error from either side. When src
 // batches (every source of this package does), records move in whole
 // buffers, and a dst that implements BatchSink receives them without
-// per-record dispatch.
+// per-record dispatch. When both ends are columnar — a columnar-native
+// source feeding a ColSink — column views move straight across and no
+// record is ever materialized.
 func Copy(dst Sink, src Source) (int, error) {
+	if cd, ok := dst.(ColSink); ok {
+		if cs, ok := AsColSource(src); ok {
+			return CopyCols(cd, cs)
+		}
+	}
 	switch src.(type) {
 	case spanSource, BatchSource:
 		return copyBatched(dst, newSpanReader(src, DefaultBatchLen))
@@ -174,21 +187,32 @@ type SinkFunc func(Record) error
 func (f SinkFunc) Add(r Record) error { return f(r) }
 
 // tee fans each record out to several sinks. It forwards whole batches to
-// sinks that accept them.
+// sinks that accept them and whole columnar batches to columnar sinks.
 type tee struct {
 	sinks   []Sink
 	batched []BatchSink // non-nil where the sink batches
+	cols    []ColSink   // non-nil where the sink is columnar
+	scratch []Record    // lazy row materialization for AddCols
 }
 
 // Tee returns a Sink that forwards every record to each sink in order, so
 // one pass over a trace feeds any number of accumulators. The returned
-// Sink is also a BatchSink: batches fan out whole to batch-aware sinks and
-// record by record to the rest.
+// Sink is also a BatchSink and a ColSink: batches fan out whole to
+// batch-aware sinks and record by record to the rest, and columnar
+// batches fan out as column views to columnar sinks — rows are
+// materialized at most once per batch, and only if some sink needs them.
 func Tee(sinks ...Sink) Sink {
-	t := &tee{sinks: sinks, batched: make([]BatchSink, len(sinks))}
+	t := &tee{
+		sinks:   sinks,
+		batched: make([]BatchSink, len(sinks)),
+		cols:    make([]ColSink, len(sinks)),
+	}
 	for i, s := range sinks {
 		if bs, ok := s.(BatchSink); ok {
 			t.batched[i] = bs
+		}
+		if cs, ok := s.(ColSink); ok {
+			t.cols[i] = cs
 		}
 	}
 	return t
@@ -198,6 +222,36 @@ func (t *tee) Add(r Record) error {
 	for _, s := range t.sinks {
 		if err := s.Add(r); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// AddCols fans a columnar batch out to every sink: column views to
+// columnar sinks, materialized rows (built at most once) to the rest.
+func (t *tee) AddCols(cols *ColBatch) error {
+	var recs []Record
+	for i, s := range t.sinks {
+		if cs := t.cols[i]; cs != nil {
+			if err := cs.AddCols(cols); err != nil {
+				return err
+			}
+			continue
+		}
+		if recs == nil {
+			t.scratch = cols.AppendTo(t.scratch[:0])
+			recs = t.scratch
+		}
+		if bs := t.batched[i]; bs != nil {
+			if err := bs.AddBatch(recs); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

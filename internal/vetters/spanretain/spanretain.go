@@ -9,17 +9,25 @@
 // overwrites. The bug never crashes: the retained span just starts
 // describing different records.
 //
+// The columnar batch layer carries the same contract: the *ColBatch
+// views handed out by NextCols/nextCols, and the batch passed into an
+// AddCols implementation, alias reused column buffers (or a read-only
+// mmap window), as do the column slices selected from them
+// (view.Times, view.Sectors, ...).
+//
 // The analyzer tracks, within each function body,
 //
-//   - variables bound to the result of a NextSpan/nextSpan call on a
-//     trace-package type, and
+//   - variables bound to the result of a NextSpan/nextSpan or
+//     NextCols/nextCols call on a trace-package type,
 //   - the slice parameter of an AddBatch method implementation
-//     (BatchSink documents "recs must not be retained"),
+//     (BatchSink documents "recs must not be retained"), and
+//   - the pointer parameter of an AddCols method implementation
+//     (ColSink carries the same clause),
 //
-// including aliases made by plain assignment or re-slicing, and flags
-// any retention point. Escaping the span on purpose (an adapter that
-// forwards it under the same contract) is suppressed with
-// //essvet:ignore spanretain.
+// including aliases made by plain assignment, re-slicing, or column
+// selection, and flags any retention point. Escaping the span on
+// purpose (an adapter that forwards it under the same contract) is
+// suppressed with //essvet:ignore spanretain.
 package spanretain
 
 import (
@@ -42,10 +50,11 @@ const name = "spanretain"
 var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: "flag retention of zero-copy record spans from the trace batch layer\n\n" +
-		"Spans returned by NextSpan and batches passed to AddBatch are backed by\n" +
-		"reused codec buffers and are invalid after the next source call; storing\n" +
-		"them in fields, globals, maps, or channels, or capturing them in escaping\n" +
-		"closures, aliases memory the next refill overwrites. Copy first.",
+		"Spans returned by NextSpan, column views returned by NextCols, and batches\n" +
+		"passed to AddBatch/AddCols are backed by reused codec buffers (or read-only\n" +
+		"mmap windows) and are invalid after the next source call; storing them in\n" +
+		"fields, globals, maps, or channels, or capturing them in escaping closures,\n" +
+		"aliases memory the next refill overwrites. Copy first.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -63,8 +72,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				return
 			}
 			body = fn.Body
-			if fn.Recv != nil && fn.Name.Name == "AddBatch" {
-				trackAddBatchParam(pass, fn, tracked)
+			if fn.Recv != nil && (fn.Name.Name == "AddBatch" || fn.Name.Name == "AddCols") {
+				trackBatchParam(pass, fn, tracked)
 			}
 		case *ast.FuncLit:
 			body = fn.Body
@@ -81,9 +90,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// trackAddBatchParam marks the []Record parameter of an AddBatch method
-// implementing the trace BatchSink contract.
-func trackAddBatchParam(pass *analysis.Pass, fn *ast.FuncDecl, tracked map[types.Object]bool) {
+// trackBatchParam marks the batch parameter of an AddBatch ([]Record)
+// or AddCols (*ColBatch) method implementing the trace sink contracts.
+func trackBatchParam(pass *analysis.Pass, fn *ast.FuncDecl, tracked map[types.Object]bool) {
 	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
 	if !ok {
 		return
@@ -92,7 +101,9 @@ func trackAddBatchParam(pass *analysis.Pass, fn *ast.FuncDecl, tracked map[types
 	if sig.Params().Len() != 1 {
 		return
 	}
-	if _, ok := sig.Params().At(0).Type().Underlying().(*types.Slice); !ok {
+	switch sig.Params().At(0).Type().Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+	default:
 		return
 	}
 	if len(fn.Type.Params.List) == 1 && len(fn.Type.Params.List[0].Names) == 1 {
@@ -163,7 +174,9 @@ func isSpanCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	if fn.Name() != "NextSpan" && fn.Name() != "nextSpan" {
+	switch fn.Name() {
+	case "NextSpan", "nextSpan", "NextCols", "nextCols":
+	default:
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -179,9 +192,10 @@ func isTracePkg(path string) bool {
 	return path == "trace" || len(path) > 6 && path[len(path)-6:] == "/trace"
 }
 
-// isTrackedExpr reports whether expr denotes a tracked span or a
+// isTrackedExpr reports whether expr denotes a tracked span or view, a
 // re-slice of one (slicing shares the backing buffer; only an element
-// copy or append breaks the alias).
+// copy or append breaks the alias), or a column selected from a tracked
+// batch view (view.Times and friends alias the same reused storage).
 func isTrackedExpr(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]bool) bool {
 	switch e := expr.(type) {
 	case *ast.Ident:
@@ -190,6 +204,8 @@ func isTrackedExpr(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]
 	case *ast.SliceExpr:
 		return isTrackedExpr(pass, e.X, tracked)
 	case *ast.ParenExpr:
+		return isTrackedExpr(pass, e.X, tracked)
+	case *ast.SelectorExpr:
 		return isTrackedExpr(pass, e.X, tracked)
 	}
 	return false

@@ -15,3 +15,17 @@ func (r *Reader) NextSpan(max int) ([]Record, error) {
 	}
 	return r.buf[:max], nil
 }
+
+// ColBatch is a struct-of-arrays view of a run of records.
+type ColBatch struct {
+	Times   []int64
+	Sectors []uint32
+}
+
+// ColReader hands out zero-copy column views of its decode buffers.
+type ColReader struct{ batch ColBatch }
+
+// NextCols returns a column view, valid until the next call.
+func (r *ColReader) NextCols(max int) (*ColBatch, error) {
+	return &r.batch, nil
+}

@@ -101,3 +101,80 @@ func sum(span []trace.Record) uint32 {
 	}
 	return t
 }
+
+// Columnar views carry the same contract as record spans.
+
+type colHolder struct {
+	view    *trace.ColBatch
+	sectors []uint32
+	all     [][]uint32
+}
+
+func (h *colHolder) storeView(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	h.view = view // want `zero-copy record span stored in a struct field`
+}
+
+func (h *colHolder) storeColumn(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	h.sectors = view.Sectors // want `zero-copy record span stored in a struct field`
+}
+
+func (h *colHolder) aliasColumnReslice(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	secs := view.Sectors[:1]
+	h.sectors = secs // want `zero-copy record span stored in a struct field`
+}
+
+func (h *colHolder) appendColumn(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	h.all = append(h.all, view.Sectors) // want `zero-copy record span appended as a slice value`
+}
+
+func (h *colHolder) goroutineView(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	go func() { // want `zero-copy record span captured by a goroutine racing the span's reuse`
+		sumCol(view.Sectors)
+	}()
+}
+
+// consumeCols folds the view before the next call: fine.
+func consumeCols(r *trace.ColReader) uint32 {
+	view, _ := r.NextCols(64)
+	return sumCol(view.Sectors)
+}
+
+// copyColumnFirst breaks the alias with an element copy: fine.
+func (h *colHolder) copyColumnFirst(r *trace.ColReader) {
+	view, _ := r.NextCols(64)
+	h.sectors = append([]uint32(nil), view.Sectors...)
+}
+
+// colSink must not retain its AddCols parameter or its columns.
+type colSink struct {
+	last    *trace.ColBatch
+	sectors []uint32
+}
+
+func (s *colSink) AddCols(cols *trace.ColBatch) error {
+	s.last = cols            // want `zero-copy record span stored in a struct field`
+	s.sectors = cols.Sectors // want `zero-copy record span stored in a struct field`
+	return nil
+}
+
+// colForwarder passes the view on under the same contract: fine.
+type colForwarder struct {
+	dst *colSink
+}
+
+func (f *colForwarder) AddCols(cols *trace.ColBatch) error {
+	return f.dst.AddCols(cols)
+}
+
+func sumCol(secs []uint32) uint32 {
+	var t uint32
+	for _, s := range secs {
+		t += s
+	}
+	return t
+}

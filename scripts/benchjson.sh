@@ -9,9 +9,13 @@
 #                 Defaults to the fast microbenchmarks; pass '.' for
 #                 everything (the Table/Figure/Ablation benchmarks run
 #                 full experiments and take minutes each).
-#   output-file   defaults to BENCH_<YYYYMMDD>.json in the repo root.
+#   output-file   defaults to BENCH_<YYYYMMDD>.json in the repo root
+#                 (BENCH_<YYYYMMDD>.N.json if that already exists).
 #
-# Environment: BENCHTIME overrides -benchtime (default 1x).
+# Environment: BENCHTIME overrides -benchtime for every run. By default
+# the sub-second microbenchmarks (merge, characterize, codecs) run at
+# -benchtime=100x so per-iteration noise averages out, while the
+# multi-second whole-experiment benchmarks (E1Sharded) stay at 1x.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,14 +26,38 @@ echo "gating on go vet + essvet" >&2
 go vet ./... || { echo "benchjson.sh: go vet failed, not benching" >&2; exit 1; }
 go run ./cmd/essvet ./... || { echo "benchjson.sh: essvet failed, not benching" >&2; exit 1; }
 
-pattern=${1:-'DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|EngineStep|E1Sharded|MergeBatch|MergeStreaming|MergeHeap|MergeLoserTree|CharacterizeParallel|CharacterizeStreaming|CharacterizeObs|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'}
-out=${2:-BENCH_$(date +%Y%m%d).json}
-benchtime=${BENCHTIME:-1x}
+micro='DiskService|ElevatorSubmit|TraceMarshal|EngineEvents|EngineStep|MergeBatch|MergeStreaming|MergeHeap|MergeLoserTree|CharacterizeParallel|CharacterizeStreaming|CharacterizeColumnar|CharacterizeObs|ColWrite|ColRead|ColMmap|BufferCacheHit|EthernetTransfer|PVMBarrier16|WaveletTransform512|PPMStep240x480|NBodyStep8K'
+slow='E1Sharded'
+pattern=${1:-"$micro|$slow"}
+out=${2:-}
+if [ -z "$out" ]; then
+    # Never clobber an earlier artifact from the same day: each run's
+    # numbers are a point on the performance trajectory.
+    out=BENCH_$(date +%Y%m%d).json
+    i=2
+    while [ -e "$out" ]; do
+        out=BENCH_$(date +%Y%m%d).$i.json
+        i=$((i + 1))
+    done
+fi
+micro_benchtime=${BENCHTIME:-100x}
+slow_benchtime=${BENCHTIME:-1x}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/trace | tee "$raw" >&2
+benchtime="micro=$micro_benchtime slow=$slow_benchtime"
+if [ $# -ge 1 ]; then
+    # Explicit pattern: one run, one benchtime (default 100x).
+    benchtime=$micro_benchtime
+    go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/trace | tee "$raw" >&2
+else
+    # Default sweep: microbenchmarks at 100x for stable numbers, then the
+    # multi-second experiment benchmarks at 1x; awk folds both outputs
+    # into one artifact.
+    go test -run '^$' -bench "$micro" -benchtime "$micro_benchtime" . ./internal/trace | tee "$raw" >&2
+    go test -run '^$' -bench "$slow" -benchtime "$slow_benchtime" . | tee -a "$raw" >&2
+fi
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v gover="$(go env GOVERSION)" \
