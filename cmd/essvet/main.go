@@ -1,22 +1,31 @@
 // Command essvet runs the repository's custom static-analysis suite —
 // the internal/vetters analyzers that machine-check the pipeline's
-// correctness invariants (exact accumulator merges, seeded randomness,
-// deterministic output order, consumed sink errors, unretained
-// zero-copy spans).
+// correctness invariants (exact accumulator merges, row/column parity,
+// seeded randomness, deterministic output order, consumed sink errors,
+// unretained zero-copy spans, read-only mmap views, cross-shard engine
+// isolation) plus the stock copylocks and nilfunc passes.
 //
 // Usage:
 //
-//	go run ./cmd/essvet ./...            # whole tree, all analyzers
+//	go run ./cmd/essvet ./...              # whole tree, all analyzers
 //	go run ./cmd/essvet -sinkerr ./cmd/... # one analyzer, one subtree
+//	go run ./cmd/essvet -sarif out.sarif -baseline .essvet-baseline.json ./...
 //
 // Given package patterns, essvet re-executes itself through
 // `go vet -vettool`, so the go command drives package loading, export
 // data, and caching exactly as it does for the built-in vet; invoked
 // by the go command (with -V=full or unit-check config files) it acts
 // as a standard unitchecker-based vet tool.
+//
+// With -sarif the re-exec runs `go vet -json`, the diagnostics are
+// written to the given file as SARIF 2.1.0, and the exit status
+// reflects only findings *not* covered by the -baseline file (default
+// .essvet-baseline.json at the repo root when present), so a CI gate
+// fails on new findings while accepted ones ride along in the report.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"os/exec"
@@ -25,6 +34,7 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"essio/internal/vetters"
+	"essio/internal/vetters/sarif"
 )
 
 func main() {
@@ -33,12 +43,17 @@ func main() {
 		unitchecker.Main(vetters.All()...) // does not return
 	}
 
+	sarifOut, baselinePath, rest := splitReportFlags(args)
+	if sarifOut != "" {
+		os.Exit(runSARIF(sarifOut, baselinePath, rest))
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "essvet:", err)
 		os.Exit(1)
 	}
-	vetArgs := append([]string{"vet", "-vettool=" + exe}, args...)
+	vetArgs := append([]string{"vet", "-vettool=" + exe}, rest...)
 	cmd := exec.Command("go", vetArgs...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
@@ -50,6 +65,110 @@ func main() {
 		fmt.Fprintln(os.Stderr, "essvet:", err)
 		os.Exit(1)
 	}
+}
+
+// runSARIF drives the vet pass in JSON mode, writes the SARIF report,
+// and returns the exit code: nonzero only for findings the baseline
+// does not cover.
+func runSARIF(sarifOut, baselinePath string, rest []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essvet:", err)
+		return 1
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + exe, "-json"}, rest...)
+	cmd := exec.Command("go", vetArgs...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	diags, perr := sarif.ParseVetJSON(stdout.Bytes(), stderr.Bytes())
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "essvet: vet output not parseable: %v\n%s", perr, stderr.String())
+		return 1
+	}
+	// A vet failure with no diagnostics is a build or tool error, not a
+	// finding; surface it verbatim.
+	if runErr != nil && len(diags) == 0 {
+		fmt.Fprintf(os.Stderr, "essvet: %v\n%s", runErr, stderr.String())
+		return 1
+	}
+
+	baseline := &sarif.Baseline{}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essvet:", err)
+			return 1
+		}
+		if baseline, err = sarif.ParseBaseline(data); err != nil {
+			fmt.Fprintln(os.Stderr, "essvet:", err)
+			return 1
+		}
+	}
+	accepted, fresh := baseline.Filter(diags)
+
+	f, err := os.Create(sarifOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essvet:", err)
+		return 1
+	}
+	if err := sarif.Encode(f, "essvet", diags); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essvet:", err)
+		return 1
+	}
+
+	for _, d := range fresh {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "essvet: %d finding(s), %d baseline-accepted, %d new; SARIF written to %s\n",
+		len(diags), len(accepted), len(fresh), sarifOut)
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitReportFlags extracts -sarif and -baseline (with = or separate
+// value) from args, returning the remaining vet arguments untouched.
+// When -sarif is given without -baseline, the default baseline file is
+// used if it exists.
+func splitReportFlags(args []string) (sarifOut, baselinePath string, rest []string) {
+	const defaultBaseline = ".essvet-baseline.json"
+	take := func(i *int, name string) (string, bool) {
+		a := args[*i]
+		if v, ok := strings.CutPrefix(a, "-"+name+"="); ok {
+			return v, true
+		}
+		if a == "-"+name && *i+1 < len(args) {
+			*i++
+			return args[*i], true
+		}
+		return "", false
+	}
+	for i := 0; i < len(args); i++ {
+		if v, ok := take(&i, "sarif"); ok {
+			sarifOut = v
+			continue
+		}
+		if v, ok := take(&i, "baseline"); ok {
+			baselinePath = v
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	if sarifOut != "" && baselinePath == "" {
+		if _, err := os.Stat(defaultBaseline); err == nil {
+			baselinePath = defaultBaseline
+		}
+	}
+	return sarifOut, baselinePath, rest
 }
 
 // invokedByGoVet reports whether the go command is driving this process

@@ -1,0 +1,110 @@
+// Runtime complement to the essvet colparity analyzer: where the static
+// check proves every row-path field is *referenced* by AddCols, ColDrops
+// proves the reference actually *propagates* state. It perturbs one
+// column of a donor ColBatch at a time and asserts the accumulator's
+// AddCols output changes; a column whose perturbation is invisible is
+// exactly the silent row/column desync CharacterizeColumnar cannot
+// afford (columnar results stay plausible, they just stop depending on
+// that column).
+//
+// The check is behavioral, so it needs a live batch: the caller supplies
+// a constructor, a sample batch, and the list of columns the
+// accumulator's row path reads (the colparity "wants" set). Columns
+// intentionally not mirrored — the ones carrying //essvet:colignore
+// markers on AddCols — are passed as ignores, keeping the two checkers'
+// exemption lists byte-mirroring each other, just as MergeDrops ignores
+// mirror the //essvet:mergeignore field markers.
+
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"essio/internal/trace"
+)
+
+// colSink is the AddCols surface ColDrops drives.
+type colSink interface {
+	AddCols(*trace.ColBatch) error
+}
+
+// ColDrops reports the Record fields whose column an accumulator's
+// AddCols drops. newAcc must return a pointer to a fresh accumulator
+// implementing AddCols; batch is a non-empty sample workload; fields
+// names the trace.Record fields the accumulator's row path reads (the
+// colparity wants set), each mapped to its ColBatch column by the
+// field→field+"s" convention (Sector → Sectors). For each non-ignored
+// field, a clone of batch is perturbed in that column only and folded
+// into a fresh accumulator; if the result never differs from the
+// unperturbed fold (an AddCols error or panic counts as noticing, since
+// geometry and validity checks read the column), the field is reported.
+// A non-nil error means the check itself could not run, not that a
+// column was dropped.
+func ColDrops(newAcc func() any, batch *trace.ColBatch, fields []string, ignore ...string) ([]string, error) {
+	if batch == nil || batch.Len() == 0 {
+		return nil, fmt.Errorf("colcheck: need a non-empty sample batch")
+	}
+	if _, ok := newAcc().(colSink); !ok {
+		return nil, fmt.Errorf("colcheck: %T has no AddCols method", newAcc())
+	}
+	bt := reflect.TypeOf(trace.ColBatch{})
+	for _, field := range fields {
+		f, ok := bt.FieldByName(field + "s")
+		if !ok || f.Type.Kind() != reflect.Slice {
+			return nil, fmt.Errorf("colcheck: %q is not a Record field with a ColBatch column", field)
+		}
+	}
+
+	baseline, err := foldCols(newAcc, batch, "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("colcheck: unperturbed AddCols failed: %v", err)
+	}
+
+	ignored := make(map[string]bool, len(ignore))
+	for _, n := range ignore {
+		ignored[n] = true
+	}
+	var drops []string
+	for _, field := range fields {
+		if ignored[field] {
+			continue
+		}
+		propagated := false
+		for variant := 0; variant < 2; variant++ {
+			got, err := foldCols(newAcc, batch, field+"s", variant)
+			if err != nil || !reflect.DeepEqual(got, baseline) {
+				propagated = true
+				break
+			}
+		}
+		if !propagated {
+			drops = append(drops, field)
+		}
+	}
+	return drops, nil
+}
+
+// foldCols folds a clone of batch — with the named column perturbed, or
+// pristine when col is empty — into a fresh accumulator, converting an
+// AddCols panic or error into an error.
+func foldCols(newAcc func() any, batch *trace.ColBatch, col string, variant int) (acc any, err error) {
+	clone := new(trace.ColBatch)
+	clone.AppendCols(batch)
+	if col != "" {
+		// ColBatch columns are exported slices, so no unsafe rebasing is
+		// needed; the shared perturb walker shifts every element (delta
+		// sized by element width, direction by variant).
+		perturb(reflect.ValueOf(clone).Elem().FieldByName(col), variant)
+	}
+	a := newAcc()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	if err := a.(colSink).AddCols(clone); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

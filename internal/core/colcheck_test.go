@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"essio/internal/core"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// colBatch builds a columnar workload exercising every column.
+func colBatch() *trace.ColBatch {
+	b := new(trace.ColBatch)
+	for i := 0; i < 48; i++ {
+		b.AppendRecord(trace.Record{
+			Time:    sim.Time(i) * sim.Time(sim.Second/8),
+			Sector:  uint32(1000 * i),
+			Count:   uint16(8 + i%3),
+			Pending: uint16(i % 5),
+			Op:      trace.Op(i % 2),
+			Node:    uint8(i % 2),
+			Origin:  trace.Origin(i % 7),
+		})
+	}
+	return b
+}
+
+// leakyColAcc drops the sector column in AddCols on purpose: the
+// checker must notice that perturbing Sectors changes nothing.
+type leakyColAcc struct {
+	timeSum sim.Time
+	secSum  uint64
+}
+
+func (l *leakyColAcc) AddCols(cols *trace.ColBatch) error {
+	for _, t := range cols.Times {
+		l.timeSum += t
+	}
+	// Sectors deliberately ignored; secSum stays zero.
+	return nil
+}
+
+func TestColDropsCatchesDroppedColumn(t *testing.T) {
+	drops, err := core.ColDrops(
+		func() any { return &leakyColAcc{} },
+		colBatch(),
+		[]string{"Time", "Sector"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drops) != 1 || drops[0] != "Sector" {
+		t.Fatalf("drops = %v, want [Sector]", drops)
+	}
+}
+
+func TestColDropsHonorsIgnores(t *testing.T) {
+	drops, err := core.ColDrops(
+		func() any { return &leakyColAcc{} },
+		colBatch(),
+		[]string{"Time", "Sector"},
+		"Sector",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drops) != 0 {
+		t.Fatalf("drops = %v, want none with Sector ignored", drops)
+	}
+}
+
+func TestColDropsRejectsBadInput(t *testing.T) {
+	if _, err := core.ColDrops(func() any { return &struct{ x int }{} }, colBatch(), nil); err == nil {
+		t.Fatal("expected error for type without AddCols")
+	}
+	if _, err := core.ColDrops(func() any { return &leakyColAcc{} }, new(trace.ColBatch), nil); err == nil {
+		t.Fatal("expected error for empty batch")
+	}
+	if _, err := core.ColDrops(func() any { return &leakyColAcc{} }, colBatch(), []string{"Bogus"}); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+// TestProfilerAddColsPropagatesEveryColumn runs the mutation check over
+// the full Profiler: its row path reads every Record field (directly or
+// through the sub-accumulators it feeds), its AddCols carries no
+// //essvet:colignore marker, so the field list is all seven and the
+// ignore list is empty — byte-mirroring the static markers.
+func TestProfilerAddColsPropagatesEveryColumn(t *testing.T) {
+	drops, err := core.ColDrops(
+		func() any {
+			p := core.NewProfiler("wl", sim.Duration(10*sim.Second), 2, 1<<20)
+			p.SetAnchor(0)
+			return p
+		},
+		colBatch(),
+		[]string{"Time", "Sector", "Count", "Pending", "Op", "Node", "Origin"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drops) > 0 {
+		t.Fatalf("Profiler.AddCols drops columns of fields %v", drops)
+	}
+}

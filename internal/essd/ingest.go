@@ -110,6 +110,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			_ = sink.AddBatch(buf[:n])
 			hasher.addBatch(buf[:n])
 			if store {
+				// Element-wise append (note the ...): buf is reused by the
+				// next NextBatch refill, so retaining it whole would alias
+				// recycled memory — exactly what essvet spanretain flags.
+				// Copying the records breaks the alias.
 				retained = append(retained, buf[:n]...)
 			}
 			records += n

@@ -1,0 +1,50 @@
+package model_test
+
+import (
+	"testing"
+
+	"essio/internal/core"
+	"essio/internal/model"
+	"essio/internal/sim"
+	"essio/internal/trace"
+)
+
+// fitBatch builds a columnar workload exercising every column.
+func fitBatch() *trace.ColBatch {
+	b := new(trace.ColBatch)
+	for i := 0; i < 48; i++ {
+		b.AppendRecord(trace.Record{
+			Time:    sim.Time(i) * sim.Time(sim.Second/8),
+			Sector:  uint32(1000 * i),
+			Count:   uint16(8 + i%3),
+			Pending: uint16(i % 5),
+			Op:      trace.Op(i % 2),
+			Node:    uint8(i % 2),
+			Origin:  trace.Origin(i % 7),
+		})
+	}
+	return b
+}
+
+// TestFitterAddColsPropagatesEveryColumn runs the ColDrops mutation
+// check over the model fitter. Its row path reads all seven Record
+// fields and its AddCols (which reassembles records with cols.Record)
+// carries no //essvet:colignore marker, so the field list is complete
+// and the ignore list empty — byte-mirroring the static markers.
+func TestFitterAddColsPropagatesEveryColumn(t *testing.T) {
+	drops, err := core.ColDrops(
+		func() any {
+			f := model.NewFitter("wl", 2, 1<<20, 0)
+			f.SetAnchor(0)
+			return f
+		},
+		fitBatch(),
+		[]string{"Time", "Sector", "Count", "Pending", "Op", "Node", "Origin"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drops) > 0 {
+		t.Fatalf("Fitter.AddCols drops columns of fields %v", drops)
+	}
+}

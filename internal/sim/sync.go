@@ -30,13 +30,11 @@ func (c *Completion) CompleteErr(err error) {
 	ws := c.waiters
 	c.waiters = nil
 	for _, p := range ws {
-		pp := p
-		c.e.schedule(c.e.now, func() { c.e.switchTo(pp) })
+		c.e.schedule(c.e.now, func() { c.e.switchTo(p) })
 	}
 	cbs := c.callbacks
 	c.callbacks = nil
 	for _, fn := range cbs {
-		fn := fn
 		c.e.schedule(c.e.now, func() { fn(err) })
 	}
 }

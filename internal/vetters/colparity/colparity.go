@@ -1,0 +1,314 @@
+// Package colparity defines an analyzer enforcing the repo's
+// row/column parity invariant: the columnar fast path (AddCols over a
+// trace.ColBatch) of every accumulator must consume the same record
+// state as its row path (Add over a trace.Record). The two paths are
+// kept semantically identical — CharacterizeColumnar is only a valid
+// substitute for the row oracle because each AddCols folds exactly what
+// folding Add over the batch would — and a field newly read by Add but
+// never mirrored into AddCols desyncs them silently: columnar results
+// stay plausible, they just stop counting the new state.
+//
+// For any type declaring both
+//
+//	func (a *T) Add(r trace.Record) error
+//	func (a *T) AddCols(cols *trace.ColBatch) error
+//
+// in the same package, the analyzer computes the set of Record fields
+// Add reads — direct selectors (r.Sector), the derived accessors
+// (r.KB() and r.Bytes() read Count, r.End() reads Sector and Count),
+// and every field at once when the record is used whole (passed along,
+// stored, appended) — and requires AddCols to reference the
+// corresponding column slice (field Sector → cols.Sectors). Handing the
+// whole batch to another ColBatch consumer, or calling a ColBatch
+// method other than Len (cols.Record(i), cols.AppendTo, cols.Slice),
+// counts as referencing every column, so delegating implementations
+// pass without annotation.
+//
+// Columns intentionally not mirrored — state the columnar path
+// recomputes another way, or row-only bookkeeping — carry an explicit
+// marker line in the AddCols doc comment:
+//
+//	//essvet:colignore Pending queue depth is re-derived from the op column
+//
+// A bare //essvet:colignore marker exempts the whole method.
+package colparity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// Marker is the comment prefix exempting one column (or the whole
+// AddCols method, when bare) from the parity check.
+const Marker = "//essvet:colignore"
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "colparity"
+
+// Analyzer is the colparity analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "check that accumulator AddCols methods read every column their Add reads\n\n" +
+		"A type with both Add(trace.Record) and AddCols(*trace.ColBatch) must\n" +
+		"reference, in AddCols, the column slice of every Record field Add reads\n" +
+		"(or carry a //essvet:colignore marker); otherwise a field added to the row\n" +
+		"path silently vanishes from the columnar fast path.",
+	Run: run,
+}
+
+// accessorReads maps the Record accessor methods to the fields they
+// read; any other trace-package method called on a record is treated as
+// reading every field.
+var accessorReads = map[string][]string{
+	"Bytes": {"Count"},
+	"KB":    {"Count"},
+	"End":   {"Sector", "Count"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ignores := vetutil.ParseIgnores(pass)
+
+	// Pair Add and AddCols declarations by receiver type.
+	type pair struct{ add, addCols *ast.FuncDecl }
+	pairs := make(map[*types.Named]*pair)
+	var order []*types.Named // report in declaration order
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Add" && fd.Name.Name != "AddCols" {
+				continue
+			}
+			if vetutil.InTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			recv := vetutil.NamedOf(sig.Recv().Type())
+			if recv == nil || recv.Obj().Pkg() != pass.Pkg || sig.Params().Len() != 1 {
+				continue
+			}
+			pt := sig.Params().At(0).Type()
+			p := pairs[recv]
+			if p == nil {
+				p = &pair{}
+				pairs[recv] = p
+				order = append(order, recv)
+			}
+			switch fd.Name.Name {
+			case "Add":
+				if traceNamed(pt, "Record") != nil {
+					p.add = fd
+				}
+			case "AddCols":
+				if traceNamed(pt, "ColBatch") != nil {
+					p.addCols = fd
+				}
+			}
+		}
+	}
+	for _, recv := range order {
+		p := pairs[recv]
+		if p.add == nil || p.addCols == nil {
+			continue
+		}
+		checkPair(pass, ignores, recv, p.add, p.addCols)
+	}
+	return nil, nil
+}
+
+// traceNamed unwraps pointers and reports the named type if it has the
+// given name and is declared in a trace package.
+func traceNamed(t types.Type, typeName string) *types.Named {
+	n := vetutil.NamedOf(t)
+	if n == nil || n.Obj().Name() != typeName || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if !vetutil.IsTracePkg(n.Obj().Pkg().Path()) {
+		return nil
+	}
+	return n
+}
+
+// checkPair verifies one Add/AddCols pair.
+func checkPair(pass *analysis.Pass, ignores *vetutil.Ignores, recv *types.Named, add, addCols *ast.FuncDecl) {
+	recordType := traceNamed(methodParamType(pass, add), "Record")
+	st, ok := recordType.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	wants, wantAll := recordReads(pass, add.Body, recordType)
+	covered, coverAll := columnReads(pass, addCols.Body)
+	exempt, exemptAll := colignoreMarks(addCols.Doc)
+	if exemptAll || coverAll {
+		return
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i).Name()
+		if field == "_" || exempt[field] {
+			continue
+		}
+		if !wantAll && !wants[field] {
+			continue
+		}
+		col := field + "s"
+		if covered[col] {
+			continue
+		}
+		if ignores.Suppressed(addCols.Name.Pos(), name) {
+			continue
+		}
+		pass.Reportf(addCols.Name.Pos(),
+			"AddCols of %s does not read column %s but Add reads field %s; the columnar fast path silently drops it (read cols.%s or mark //essvet:colignore %s why)",
+			recv.Obj().Name(), col, field, col, field)
+	}
+}
+
+// methodParamType returns the sole parameter type of a method decl.
+func methodParamType(pass *analysis.Pass, fd *ast.FuncDecl) types.Type {
+	obj := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return obj.Type().(*types.Signature).Params().At(0).Type()
+}
+
+// recordReads collects the Record fields the row path reads: direct
+// field selectors, accessor methods, and — conservatively — all fields
+// whenever a record value is used whole (call argument, assignment,
+// composite literal, return, channel send): whatever receives it may
+// read anything.
+func recordReads(pass *analysis.Pass, body *ast.BlockStmt, record *types.Named) (fields map[string]bool, all bool) {
+	fields = make(map[string]bool)
+	recordTyped := func(e ast.Expr) bool {
+		t := pass.TypesInfo.TypeOf(e)
+		return t != nil && vetutil.NamedOf(t) == record
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !recordTyped(n.X) {
+				return true
+			}
+			switch obj := pass.TypesInfo.Uses[n.Sel].(type) {
+			case *types.Var:
+				if obj.IsField() {
+					fields[obj.Name()] = true
+				}
+			case *types.Func:
+				if reads, ok := accessorReads[obj.Name()]; ok {
+					for _, f := range reads {
+						fields[f] = true
+					}
+				} else {
+					all = true // unknown accessor: assume it reads everything
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if recordTyped(arg) {
+					all = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if recordTyped(rhs) {
+					all = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if recordTyped(elt) {
+					all = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if recordTyped(r) {
+					all = true
+				}
+			}
+		case *ast.SendStmt:
+			if recordTyped(n.Value) {
+				all = true
+			}
+		}
+		return true
+	})
+	return fields, all
+}
+
+// columnReads collects the ColBatch columns the columnar path
+// references. Passing the batch to another consumer, or calling any
+// batch method besides Len, touches every column at once.
+func columnReads(pass *analysis.Pass, body *ast.BlockStmt) (cols map[string]bool, all bool) {
+	cols = make(map[string]bool)
+	batchTyped := func(e ast.Expr) bool {
+		return traceNamed(pass.TypesInfo.TypeOf(e), "ColBatch") != nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !batchTyped(n.X) {
+				return true
+			}
+			switch obj := pass.TypesInfo.Uses[n.Sel].(type) {
+			case *types.Var:
+				if obj.IsField() {
+					cols[obj.Name()] = true
+				}
+			case *types.Func:
+				if obj.Name() != "Len" {
+					all = true // Record(i), AppendTo, Slice... gather every column
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if batchTyped(arg) {
+					all = true // delegation: the callee reads what it needs
+				}
+			}
+		}
+		return true
+	})
+	return cols, all
+}
+
+// colignoreMarks parses the //essvet:colignore markers of an AddCols
+// doc comment: each marker line exempts the named field, and a bare
+// marker exempts the whole method.
+func colignoreMarks(doc *ast.CommentGroup) (fields map[string]bool, all bool) {
+	fields = make(map[string]bool)
+	if doc == nil {
+		return fields, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, Marker)
+		if !ok {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		names := strings.Fields(rest)
+		if len(names) == 0 {
+			all = true
+			continue
+		}
+		fields[names[0]] = true
+	}
+	return fields, all
+}

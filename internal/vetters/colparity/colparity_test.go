@@ -1,0 +1,9 @@
+package colparity_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestColParity(t *testing.T) { vettest.Run(t, "colparity") }

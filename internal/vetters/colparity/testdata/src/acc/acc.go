@@ -1,0 +1,173 @@
+// Fixtures for the colparity analyzer: accumulators whose columnar
+// fast path drops state the row path reads, next to the delegating,
+// reassembling, and annotated shapes that legitimately pass.
+package acc
+
+import "essvet.test/internal/trace"
+
+// missing reads Sector and Count by row but only mirrors Sectors.
+type missing struct{ sum uint64 }
+
+func (a *missing) Add(r trace.Record) error {
+	a.sum += uint64(r.Sector) + uint64(r.Count)
+	return nil
+}
+
+func (a *missing) AddCols(cols *trace.ColBatch) error { // want `AddCols of missing does not read column Counts but Add reads field Count`
+	for _, s := range cols.Sectors {
+		a.sum += uint64(s)
+	}
+	return nil
+}
+
+// viaKB reads Count through the KB accessor; Len alone covers nothing.
+type viaKB struct{ kb float64 }
+
+func (a *viaKB) Add(r trace.Record) error {
+	a.kb += r.KB()
+	return nil
+}
+
+func (a *viaKB) AddCols(cols *trace.ColBatch) error { // want `AddCols of viaKB does not read column Counts but Add reads field Count`
+	_ = cols.Len()
+	return nil
+}
+
+// viaEnd reads Sector and Count through the End accessor.
+type viaEnd struct{ max uint32 }
+
+func (a *viaEnd) Add(r trace.Record) error {
+	if e := r.End(); e > a.max {
+		a.max = e
+	}
+	return nil
+}
+
+func (a *viaEnd) AddCols(cols *trace.ColBatch) error { // want `column Counts` `column Sectors`
+	_ = cols.Len()
+	return nil
+}
+
+// wholesale hands the record on whole, so every field counts.
+type wholesale struct{ out []trace.Record }
+
+func (a *wholesale) Add(r trace.Record) error {
+	a.out = append(a.out, r)
+	return nil
+}
+
+func (a *wholesale) AddCols(cols *trace.ColBatch) error { // want `column Times` `column Ops`
+	for i := range cols.Sectors {
+		_ = cols.Sectors[i]
+		_ = cols.Counts[i]
+	}
+	return nil
+}
+
+// summarizing reads through an accessor the analyzer cannot model, so
+// every field counts; Ops is the one column left unread.
+type summarizing struct{ s string }
+
+func (a *summarizing) Add(r trace.Record) error {
+	a.s = r.Summary()
+	return nil
+}
+
+func (a *summarizing) AddCols(cols *trace.ColBatch) error { // want `AddCols of summarizing does not read column Ops but Add reads field Op`
+	_ = cols.Times
+	_ = cols.Sectors
+	_ = cols.Counts
+	return nil
+}
+
+// delegating hands the whole batch to another consumer: fine.
+type delegating struct{ inner *missing }
+
+func (a *delegating) Add(r trace.Record) error { return a.inner.Add(r) }
+
+func (a *delegating) AddCols(cols *trace.ColBatch) error { return a.inner.AddCols(cols) }
+
+// reassembling rebuilds rows with cols.Record, touching every column:
+// fine.
+type reassembling struct{ sum uint64 }
+
+func (a *reassembling) Add(r trace.Record) error {
+	a.sum += uint64(r.Sector)
+	return nil
+}
+
+func (a *reassembling) AddCols(cols *trace.ColBatch) error {
+	for i := 0; i < cols.Len(); i++ {
+		r := cols.Record(i)
+		a.sum += uint64(r.Sector)
+	}
+	return nil
+}
+
+// matched mirrors exactly what its row path reads: fine.
+type matched struct {
+	last int64
+	sum  uint64
+}
+
+func (a *matched) Add(r trace.Record) error {
+	a.last = r.Time
+	a.sum += uint64(r.Count)
+	return nil
+}
+
+func (a *matched) AddCols(cols *trace.ColBatch) error {
+	for i, t := range cols.Times {
+		a.last = t
+		a.sum += uint64(cols.Counts[i])
+	}
+	return nil
+}
+
+// recounted deliberately drops the Count column: the marker names the
+// field and the invariant.
+type recounted struct{ sum uint64 }
+
+func (a *recounted) Add(r trace.Record) error {
+	a.sum += uint64(r.Sector) + uint64(r.Count)
+	return nil
+}
+
+// AddCols folds sector state only; byte counts are recomputed from the
+// sector deltas downstream.
+//
+//essvet:colignore Count recomputed from the sector column downstream
+func (a *recounted) AddCols(cols *trace.ColBatch) error {
+	for _, s := range cols.Sectors {
+		a.sum += uint64(s)
+	}
+	return nil
+}
+
+// rowOnly opts its whole columnar path out with a bare marker.
+type rowOnly struct{ n int }
+
+func (a *rowOnly) Add(r trace.Record) error {
+	a.n += int(r.Count)
+	return nil
+}
+
+//essvet:colignore
+func (a *rowOnly) AddCols(cols *trace.ColBatch) error {
+	a.n += cols.Len()
+	return nil
+}
+
+// suppressed uses the generic ignore directive instead.
+type suppressed struct{ n int }
+
+func (a *suppressed) Add(r trace.Record) error {
+	a.n += int(r.Count)
+	return nil
+}
+
+//essvet:ignore colparity migration shim, row path is authoritative
+func (a *suppressed) AddCols(cols *trace.ColBatch) error {
+	_ = cols.Len()
+	return nil
+}

@@ -1,0 +1,40 @@
+// Stub of the repo's trace package for the colparity fixtures: a
+// Record with derived accessors and its struct-of-arrays ColBatch.
+package trace
+
+// Record is one trace record.
+type Record struct {
+	Time   int64
+	Sector uint32
+	Count  uint16
+	Op     uint8
+}
+
+// Bytes is the transfer size in bytes (reads Count).
+func (r Record) Bytes() int64 { return int64(r.Count) * 512 }
+
+// KB is the transfer size in kilobytes (reads Count).
+func (r Record) KB() float64 { return float64(r.Bytes()) / 1024 }
+
+// End is the first sector past the transfer (reads Sector and Count).
+func (r Record) End() uint32 { return r.Sector + uint32(r.Count) }
+
+// Summary is an accessor the analyzer has no table entry for: callers
+// are assumed to read every field through it.
+func (r Record) Summary() string { return "" }
+
+// ColBatch is the struct-of-arrays view of a run of records.
+type ColBatch struct {
+	Times   []int64
+	Sectors []uint32
+	Counts  []uint16
+	Ops     []uint8
+}
+
+// Len is the number of records in the batch.
+func (b *ColBatch) Len() int { return len(b.Times) }
+
+// Record reassembles row i.
+func (b *ColBatch) Record(i int) Record {
+	return Record{Time: b.Times[i], Sector: b.Sectors[i], Count: b.Counts[i], Op: b.Ops[i]}
+}

@@ -1,0 +1,270 @@
+// Package mmapalias defines an analyzer enforcing the read-only and
+// single-window contracts of the zero-copy columnar views. The *ColBatch
+// handed out by NextCols over an mmap-backed source aliases the mapped
+// file directly — internal/trace/colmmap.go rebinds the raw on-disk
+// columns with unsafe.Slice when the encoding and alignment allow —
+// so its column slices are views of memory the process must treat as
+// read-only and that the next NextCols or Close call invalidates.
+// Where spanretain polices *retention* of such views, mmapalias polices
+// *mutation and staleness*:
+//
+//   - writing through a view element (view.Times[i] = t, increment,
+//     copy into a tracked column) faults on a read-only mapping — or,
+//     on the heap-backed fallback sources that share the NextCols
+//     contract, silently corrupts the codec's reuse buffer;
+//   - appending to a tracked column either writes into the mapped page
+//     (spare capacity) or reallocates and retains a stale alias, so
+//     append(view.Times, ...) is flagged in both shapes;
+//   - using a view after a later NextCols or Close on any source in the
+//     same function reads through a recycled window: the memory is
+//     unmapped or refilled, and the view silently describes different
+//     records.
+//
+// The same tracking applies to the *ColBatch parameter of an AddCols
+// implementation, which receives such views directly. Deliberate
+// violations in the trace package's own plumbing are suppressed with
+// //essvet:ignore mmapalias and a comment naming the invariant.
+package mmapalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "mmapalias"
+
+// Analyzer is the mmapalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag writes to and stale uses of zero-copy mmap-aliased column views\n\n" +
+		"Column views returned by NextCols (and the batch passed to AddCols) may\n" +
+		"alias a read-only memory-mapped trace file; writing through them faults or\n" +
+		"corrupts the codec buffer, appending to them writes into or retains mapped\n" +
+		"pages, and using them after a later NextCols/Close reads recycled memory.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ignores := vetutil.ParseIgnores(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		tracked := make(map[types.Object]bool)
+		bound := make(map[types.Object]token.Pos) // object → end of its binding stmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return
+			}
+			body = fn.Body
+			if fn.Recv != nil && fn.Name.Name == "AddCols" {
+				trackColsParam(pass, fn, tracked, bound)
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if vetutil.InTestFile(pass.Fset, body.Pos()) {
+			return
+		}
+		collectViews(pass, body, tracked, bound)
+		if len(tracked) == 0 {
+			return
+		}
+		checkWrites(pass, ignores, body, tracked)
+		checkStale(pass, ignores, body, tracked, bound)
+	})
+	return nil, nil
+}
+
+// trackColsParam marks the *ColBatch parameter of an AddCols method.
+func trackColsParam(pass *analysis.Pass, fn *ast.FuncDecl, tracked map[types.Object]bool, bound map[types.Object]token.Pos) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return
+	}
+	if _, ok := sig.Params().At(0).Type().Underlying().(*types.Pointer); !ok {
+		return
+	}
+	if len(fn.Type.Params.List) == 1 && len(fn.Type.Params.List[0].Names) == 1 {
+		if v, ok := pass.TypesInfo.Defs[fn.Type.Params.List[0].Names[0]].(*types.Var); ok {
+			tracked[v] = true
+			bound[v] = fn.Type.End()
+		}
+	}
+}
+
+// isViewCall reports whether call hands out a columnar view.
+func isViewCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return vetutil.TraceMethodCall(pass.TypesInfo, call, "NextCols", "nextCols")
+}
+
+// isInvalidatingCall reports whether call recycles previously handed-out
+// views: a further NextCols refill or a Close that drops the mapping.
+func isInvalidatingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return vetutil.TraceMethodCall(pass.TypesInfo, call, "NextCols", "nextCols", "Close")
+}
+
+// collectViews finds variables bound to NextCols results and their
+// aliases, iterating assignments to a fixpoint within the body.
+func collectViews(pass *analysis.Pass, body *ast.BlockStmt, tracked map[types.Object]bool, bound map[types.Object]token.Pos) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) < 1 || len(as.Rhs) < 1 {
+				return true
+			}
+			// view, err := src.NextCols(n) — the view is Lhs[0].
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && len(as.Rhs) == 1 && isViewCall(pass, call) {
+				if vetutil.Mark(pass.TypesInfo, as.Lhs[0], tracked) {
+					grew = true
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							bound[obj] = as.End()
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							bound[obj] = as.End()
+						}
+					}
+				}
+				return true
+			}
+			// alias := view   or   col := view.Times[i:j]
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, rhs := range as.Rhs {
+					if vetutil.IsTracked(pass.TypesInfo, rhs, tracked) {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok {
+							if vetutil.Mark(pass.TypesInfo, id, tracked) {
+								grew = true
+								if obj := pass.TypesInfo.Defs[id]; obj != nil {
+									bound[obj] = as.End()
+								} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+									bound[obj] = as.End()
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// checkWrites reports every mutation through a tracked view.
+func checkWrites(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.BlockStmt, tracked map[types.Object]bool) {
+	report := func(pos ast.Node, what string) {
+		if ignores.Suppressed(pos.Pos(), name) {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"%s a zero-copy column view; NextCols views may alias a read-only mmap window — copy the columns first (trace.CopyCols)", what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function when visited
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && vetutil.IsTracked(pass.TypesInfo, idx.X, tracked) {
+					report(n, "write through")
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := n.X.(*ast.IndexExpr); ok && vetutil.IsTracked(pass.TypesInfo, idx.X, tracked) {
+				report(n, "write through")
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			_, builtin := obj.(*types.Builtin)
+			if obj != nil && !builtin {
+				return true
+			}
+			switch id.Name {
+			case "append":
+				if vetutil.IsTracked(pass.TypesInfo, n.Args[0], tracked) {
+					report(n, "append to")
+				}
+			case "copy":
+				if vetutil.IsTracked(pass.TypesInfo, n.Args[0], tracked) {
+					report(n, "copy into")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStale reports uses of a view after a later NextCols/Close call
+// recycled its window. The check is source-ordered within the body: an
+// invalidating call strictly between a view's binding and a use means
+// the use reads a recycled window on every straight-line execution, and
+// loop re-bindings are their own binding point, so single-view loops
+// (view := src.NextCols(); consume(view)) stay clean.
+func checkStale(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.BlockStmt, tracked map[types.Object]bool, bound map[types.Object]token.Pos) {
+	var invalidations []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred Close runs at exit, after every use
+		case *ast.FuncLit:
+			return false // not straight-line: its calls fire when it runs
+		case *ast.CallExpr:
+			if isInvalidatingCall(pass, n) {
+				invalidations = append(invalidations, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(invalidations) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own function when visited
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !tracked[obj] {
+			return true
+		}
+		b, ok := bound[obj]
+		if !ok || id.Pos() <= b {
+			return true
+		}
+		for _, inv := range invalidations {
+			if inv > b && inv < id.Pos() {
+				if !ignores.Suppressed(id.Pos(), name) {
+					pass.Reportf(id.Pos(),
+						"use of column view %s after a later NextCols/Close recycled its window; the view describes unmapped or refilled memory — copy needed columns before refilling", id.Name)
+				}
+				return true
+			}
+		}
+		return true
+	})
+}

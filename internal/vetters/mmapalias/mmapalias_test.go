@@ -1,0 +1,9 @@
+package mmapalias_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestMmapAlias(t *testing.T) { vettest.Run(t, "mmapalias") }

@@ -1,0 +1,25 @@
+// Stub of the repo's trace package for the mmapalias fixtures: a
+// source whose NextCols hands out views that may alias a read-only
+// memory mapping until the next NextCols or Close.
+package trace
+
+// ColBatch is the struct-of-arrays view of a run of records.
+type ColBatch struct {
+	Times   []int64
+	Sectors []uint32
+}
+
+// Source hands out zero-copy column views of its current window.
+type Source struct {
+	batch ColBatch
+	open  bool
+}
+
+// NextCols returns a column view, valid until the next call or Close.
+func (s *Source) NextCols(max int) (*ColBatch, error) { return &s.batch, nil }
+
+// Close drops the window mapping.
+func (s *Source) Close() error {
+	s.open = false
+	return nil
+}

@@ -1,0 +1,113 @@
+// Fixtures for the mmapalias analyzer: every mutation and staleness
+// shape for a zero-copy column view, next to the copy-first and
+// consume-before-refill patterns that legitimately pass.
+package use
+
+import "essvet.test/internal/trace"
+
+func writeElem(r *trace.Source) {
+	view, _ := r.NextCols(64)
+	view.Times[0] = 42 // want `write through a zero-copy column view`
+}
+
+func incElem(r *trace.Source) {
+	view, _ := r.NextCols(64)
+	view.Sectors[0]++ // want `write through a zero-copy column view`
+}
+
+func appendCol(r *trace.Source) []int64 {
+	view, _ := r.NextCols(64)
+	return append(view.Times, 99) // want `append to a zero-copy column view`
+}
+
+func copyInto(r *trace.Source, src []int64) {
+	view, _ := r.NextCols(64)
+	copy(view.Times, src) // want `copy into a zero-copy column view`
+}
+
+// aliasWrite mutates through a second name for the same column.
+func aliasWrite(r *trace.Source) {
+	view, _ := r.NextCols(64)
+	times := view.Times
+	times[1] = 7 // want `write through a zero-copy column view`
+}
+
+// stale holds the first window across the refill that recycles it.
+func stale(r *trace.Source) int64 {
+	first, _ := r.NextCols(64)
+	second, _ := r.NextCols(64)
+	sum(second.Times)
+	return first.Times[0] // want `use of column view first after a later NextCols/Close recycled its window`
+}
+
+// closed reads the view after the mapping is dropped.
+func closed(r *trace.Source) int64 {
+	view, _ := r.NextCols(64)
+	r.Close()
+	return sum(view.Times) // want `use of column view view after a later NextCols/Close recycled its window`
+}
+
+// consume reads each window before the next refill: fine, the loop
+// re-binding is its own binding point.
+func consume(r *trace.Source) int64 {
+	var t int64
+	for i := 0; i < 4; i++ {
+		view, err := r.NextCols(64)
+		if err != nil {
+			return t
+		}
+		t += sum(view.Times)
+	}
+	return t
+}
+
+// deferredClose unmaps at function exit, after every use: fine.
+func deferredClose(r *trace.Source) int64 {
+	view, _ := r.NextCols(64)
+	defer r.Close()
+	return sum(view.Times)
+}
+
+// copyFirst breaks the alias with an element copy before mutating: fine.
+func copyFirst(r *trace.Source) {
+	view, _ := r.NextCols(64)
+	times := append([]int64(nil), view.Times...)
+	times[0] = 42
+}
+
+// copyOut reads through the view as a copy source: fine.
+func copyOut(r *trace.Source, dst []int64) {
+	view, _ := r.NextCols(64)
+	copy(dst, view.Times)
+}
+
+// scaler mutates the batch handed to AddCols, which may be such a view.
+type scaler struct{}
+
+func (s *scaler) AddCols(cols *trace.ColBatch) error {
+	cols.Times[0] = 0 // want `write through a zero-copy column view`
+	return nil
+}
+
+// summer only reads its AddCols batch: fine.
+type summer struct{ total int64 }
+
+func (s *summer) AddCols(cols *trace.ColBatch) error {
+	s.total += sum(cols.Times)
+	return nil
+}
+
+// rewriteInPlace opts out with the ignore directive: the codec owns the
+// buffer of this heap-backed source.
+func rewriteInPlace(r *trace.Source) {
+	view, _ := r.NextCols(64)
+	view.Times[0] = 0 //essvet:ignore mmapalias heap-backed source, codec owns the buffer
+}
+
+func sum(ts []int64) int64 {
+	var t int64
+	for _, v := range ts {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,190 @@
+// Package sharddiscipline defines an analyzer enforcing the sharded
+// engine's isolation discipline. The conservative parallel simulation
+// (sim.Shards) is only deterministic because each shard's Engine is
+// touched by exactly one goroutine per lookahead window and all
+// cross-shard effects are staged through Engine.Cross, which the
+// barrier replays in (time, node, seq) order. Code that reaches into
+// another shard's engine directly — scheduling work on an engine fetched
+// through a lookup, capturing an engine in an ad-hoc goroutine, or
+// drawing from an engine's seeded randomness off its own goroutine —
+// bypasses that staging and desyncs shard counts silently.
+//
+// In the gated packages (-shardpkgs, default internal/sim and
+// internal/cluster) the analyzer flags:
+//
+//   - scheduling or seeded-state methods (At, After, Every, Spawn,
+//     SpawnAt, Rand) invoked on an engine obtained from a call
+//     expression (s.Engine(i).At(...), c.EngineOf(n).Spawn(...)):
+//     cross-shard injection must go through Engine.Cross, or the call
+//     must be hoisted into setup/coordinator context and suppressed
+//     with a justified //essvet:ignore sharddiscipline;
+//   - goroutines capturing an engine variable from the enclosing scope:
+//     window workers pass the engine as a parameter and join at the
+//     barrier, so a capture marks an engine shared with an unmanaged
+//     goroutine (a method's own receiver is exempt — an engine-owned
+//     helper goroutine is same-shard by construction);
+//   - Engine.Rand calls inside a goroutine not marked with the
+//     barrier-worker ignore convention (//essvet:ignore determinism on
+//     the go statement): seeded state consumed off the owning goroutine
+//     races the window scheduler even when the values look stable.
+package sharddiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"essio/internal/vetters/vetutil"
+)
+
+// name is the analyzer name, referenced from run without creating an
+// initialization cycle through Analyzer.
+const name = "sharddiscipline"
+
+// DefaultGates are the package-path substrings the analyzer is
+// restricted to by default: the sharded engine and its cluster driver.
+var DefaultGates = "internal/sim,internal/cluster"
+
+// shardpkgs holds the -shardpkgs flag value.
+var shardpkgs = DefaultGates
+
+// Analyzer is the sharddiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag cross-shard engine access that bypasses Cross staging or barrier joins\n\n" +
+		"Sharded simulation stays deterministic only while each Engine is driven by\n" +
+		"one goroutine per window and cross-shard effects go through Engine.Cross;\n" +
+		"scheduling on a looked-up engine, capturing an engine in an ad-hoc\n" +
+		"goroutine, or drawing engine randomness off-thread desyncs shards silently.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&shardpkgs, "shardpkgs", DefaultGates,
+		"comma-separated package path substrings the check is restricted to")
+}
+
+// stateMethods are the Engine methods that mutate scheduling or seeded
+// state and therefore must not be invoked across shards mid-run.
+var stateMethods = map[string]bool{
+	"At": true, "After": true, "Every": true,
+	"Spawn": true, "SpawnAt": true, "Rand": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !vetutil.PathGated(pass.Pkg.Path(), shardpkgs) {
+		return nil, nil
+	}
+	ignores := vetutil.ParseIgnores(pass)
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && vetutil.InTestFile(pass.Fset, f.Decls[0].Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, ignores, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies all three rules inside one function body.
+func checkFunc(pass *analysis.Pass, ignores *vetutil.Ignores, fd *ast.FuncDecl) {
+	recv := receiverObj(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkLookupChain(pass, ignores, n)
+		case *ast.GoStmt:
+			checkGoroutine(pass, ignores, n, recv)
+		}
+		return true
+	})
+}
+
+// checkLookupChain flags s.Engine(i).At(...) shapes: a scheduling or
+// seeded-state method on an engine that is itself a call result, i.e. a
+// shard lookup rather than the engine the surrounding code owns.
+func checkLookupChain(pass *analysis.Pass, ignores *vetutil.Ignores, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !stateMethods[sel.Sel.Name] {
+		return
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok || !isEngine(pass.TypesInfo.TypeOf(inner)) {
+		return
+	}
+	if ignores.Suppressed(call.Pos(), name) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s called on an engine obtained from a lookup; cross-shard scheduling must be staged through Engine.Cross (or run in coordinator context with a justified //essvet:ignore %s)",
+		sel.Sel.Name, name)
+}
+
+// checkGoroutine flags goroutines that capture an engine from the
+// enclosing scope (rule 2) and Rand calls inside goroutines lacking the
+// barrier-worker marker (rule 3).
+func checkGoroutine(pass *analysis.Pass, ignores *vetutil.Ignores, g *ast.GoStmt, recv types.Object) {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	barrierMarked := ignores.Suppressed(g.Pos(), "determinism") || ignores.Suppressed(g.Pos(), name)
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || obj == recv || !isEngine(obj.Type()) {
+				return true
+			}
+			if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+				return true // the worker's own parameter or local
+			}
+			if barrierMarked || ignores.Suppressed(n.Pos(), name) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine captures shard engine %s; pass the engine as a parameter and join at a barrier, or stage the work through Engine.Cross", n.Name)
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rand" || !isEngine(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			if barrierMarked || ignores.Suppressed(n.Pos(), name) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"engine randomness drawn inside an unmarked goroutine; seeded state off the owning goroutine races the window scheduler (mark the go statement //essvet:ignore determinism if it is barrier-joined)")
+		}
+		return true
+	})
+}
+
+// receiverObj returns the receiver object of a method decl, or nil.
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isEngine reports whether t is the sharded simulator's Engine type
+// (named Engine, declared in a sim package), unwrapping pointers.
+func isEngine(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := vetutil.NamedOf(t)
+	if n == nil || n.Obj().Name() != "Engine" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "sim" || len(path) > 4 && path[len(path)-4:] == "/sim"
+}

@@ -1,0 +1,9 @@
+package sharddiscipline_test
+
+import (
+	"testing"
+
+	"essio/internal/vetters/vettest"
+)
+
+func TestShardDiscipline(t *testing.T) { vettest.Run(t, "sharddiscipline") }

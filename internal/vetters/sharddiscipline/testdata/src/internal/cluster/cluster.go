@@ -1,0 +1,25 @@
+// Fixtures for the sharddiscipline analyzer in the gated cluster
+// package: the multi-node driver's engine lookups.
+package cluster
+
+import "essvet.test/internal/sim"
+
+// Cluster maps nodes to their shard engines.
+type Cluster struct {
+	engines map[int]*sim.Engine
+}
+
+// EngineOf returns the engine simulating a node.
+func (c *Cluster) EngineOf(node int) *sim.Engine { return c.engines[node] }
+
+// SpawnOn schedules directly on a node's engine mid-run.
+func (c *Cluster) SpawnOn(node int, name string, fn func()) {
+	c.EngineOf(node).Spawn(name, fn) // want `Spawn called on an engine obtained from a lookup`
+}
+
+// SpawnOnQuiescent is the coordinator-context variant: fine with the
+// justified ignore.
+func (c *Cluster) SpawnOnQuiescent(node int, name string, fn func()) {
+	//essvet:ignore sharddiscipline coordinator context, engines quiescent between windows
+	c.EngineOf(node).Spawn(name, fn)
+}

@@ -1,0 +1,40 @@
+// Package sim stubs the sharded engine for the sharddiscipline
+// fixtures: an Engine with the scheduling and seeded-state surface the
+// analyzer polices, and the Shards lookup that hands engines out.
+package sim
+
+// Engine is one shard's event engine.
+type Engine struct {
+	node int
+	rng  uint64
+}
+
+// At schedules fn at absolute time t.
+func (e *Engine) At(t int64, name string, fn func()) {}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d int64, name string, fn func()) {}
+
+// Every schedules fn periodically.
+func (e *Engine) Every(d int64, name string, fn func()) {}
+
+// Spawn starts a process now.
+func (e *Engine) Spawn(name string, fn func()) {}
+
+// SpawnAt starts a process at time t.
+func (e *Engine) SpawnAt(t int64, name string, fn func()) {}
+
+// Rand draws from the engine's seeded stream.
+func (e *Engine) Rand() uint64 {
+	e.rng = e.rng*6364136223846793005 + 1442695040888963407
+	return e.rng
+}
+
+// Cross stages a cross-shard effect for barrier replay.
+func (e *Engine) Cross(node int, t int64, name string, fn func()) {}
+
+// Shards is the set of per-shard engines.
+type Shards struct{ engines []*Engine }
+
+// Engine returns shard i's engine.
+func (s *Shards) Engine(i int) *Engine { return s.engines[i] }

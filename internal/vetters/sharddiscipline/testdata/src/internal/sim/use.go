@@ -1,0 +1,67 @@
+// Fixtures for the sharddiscipline analyzer inside the gated sim
+// package: lookup-chain scheduling, engine-capturing goroutines, and
+// off-thread randomness, next to the owned-engine and barrier-worker
+// shapes that legitimately pass.
+package sim
+
+// crossSchedule schedules on a looked-up shard engine directly.
+func crossSchedule(s *Shards, i int) {
+	s.Engine(i).At(100, "tick", func() {}) // want `At called on an engine obtained from a lookup`
+}
+
+// crossSpawn starts work on another shard without staging it.
+func crossSpawn(s *Shards, i int) {
+	s.Engine(i).Spawn("w", func() {}) // want `Spawn called on an engine obtained from a lookup`
+}
+
+// crossRand drains another shard's seeded stream.
+func crossRand(s *Shards, i int) uint64 {
+	return s.Engine(i).Rand() // want `Rand called on an engine obtained from a lookup`
+}
+
+// coordinator runs between windows with engines quiescent; the ignore
+// names the invariant.
+func coordinator(s *Shards, i int) {
+	//essvet:ignore sharddiscipline coordinator context, engines quiescent
+	s.Engine(i).SpawnAt(0, "boot", func() {})
+}
+
+// ownEngine schedules on the engine the caller owns: fine.
+func ownEngine(e *Engine) {
+	e.At(100, "tick", func() {})
+}
+
+// capture leaks the engine into an ad-hoc goroutine.
+func capture(e *Engine, done chan struct{}) {
+	go func() { // want `goroutine captures shard engine e`
+		e.Spawn("late", func() {})
+		close(done)
+	}()
+}
+
+// worker passes the engine as a parameter and is marked with the
+// barrier-worker convention: fine.
+func worker(e *Engine, done chan struct{}) {
+	//essvet:ignore determinism barrier-joined window worker
+	go func(eng *Engine) {
+		_ = eng.Rand()
+		close(done)
+	}(e)
+}
+
+// unmarked draws engine randomness inside an unmarked goroutine.
+func unmarked(e *Engine, done chan struct{}) {
+	go func(eng *Engine) {
+		_ = eng.Rand() // want `engine randomness drawn inside an unmarked goroutine`
+		close(done)
+	}(e)
+}
+
+// pump is engine-owned: a method's receiver goroutine is same-shard by
+// construction.
+func (e *Engine) pump(done chan struct{}) {
+	go func() {
+		e.Spawn("pump", func() {})
+		close(done)
+	}()
+}

@@ -1,0 +1,12 @@
+// Package outside sits off the gated package paths: the same shapes
+// that are flagged inside internal/sim and internal/cluster pass here
+// without comment.
+package outside
+
+import "essvet.test/internal/sim"
+
+// Ungated schedules on a looked-up engine, which only the gated
+// packages are held to.
+func Ungated(s *sim.Shards, i int) {
+	s.Engine(i).At(0, "tick", func() {})
+}

@@ -37,7 +37,6 @@ import (
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
 	"golang.org/x/tools/go/ast/inspector"
-	"golang.org/x/tools/go/types/typeutil"
 
 	"essio/internal/vetters/vetutil"
 )
@@ -125,7 +124,7 @@ func collectSpanVars(pass *analysis.Pass, body *ast.BlockStmt, tracked map[types
 			}
 			// span, err := src.NextSpan(n)  — the span is Lhs[0].
 			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && len(as.Rhs) == 1 && isSpanCall(pass, call) {
-				if mark(pass, as.Lhs[0], tracked) {
+				if vetutil.Mark(pass.TypesInfo, as.Lhs[0], tracked) {
 					grew = true
 				}
 				return true
@@ -133,9 +132,9 @@ func collectSpanVars(pass *analysis.Pass, body *ast.BlockStmt, tracked map[types
 			// alias := span   or   alias := span[i:j]
 			if len(as.Lhs) == len(as.Rhs) {
 				for i, rhs := range as.Rhs {
-					if isTrackedExpr(pass, rhs, tracked) {
+					if vetutil.IsTracked(pass.TypesInfo, rhs, tracked) {
 						if id, ok := as.Lhs[i].(*ast.Ident); ok {
-							if mark(pass, id, tracked) {
+							if vetutil.Mark(pass.TypesInfo, id, tracked) {
 								grew = true
 							}
 						}
@@ -150,65 +149,10 @@ func collectSpanVars(pass *analysis.Pass, body *ast.BlockStmt, tracked map[types
 	}
 }
 
-// mark records the object of an identifier as tracked, reporting growth.
-func mark(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]bool) bool {
-	id, ok := expr.(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return false
-	}
-	obj := pass.TypesInfo.Defs[id]
-	if obj == nil {
-		obj = pass.TypesInfo.Uses[id]
-	}
-	if obj == nil || tracked[obj] {
-		return false
-	}
-	tracked[obj] = true
-	return true
-}
-
-// isSpanCall reports whether call invokes a NextSpan method declared in
-// a trace package.
+// isSpanCall reports whether call invokes a view-returning NextSpan or
+// NextCols method declared in a trace package.
 func isSpanCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	fn := typeutil.StaticCallee(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil {
-		return false
-	}
-	switch fn.Name() {
-	case "NextSpan", "nextSpan", "NextCols", "nextCols":
-	default:
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	return isTracePkg(fn.Pkg().Path())
-}
-
-// isTracePkg matches this repo's trace package and identically laid-out
-// test stubs.
-func isTracePkg(path string) bool {
-	return path == "trace" || len(path) > 6 && path[len(path)-6:] == "/trace"
-}
-
-// isTrackedExpr reports whether expr denotes a tracked span or view, a
-// re-slice of one (slicing shares the backing buffer; only an element
-// copy or append breaks the alias), or a column selected from a tracked
-// batch view (view.Times and friends alias the same reused storage).
-func isTrackedExpr(pass *analysis.Pass, expr ast.Expr, tracked map[types.Object]bool) bool {
-	switch e := expr.(type) {
-	case *ast.Ident:
-		obj := pass.TypesInfo.Uses[e]
-		return obj != nil && tracked[obj]
-	case *ast.SliceExpr:
-		return isTrackedExpr(pass, e.X, tracked)
-	case *ast.ParenExpr:
-		return isTrackedExpr(pass, e.X, tracked)
-	case *ast.SelectorExpr:
-		return isTrackedExpr(pass, e.X, tracked)
-	}
-	return false
+	return vetutil.TraceMethodCall(pass.TypesInfo, call, "NextSpan", "nextSpan", "NextCols", "nextCols")
 }
 
 // checkRetention reports every point where a tracked span escapes the
@@ -225,7 +169,7 @@ func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.Blo
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
-				if i >= len(n.Lhs) || !isTrackedExpr(pass, rhs, tracked) {
+				if i >= len(n.Lhs) || !vetutil.IsTracked(pass.TypesInfo, rhs, tracked) {
 					continue
 				}
 				switch lhs := n.Lhs[i].(type) {
@@ -240,7 +184,7 @@ func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.Blo
 				}
 			}
 		case *ast.SendStmt:
-			if isTrackedExpr(pass, n.Value, tracked) {
+			if vetutil.IsTracked(pass.TypesInfo, n.Value, tracked) {
 				report(n, "sent on a channel")
 			}
 		case *ast.CompositeLit:
@@ -249,7 +193,7 @@ func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.Blo
 				if kv, ok := elt.(*ast.KeyValueExpr); ok {
 					e = kv.Value
 				}
-				if isTrackedExpr(pass, e, tracked) {
+				if vetutil.IsTracked(pass.TypesInfo, e, tracked) {
 					report(n, "stored in a composite literal")
 				}
 			}
@@ -258,7 +202,7 @@ func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.Blo
 			// append(dst, span...) copies elements and is fine.
 			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass, id) {
 				for _, arg := range n.Args[min(1, len(n.Args)):] {
-					if isTrackedExpr(pass, arg, tracked) && n.Ellipsis == 0 {
+					if vetutil.IsTracked(pass.TypesInfo, arg, tracked) && n.Ellipsis == 0 {
 						report(n, "appended as a slice value")
 					}
 				}
@@ -266,15 +210,15 @@ func checkRetention(pass *analysis.Pass, ignores *vetutil.Ignores, body *ast.Blo
 		case *ast.DeferStmt:
 			// A deferred or spawned closure runs after — or concurrently
 			// with — further source calls, when the span is already stale.
-			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && capturesTracked(pass, fl, tracked) {
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && vetutil.CapturesTracked(pass.TypesInfo, fl, tracked) {
 				report(n, "captured by a deferred closure that runs after the span is stale")
 			}
 		case *ast.GoStmt:
-			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && capturesTracked(pass, fl, tracked) {
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok && vetutil.CapturesTracked(pass.TypesInfo, fl, tracked) {
 				report(n, "captured by a goroutine racing the span's reuse")
 			}
 		case *ast.FuncLit:
-			if capturesTracked(pass, n, tracked) && !immediatelyInvoked(body, n) {
+			if vetutil.CapturesTracked(pass.TypesInfo, n, tracked) && !immediatelyInvoked(body, n) {
 				report(n, "captured by a closure that may outlive the span")
 			}
 			return false // don't descend: inner body already scanned as its own function
@@ -297,26 +241,6 @@ func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
 // isPkgLevel reports whether v is declared at package scope.
 func isPkgLevel(v *types.Var) bool {
 	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
-}
-
-// capturesTracked reports whether the closure body references a tracked
-// span variable declared outside the closure (a true capture; spans the
-// closure obtains itself are its own function's concern).
-func capturesTracked(pass *analysis.Pass, fl *ast.FuncLit, tracked map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			obj := pass.TypesInfo.Uses[id]
-			if obj != nil && tracked[obj] && (obj.Pos() < fl.Pos() || obj.Pos() > fl.End()) {
-				found = true
-			}
-		}
-		return true
-	})
-	return found
 }
 
 // immediatelyInvoked reports whether fl appears only as the function of

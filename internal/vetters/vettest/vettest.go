@@ -19,18 +19,18 @@ package vettest
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"essio/internal/vetters/sarif"
 )
 
 // Run checks one analyzer against the testdata tree rooted next to the
@@ -234,64 +234,22 @@ func runVet(t *testing.T, tool, mod, analyzer string, flags []string) []*diag {
 	return diags
 }
 
-// posnRE splits a file:line:col position.
-var posnRE = regexp.MustCompile(`^(.*):(\d+):(\d+)$`)
-
 // parseVetJSON decodes the stream of per-package JSON objects go vet
-// -json emits (comment lines interleaved on stderr).
+// -json emits through the shared sarif parser (which also sorts), then
+// relativizes positions to the throwaway module root.
 func parseVetJSON(stdout, stderr []byte, mod string) ([]*diag, error) {
-	var diags []*diag
-	for _, raw := range [][]byte{stdout, stderr} {
-		// Drop "# package" comment lines, keep JSON.
-		var jsonText bytes.Buffer
-		for _, line := range bytes.Split(raw, []byte("\n")) {
-			if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
-				continue
-			}
-			jsonText.Write(line)
-			jsonText.WriteByte('\n')
-		}
-		dec := json.NewDecoder(&jsonText)
-		for dec.More() {
-			var byPkg map[string]map[string][]struct {
-				Posn    string `json:"posn"`
-				Message string `json:"message"`
-			}
-			if err := dec.Decode(&byPkg); err != nil {
-				if raw = bytes.TrimSpace(raw); len(raw) == 0 {
-					break
-				}
-				return diags, err
-			}
-			for _, byAnalyzer := range byPkg {
-				for _, list := range byAnalyzer {
-					for _, d := range list {
-						m := posnRE.FindStringSubmatch(d.Posn)
-						if m == nil {
-							continue
-						}
-						file := m[1]
-						if rel, err := filepath.Rel(mod, file); err == nil && !strings.HasPrefix(rel, "..") {
-							file = rel
-						}
-						line, _ := strconv.Atoi(m[2])
-						diags = append(diags, &diag{file: file, line: line, message: d.Message})
-					}
-				}
-			}
-		}
+	parsed, err := sarif.ParseVetJSON(stdout, stderr)
+	if err != nil {
+		return nil, err
 	}
-	// The JSON arrives keyed by package and analyzer maps; order the
-	// diagnostics so mismatch reports are stable run to run.
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].file != diags[j].file {
-			return diags[i].file < diags[j].file
+	var diags []*diag
+	for _, d := range parsed {
+		file := d.File
+		if rel, err := filepath.Rel(mod, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
 		}
-		if diags[i].line != diags[j].line {
-			return diags[i].line < diags[j].line
-		}
-		return diags[i].message < diags[j].message
-	})
+		diags = append(diags, &diag{file: file, line: d.Line, message: d.Message})
+	}
 	return diags, nil
 }
 

@@ -1,0 +1,111 @@
+// Alias-tracking helpers shared by the analyzers that police zero-copy
+// views (spanretain, mmapalias): marking variables as tracked, deciding
+// whether an expression denotes tracked storage through re-slicing and
+// column selection, recognizing the trace-package calls that hand views
+// out, and detecting closure captures. Both analyzers run the same
+// fixpoint over assignments; only what they *report* about a tracked
+// view differs (retention vs. mutation/staleness).
+
+package vetutil
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Mark records the object of an identifier as tracked, reporting growth.
+func Mark(info *types.Info, expr ast.Expr, tracked map[types.Object]bool) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil || tracked[obj] {
+		return false
+	}
+	tracked[obj] = true
+	return true
+}
+
+// IsTracked reports whether expr denotes a tracked view, a re-slice of
+// one (slicing shares the backing buffer; only an element copy or
+// append breaks the alias), or a column selected from a tracked batch
+// view (view.Times and friends alias the same reused storage).
+func IsTracked(info *types.Info, expr ast.Expr, tracked map[types.Object]bool) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		return obj != nil && tracked[obj]
+	case *ast.SliceExpr:
+		return IsTracked(info, e.X, tracked)
+	case *ast.ParenExpr:
+		return IsTracked(info, e.X, tracked)
+	case *ast.SelectorExpr:
+		return IsTracked(info, e.X, tracked)
+	}
+	return false
+}
+
+// IsTracePkg matches this repo's trace package and identically laid-out
+// test stubs.
+func IsTracePkg(path string) bool {
+	return path == "trace" || len(path) > 6 && path[len(path)-6:] == "/trace"
+}
+
+// TraceMethodCall reports whether call statically invokes a method with
+// one of the given names declared in a trace package.
+func TraceMethodCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	fn := typeutil.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	found := false
+	for _, n := range names {
+		if fn.Name() == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsTracePkg(fn.Pkg().Path())
+}
+
+// CapturesTracked reports whether the closure body references a tracked
+// variable declared outside the closure (a true capture; views the
+// closure obtains itself are its own function's concern).
+func CapturesTracked(info *types.Info, fl *ast.FuncLit, tracked map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj != nil && tracked[obj] && (obj.Pos() < fl.Pos() || obj.Pos() > fl.End()) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// NamedOf unwraps pointers and aliases down to the named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
