@@ -14,6 +14,7 @@ package essio_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -444,6 +445,48 @@ func BenchmarkExperimentSmallPPM(b *testing.B) {
 		if _, err := experiment.Run(experiment.SmallConfig(experiment.PPM, 2)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCharacterizeTrace prices the per-request I/O journal on a
+// whole experiment: the small PPM run end to end with the journal off
+// versus collecting at obs trace, the trace arm also exporting the
+// Chrome JSON and folding the latency-breakdown lens, since that is
+// the work a tracing user actually pays for. The off arm must be
+// indistinguishable from an untraced run (one level comparison per
+// would-be event), and DESIGN.md budgets the trace arm at ≤10% over
+// it; the events/op metric sizes the journal the run produces.
+func BenchmarkCharacterizeTrace(b *testing.B) {
+	for _, lv := range []struct {
+		name  string
+		level essio.ObsLevel
+	}{
+		{"off", essio.ObsOff},
+		{"trace", essio.ObsTrace},
+	} {
+		b.Run(lv.name, func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				cfg := essio.SmallConfig(essio.PPM, 2)
+				cfg.ObsLevel = lv.level
+				res, err := essio.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lv.level == essio.ObsTrace {
+					if len(res.IOTrace) == 0 {
+						b.Fatal("trace-level run journaled no events")
+					}
+					if err := essio.WriteChromeTrace(io.Discard, res.IOTrace); err != nil {
+						b.Fatal(err)
+					}
+					_ = essio.ComputeIOBreakdown(res.IOTrace)
+				}
+				events = len(res.IOTrace)
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
 	}
 }
 

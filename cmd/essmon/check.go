@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"essio"
+)
+
+// checkCounters verifies every named counter is present and nonzero, and
+// — when an experiment ran inline — that the /proc metrics text parses
+// and exposes the same counters (the exposition-path smoke test). On
+// failure the error names each offending metric and says what was wrong
+// with it: absent from the snapshot, present but zero, or missing from
+// the procfs exposition.
+func checkCounters(snap *essio.MetricSnapshot, procText string, names []string) error {
+	var bad []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		switch {
+		case !hasCounter(snap, name):
+			bad = append(bad, name+" (missing)")
+		case snap.Counter(name) == 0:
+			bad = append(bad, name+" (zero)")
+		}
+		// sim/* metrics are synthesized cluster-wide from the engine and
+		// never appear in a node's proc file; everything else must.
+		if procText != "" && !strings.HasPrefix(name, "sim/") &&
+			!strings.Contains(procText, metricSeries(name)+" ") {
+			bad = append(bad, name+" (absent from procfs)")
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("counter check failed: %s", strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// hasCounter reports whether the snapshot contains the named counter at
+// all — Snapshot.Counter alone cannot distinguish a missing counter
+// from a zero one.
+func hasCounter(snap *essio.MetricSnapshot, name string) bool {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// metricSeries mirrors the snapshot's Prometheus name mangling.
+func metricSeries(name string) string {
+	return "essio_" + strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(name)
+}

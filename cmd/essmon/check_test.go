@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"essio"
+)
+
+// checkSnap builds a snapshot with one nonzero counter, one zero
+// counter, and nothing else.
+func checkSnap() *essio.MetricSnapshot {
+	reg := essio.NewObsRegistry(essio.ObsCounters)
+	reg.Counter("driver/requests").Add(7)
+	reg.Counter("bcache/hits") // registered but never incremented
+	return reg.Snapshot()
+}
+
+func TestCheckCountersPasses(t *testing.T) {
+	if err := checkCounters(checkSnap(), "", []string{"driver/requests", " ", ""}); err != nil {
+		t.Fatalf("check failed on a healthy snapshot: %v", err)
+	}
+}
+
+func TestCheckCountersNamesEachFailure(t *testing.T) {
+	err := checkCounters(checkSnap(), "", []string{"driver/requests", "bcache/hits", "driver/nope"})
+	if err == nil {
+		t.Fatalf("check passed with a zero and a missing counter")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bcache/hits (zero)", "driver/nope (missing)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not name %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "driver/requests") {
+		t.Errorf("error %q blames the healthy counter", msg)
+	}
+}
+
+func TestCheckCountersProcfsExposition(t *testing.T) {
+	// The procfs text exposes driver/requests but not bcache/hits; the
+	// sim/* namespace is engine-synthesized and exempt.
+	proc := "essio_driver_requests 7\n"
+	snap := checkSnap()
+	if err := checkCounters(snap, proc, []string{"driver/requests"}); err != nil {
+		t.Fatalf("check failed on an exposed counter: %v", err)
+	}
+	reg := essio.NewObsRegistry(essio.ObsCounters)
+	reg.Counter("bcache/hits").Add(3)
+	reg.Counter("sim/events_fired").Add(9)
+	snap = reg.Snapshot()
+	err := checkCounters(snap, proc, []string{"bcache/hits"})
+	if err == nil || !strings.Contains(err.Error(), "bcache/hits (absent from procfs)") {
+		t.Fatalf("procfs absence not reported: %v", err)
+	}
+	if err := checkCounters(snap, proc, []string{"sim/events_fired"}); err != nil {
+		t.Fatalf("sim/* counter wrongly required in procfs: %v", err)
+	}
+}

@@ -13,9 +13,15 @@
 //	essmon -run baseline -small -json       # emit the snapshot as JSON
 //	essmon -run baseline -small -check driver/requests,sim/events_fired
 //	essmon -run ppm -small -nodes 64 -shards 8 -check sim/events_fired
+//	essmon trace -run ppm -small -o ppm.trace.json   # per-request journal
 //
-// -check exits nonzero unless every named counter is present and nonzero,
-// which is how CI smoke-tests the observability path end to end.
+// -check exits nonzero unless every named counter is present and nonzero —
+// naming each failing metric and what was wrong with it (missing, zero,
+// or absent from the procfs exposition) — which is how CI smoke-tests
+// the observability path end to end. The trace subcommand runs an
+// experiment at the trace collection level and exports the per-request
+// I/O journal as Perfetto-loadable Chrome trace JSON plus the
+// latency-breakdown and critical-path tables (see cmd/essmon/trace.go).
 package main
 
 import (
@@ -30,13 +36,17 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
+		return
+	}
 	input := flag.String("i", "", "render a saved snapshot JSON file (\"-\" reads stdin)")
 	run := flag.String("run", "", "run this experiment (baseline|ppm|wavelet|nbody|combined) and render its snapshot")
 	small := flag.Bool("small", false, "scaled-down experiment configuration")
 	nodes := flag.Int("nodes", 16, "cluster size for -run")
 	seed := flag.Int64("seed", 1, "simulation seed for -run")
 	shards := flag.Int("shards", 1, "parallel simulation shards for -run (results are identical at any count)")
-	level := flag.String("level", "counters", "collection level for -run: off, counters, or full")
+	level := flag.String("level", "counters", "collection level for -run: off, counters, full, or trace")
 	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of rendering")
 	asText := flag.Bool("text", false, "emit the snapshot in Prometheus text format instead of rendering")
 	check := flag.String("check", "", "comma-separated counters that must be nonzero (exit 1 otherwise)")
@@ -114,37 +124,6 @@ func readSnapshot(path string) (*essio.MetricSnapshot, error) {
 	}
 	defer f.Close()
 	return essio.ParseMetricJSON(f)
-}
-
-// checkCounters verifies every named counter is present and nonzero, and
-// — when an experiment ran inline — that the /proc metrics text parses
-// and exposes the same counters (the exposition-path smoke test).
-func checkCounters(snap *essio.MetricSnapshot, procText string, names []string) error {
-	var missing []string
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		if snap.Counter(name) == 0 {
-			missing = append(missing, name)
-		}
-		// sim/* metrics are synthesized cluster-wide from the engine and
-		// never appear in a node's proc file; everything else must.
-		if procText != "" && !strings.HasPrefix(name, "sim/") &&
-			!strings.Contains(procText, metricSeries(name)+" ") {
-			missing = append(missing, name+" (procfs)")
-		}
-	}
-	if len(missing) > 0 {
-		return fmt.Errorf("counters missing or zero: %s", strings.Join(missing, ", "))
-	}
-	return nil
-}
-
-// metricSeries mirrors the snapshot's Prometheus name mangling.
-func metricSeries(name string) string {
-	return "essio_" + strings.NewReplacer("/", "_", "-", "_", ".", "_").Replace(name)
 }
 
 // render draws the snapshot: pipeline flow as bars, then the counter,

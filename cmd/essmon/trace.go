@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"essio"
+)
+
+// traceMain implements "essmon trace": run an experiment with the
+// per-request I/O journal collecting (obs level Trace), export the
+// merged journal as Chrome trace-event JSON, and print the analysis
+// lenses. With -o "-" the JSON goes to stdout and the tables are
+// suppressed; otherwise the JSON lands in the named file and the tables
+// print to stdout.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("essmon trace", flag.ExitOnError)
+	run := fs.String("run", "", "experiment to trace (baseline|ppm|wavelet|nbody|combined)")
+	small := fs.Bool("small", false, "scaled-down experiment configuration")
+	nodes := fs.Int("nodes", 16, "cluster size")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	shards := fs.Int("shards", 1, "parallel simulation shards (trace bytes are identical at any count)")
+	out := fs.String("o", "-", "trace-event JSON output path (\"-\" writes stdout and suppresses tables)")
+	breakdown := fs.Bool("breakdown", true, "print the per-request latency breakdown table")
+	critpath := fs.Bool("critpath", true, "print the critical-path table")
+	fs.Parse(args)
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "essmon trace: need -run <experiment>")
+		os.Exit(2)
+	}
+
+	var cfg essio.Config
+	if *small {
+		cfg = essio.SmallConfig(essio.Kind(*run), *nodes)
+	} else {
+		cfg = essio.Config{Kind: essio.Kind(*run), Nodes: *nodes}
+	}
+	cfg.Seed = *seed
+	cfg.Shards = *shards
+	cfg.ObsLevel = essio.ObsTrace
+	fmt.Fprintf(os.Stderr, "tracing %s experiment (%d nodes, %d shards)...\n", *run, cfg.Nodes, *shards)
+	res, err := essio.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "essmon trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "journal: %d events", len(res.IOTrace))
+	if res.IOTraceDropped > 0 {
+		fmt.Fprintf(os.Stderr, " (%d evicted by ring capacity; journal is a suffix of the run)", res.IOTraceDropped)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essmon trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := essio.WriteChromeTrace(w, res.IOTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "essmon trace:", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (load it at https://ui.perfetto.dev)\n", *out)
+	if *breakdown {
+		fmt.Println("per-request latency breakdown")
+		fmt.Print(essio.ComputeIOBreakdown(res.IOTrace).Table())
+	}
+	if *critpath {
+		fmt.Print(essio.ComputeIOCriticalPath(res.IOTrace).Table())
+	}
+}

@@ -9,6 +9,7 @@
 //	essreport -small          # scaled-down quick pass
 //	essreport -fig 3          # only the experiment behind Figure 3
 //	essreport -table1         # only Table 1
+//	essreport -trace          # + per-request latency breakdown & critical path
 package main
 
 import (
@@ -99,6 +100,7 @@ func main() {
 	dumpDir := flag.String("dump", "", "also write each experiment's merged trace into this directory")
 	format := flag.String("format", "bin", "trace format for -dump: bin, text, or col")
 	workers := flag.Int("workers", 0, "worker pool size for experiment runs and characterization (0 = all cores)")
+	withTrace := flag.Bool("trace", false, "collect per-request I/O journals (obs level trace) and print latency-breakdown and critical-path tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -167,6 +169,9 @@ func main() {
 			cfg = essio.Config{Kind: k, Nodes: *nodes}
 		}
 		cfg.Seed = *seed
+		if *withTrace {
+			cfg.ObsLevel = essio.ObsTrace
+		}
 		return cfg
 	}, *workers)
 	if err != nil {
@@ -209,6 +214,17 @@ func main() {
 	for _, k := range kinds {
 		fmt.Println(essio.SizeClassReport(results[k]))
 		fmt.Println(essio.LevelsReport(results[k]))
+	}
+	if *withTrace {
+		// The per-request lenses over the causal I/O journal: where each
+		// size class spends its time, and the longest dependency chain.
+		for _, k := range kinds {
+			res := results[k]
+			fmt.Printf("per-request latency breakdown (%s, %d journal events)\n", k, len(res.IOTrace))
+			fmt.Print(essio.ComputeIOBreakdown(res.IOTrace).Table())
+			fmt.Print(essio.ComputeIOCriticalPath(res.IOTrace).Table())
+			fmt.Println()
+		}
 	}
 	// The paper's stated next step: the characterization as a parameter
 	// set for system design and tuning. Profiles shard the per-node traces

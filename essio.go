@@ -32,6 +32,7 @@ import (
 	"essio/internal/core"
 	"essio/internal/disk"
 	"essio/internal/experiment"
+	"essio/internal/iotrace"
 	"essio/internal/kernel"
 	"essio/internal/model"
 	"essio/internal/obs"
@@ -579,13 +580,46 @@ const (
 	ObsOff      = obs.Off
 	ObsCounters = obs.Counters
 	ObsFull     = obs.Full
+	ObsTrace    = obs.Trace
 )
 
 var (
 	// NewObsRegistry returns an empty registry collecting at a level.
 	NewObsRegistry = obs.New
-	// ParseObsLevel maps "off"/"counters"/"full" to an ObsLevel.
+	// ParseObsLevel maps "off"/"counters"/"full"/"trace" to an ObsLevel.
 	ParseObsLevel = obs.ParseLevel
 	// ParseMetricJSON reads a snapshot rendered by MetricSnapshot.JSON.
 	ParseMetricJSON = obs.ParseJSON
+)
+
+// Per-request causal I/O tracing (obs level Trace): the deterministic
+// event journal behind Result.IOTrace, the Chrome trace-event export,
+// and the latency-breakdown / critical-path lenses. See
+// internal/iotrace for the design.
+type (
+	// IOTraceEvent is one journaled span or instant of a request journey.
+	IOTraceEvent = iotrace.Event
+	// IOTraceStage identifies the I/O stack layer an event came from.
+	IOTraceStage = iotrace.Stage
+	// IOTraceBreakdown is the per-request latency breakdown lens,
+	// aggregated into the paper's request size classes.
+	IOTraceBreakdown = iotrace.Breakdown
+	// IOTraceCriticalPath is the multi-node critical-path lens.
+	IOTraceCriticalPath = iotrace.CriticalPath
+)
+
+var (
+	// WriteChromeTrace renders a merged journal as Chrome trace-event
+	// JSON, loadable in Perfetto. Byte-identical at any shard/worker
+	// count for a given seed and config.
+	WriteChromeTrace = iotrace.WriteChrome
+	// MergeIOTrace folds per-node event slices into the (Time, Node,
+	// Seq) total order.
+	MergeIOTrace = iotrace.Merge
+	// ComputeIOBreakdown aggregates a journal into per-size-class
+	// latency breakdown rows.
+	ComputeIOBreakdown = iotrace.ComputeBreakdown
+	// ComputeIOCriticalPath extracts the span chain bounding a phase's
+	// elapsed time.
+	ComputeIOCriticalPath = iotrace.ComputeCriticalPath
 )

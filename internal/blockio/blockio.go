@@ -32,6 +32,13 @@ type Segment struct {
 	Sector uint32
 	Buf    []byte
 	Done   *sim.Completion
+	// Req is the I/O request journey that submitted this segment (0 for
+	// untagged system I/O); the driver journals per-segment queue wait
+	// against it. Queued is this segment's own submit time — a segment
+	// merged into an older request entered the queue later than the
+	// request did.
+	Req    uint64
+	Queued sim.Time
 }
 
 // Request is a physical disk request: one or more contiguous segments with
@@ -109,6 +116,13 @@ func (q *Queue) Len() int { return len(q.queued) }
 // that fires when the covering physical request finishes. Adjacent requests
 // in the same direction merge up to the request size cap.
 func (q *Queue) Submit(sector uint32, buf []byte, write bool, origin trace.Origin) (*sim.Completion, error) {
+	return q.SubmitReq(sector, buf, write, origin, 0)
+}
+
+// SubmitReq is Submit carrying the I/O request journey ID that caused
+// the transfer, for per-request tracing; req 0 marks untagged system
+// I/O and is what plain Submit passes.
+func (q *Queue) SubmitReq(sector uint32, buf []byte, write bool, origin trace.Origin, req uint64) (*sim.Completion, error) {
 	if q.start == nil {
 		return nil, fmt.Errorf("blockio: queue has no driver attached")
 	}
@@ -116,7 +130,7 @@ func (q *Queue) Submit(sector uint32, buf []byte, write bool, origin trace.Origi
 		return nil, fmt.Errorf("blockio: buffer length %d not a positive sector multiple", len(buf))
 	}
 	count := len(buf) / trace.SectorSize
-	seg := &Segment{Sector: sector, Buf: buf, Done: sim.NewCompletion(q.e)}
+	seg := &Segment{Sector: sector, Buf: buf, Done: sim.NewCompletion(q.e), Req: req, Queued: q.e.Now()}
 	q.stats.Submitted++
 
 	if !q.merge(seg, count, write) {

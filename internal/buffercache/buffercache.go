@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"essio/internal/blockio"
+	"essio/internal/iotrace"
 	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
@@ -51,6 +52,7 @@ type buffer struct {
 	busy   bool // I/O in flight
 	gen    uint64
 	origin trace.Origin // who dirtied this buffer (for write-back tagging)
+	req    uint64       // I/O journey that dirtied this buffer (write-back attribution)
 	elem   *list.Element
 	wq     *sim.WaitQueue
 }
@@ -66,7 +68,14 @@ type Cache struct {
 	readAhead    int
 	writeThrough bool
 	om           cacheMetrics
+	journal      *iotrace.Journal
 }
+
+// SetJournal attaches the node's per-request I/O journal; nil detaches.
+// The cache journals hits, miss fills, and writebacks; delayed writes
+// are attributed to the journey that dirtied the buffer (buffer.req),
+// which is how causal attribution survives write-back.
+func (c *Cache) SetJournal(j *iotrace.Journal) { c.journal = j }
 
 // cacheMetrics holds the cache's observability handles; the zero value
 // records nothing.
@@ -227,7 +236,8 @@ func (c *Cache) flushBuffer(p *sim.Proc, b *buffer) error {
 	if origin == trace.OriginUnknown {
 		origin = trace.OriginMeta
 	}
-	done, err := c.q.Submit(b.block*SectorsPerBlock, b.data, true, origin)
+	req, start := b.req, c.e.Now()
+	done, err := c.q.SubmitReq(b.block*SectorsPerBlock, b.data, true, origin, req)
 	if err != nil {
 		b.busy = false
 		return err
@@ -236,6 +246,9 @@ func (c *Cache) flushBuffer(p *sim.Proc, b *buffer) error {
 	c.om.writebacks.Inc()
 	werr := done.Wait(p)
 	b.busy = false
+	if werr == nil && c.journal.Enabled() {
+		c.journal.Add(c.e.Now(), c.e.Now().Sub(start), iotrace.StageWriteback, req, int64(b.block))
+	}
 	if werr == nil && b.gen == gen {
 		b.dirty = false
 		c.om.dirty.Add(-1)
@@ -260,6 +273,9 @@ func (c *Cache) ReadBlock(p *sim.Proc, block uint32, origin trace.Origin) ([]byt
 		if b.valid {
 			c.stats.Hits++
 			c.om.hits.Inc()
+			if c.journal.Enabled() {
+				c.journal.Add(c.e.Now(), 0, iotrace.StageCacheHit, p.IOTag(), int64(block))
+			}
 			c.touch(b)
 			return b.data, nil
 		}
@@ -270,7 +286,8 @@ func (c *Cache) ReadBlock(p *sim.Proc, block uint32, origin trace.Origin) ([]byt
 		c.stats.Misses++
 		c.om.misses.Inc()
 		b.busy = true
-		done, err := c.q.Submit(block*SectorsPerBlock, b.data, false, origin)
+		start := c.e.Now()
+		done, err := c.q.SubmitReq(block*SectorsPerBlock, b.data, false, origin, p.IOTag())
 		if err != nil {
 			b.busy = false
 			b.wq.WakeAll()
@@ -283,6 +300,9 @@ func (c *Cache) ReadBlock(p *sim.Proc, block uint32, origin trace.Origin) ([]byt
 		if rerr != nil {
 			c.evict(b)
 			return nil, rerr
+		}
+		if c.journal.Enabled() {
+			c.journal.Add(c.e.Now(), c.e.Now().Sub(start), iotrace.StageCacheMiss, p.IOTag(), int64(block))
 		}
 		c.touch(b)
 		return b.data, nil
@@ -305,7 +325,8 @@ func (c *Cache) Prefetch(p *sim.Proc, blocks []uint32, origin trace.Origin) erro
 			continue
 		}
 		b.busy = true
-		done, err := c.q.Submit(blk*SectorsPerBlock, b.data, false, origin)
+		req, start := p.IOTag(), c.e.Now()
+		done, err := c.q.SubmitReq(blk*SectorsPerBlock, b.data, false, origin, req)
 		if err != nil {
 			b.busy = false
 			return err
@@ -316,6 +337,9 @@ func (c *Cache) Prefetch(p *sim.Proc, blocks []uint32, origin trace.Origin) erro
 		done.OnComplete(func(ioErr error) {
 			bb.busy = false
 			bb.valid = ioErr == nil
+			if ioErr == nil && c.journal.Enabled() {
+				c.journal.Add(c.e.Now(), c.e.Now().Sub(start), iotrace.StageCacheMiss, req, int64(bb.block))
+			}
 			bb.wq.WakeAll()
 			if ioErr != nil && bb.elem != nil {
 				if cur, ok := c.blocks[bb.block]; ok && cur == bb {
@@ -350,6 +374,7 @@ func (c *Cache) WriteBlock(p *sim.Proc, block uint32, data []byte, origin trace.
 		}
 		b.gen++
 		b.origin = origin
+		b.req = p.IOTag()
 		c.touch(b)
 		c.maybeWriteThrough(b)
 		return nil
@@ -364,7 +389,8 @@ func (c *Cache) maybeWriteThrough(b *buffer) {
 	}
 	gen := b.gen
 	b.busy = true
-	done, err := c.q.Submit(b.block*SectorsPerBlock, b.data, true, b.origin)
+	req, start := b.req, c.e.Now()
+	done, err := c.q.SubmitReq(b.block*SectorsPerBlock, b.data, true, b.origin, req)
 	if err != nil {
 		b.busy = false
 		return
@@ -377,6 +403,9 @@ func (c *Cache) maybeWriteThrough(b *buffer) {
 		if ioErr == nil && bb.gen == gen {
 			bb.dirty = false
 			c.om.dirty.Add(-1)
+		}
+		if ioErr == nil && c.journal.Enabled() {
+			c.journal.Add(c.e.Now(), c.e.Now().Sub(start), iotrace.StageWriteback, req, int64(bb.block))
 		}
 		bb.wq.WakeAll()
 	})
@@ -402,6 +431,7 @@ func (c *Cache) UpdateBlock(p *sim.Proc, block uint32, origin trace.Origin, fn f
 	}
 	b.gen++
 	b.origin = origin
+	b.req = p.IOTag()
 	c.maybeWriteThrough(b)
 	return nil
 }
@@ -423,7 +453,8 @@ func (c *Cache) WritebackAll(origin trace.Origin) int {
 		if worigin == trace.OriginUnknown {
 			worigin = origin
 		}
-		done, err := c.q.Submit(b.block*SectorsPerBlock, b.data, true, worigin)
+		req, start := b.req, c.e.Now()
+		done, err := c.q.SubmitReq(b.block*SectorsPerBlock, b.data, true, worigin, req)
 		if err != nil {
 			b.busy = false
 			continue
@@ -437,6 +468,9 @@ func (c *Cache) WritebackAll(origin trace.Origin) int {
 			if ioErr == nil && bb.gen == gen {
 				bb.dirty = false
 				c.om.dirty.Add(-1)
+			}
+			if ioErr == nil && c.journal.Enabled() {
+				c.journal.Add(c.e.Now(), c.e.Now().Sub(start), iotrace.StageWriteback, req, int64(bb.block))
 			}
 			bb.wq.WakeAll()
 		})

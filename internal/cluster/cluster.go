@@ -17,6 +17,7 @@ import (
 	"essio/internal/driver"
 	"essio/internal/ethernet"
 	"essio/internal/extfs"
+	"essio/internal/iotrace"
 	"essio/internal/kernel"
 	"essio/internal/obs"
 	"essio/internal/pvm"
@@ -86,6 +87,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Net = ethernet.NewSharded(c.Shards, netParams)
 	c.PVM = pvm.NewDistributed(c.EngineOf, c.Net)
+	c.PVM.SetJournals(func(node int) *iotrace.Journal { return c.Nodes[node].Journal })
 	for i := 0; i < cfg.Nodes; i++ {
 		kcfg := kernel.DefaultConfig(uint8(i))
 		if cfg.Node != nil {
@@ -209,6 +211,7 @@ func (c *Cluster) StartTracing() {
 	for _, n := range c.Nodes {
 		n.ResetTrace()
 		n.AppIO.Reset()
+		n.Journal.Reset()
 		n.EnableTracing(driver.LevelFull)
 	}
 }
@@ -259,6 +262,29 @@ func (c *Cluster) ObsSnapshot() *obs.Snapshot {
 		s.Merge(n.Obs.Snapshot())
 	}
 	return s
+}
+
+// IOTrace returns every node's request journal merged into the
+// (Time, Node, Seq) total order — the input to the Chrome export and
+// the analysis lenses. Per-node journals are shard-invariant (appends
+// are engine-serialized) and the order is total, so the merged journal
+// is byte-identical at any shard or worker count.
+func (c *Cluster) IOTrace() []iotrace.Event {
+	per := make([][]iotrace.Event, len(c.Nodes))
+	for i, n := range c.Nodes {
+		per[i] = n.Journal.Events()
+	}
+	return iotrace.Merge(per...)
+}
+
+// IOTraceDropped totals ring-capacity evictions across the nodes; a
+// non-zero value means the journal is a suffix of the run.
+func (c *Cluster) IOTraceDropped() uint64 {
+	var n uint64
+	for _, node := range c.Nodes {
+		n += node.Journal.Dropped()
+	}
+	return n
 }
 
 // Traces returns each node's collected trace.

@@ -200,21 +200,42 @@ func (d *Disk) transferTime(count int) sim.Duration {
 	return sim.DurationOf(float64(count*SectorSize) / d.p.TransferRate)
 }
 
+// Detail decomposes one request's service time into its mechanical
+// phases: controller overhead, seek, rotational delay, and media
+// transfer. Positioning (overhead+seek+rot) plus Xfer is the total.
+type Detail struct {
+	Overhead, Seek, Rot, Xfer sim.Duration
+}
+
+// Total is the full service time the decomposition sums to.
+func (dt Detail) Total() sim.Duration { return dt.Overhead + dt.Seek + dt.Rot + dt.Xfer }
+
+// Pos is the positioning portion: everything before the transfer starts.
+func (dt Detail) Pos() sim.Duration { return dt.Overhead + dt.Seek + dt.Rot }
+
 // Service computes the full service time for a request starting now,
 // advances the head model, and accounts statistics. The caller (the device
 // driver) is responsible for serializing requests and scheduling the
 // completion event.
 func (d *Disk) Service(sector uint32, count int, write bool) (sim.Duration, error) {
+	dt, err := d.ServiceDetail(sector, count, write)
+	return dt.Total(), err
+}
+
+// ServiceDetail is Service returning the per-phase decomposition, which
+// the per-request tracing layer journals as positioning and transfer
+// spans.
+func (d *Disk) ServiceDetail(sector uint32, count int, write bool) (Detail, error) {
 	if count <= 0 {
-		return 0, fmt.Errorf("disk: non-positive sector count %d", count)
+		return Detail{}, fmt.Errorf("disk: non-positive sector count %d", count)
 	}
 	if sector+uint32(count) > d.p.Sectors || sector+uint32(count) < sector {
-		return 0, fmt.Errorf("disk: request [%d,+%d) beyond capacity %d", sector, count, d.p.Sectors)
+		return Detail{}, fmt.Errorf("disk: request [%d,+%d) beyond capacity %d", sector, count, d.p.Sectors)
 	}
 	if d.badOverlap(sector, count) {
 		d.stats.MediaErrors++
 		d.om.mediaErrs.Inc()
-		return 0, fmt.Errorf("disk: media error at sector %d (+%d)", sector, count)
+		return Detail{}, fmt.Errorf("disk: media error at sector %d (+%d)", sector, count)
 	}
 	cyl := d.cylinderOf(sector)
 	dist := abs(cyl - d.headCyl)
@@ -241,7 +262,7 @@ func (d *Disk) Service(sector uint32, count int, write bool) (sim.Duration, erro
 	d.om.sectors.Add(uint64(count))
 	d.om.seekCylinders.Observe(int64(dist))
 	d.om.serviceMicros.Observe(int64(total))
-	return total, nil
+	return Detail{Overhead: d.p.Overhead, Seek: seek, Rot: rot, Xfer: xfer}, nil
 }
 
 // ReadAt copies stored sector contents into buf, whose length must be a

@@ -17,6 +17,7 @@ import (
 
 	"essio/internal/blockio"
 	"essio/internal/disk"
+	"essio/internal/iotrace"
 	"essio/internal/obs"
 	"essio/internal/sim"
 	"essio/internal/trace"
@@ -61,16 +62,22 @@ type Stats struct {
 
 // Driver is one node's instrumented disk driver.
 type Driver struct {
-	e     *sim.Engine
-	disk  *disk.Disk
-	queue *blockio.Queue
-	node  uint8
-	level Level
-	sink  Sink
-	stats Stats
-	reg   *obs.Registry
-	om    driverMetrics
+	e       *sim.Engine
+	disk    *disk.Disk
+	queue   *blockio.Queue
+	node    uint8
+	level   Level
+	sink    Sink
+	stats   Stats
+	reg     *obs.Registry
+	om      driverMetrics
+	journal *iotrace.Journal
 }
+
+// SetJournal attaches the node's per-request I/O journal; nil detaches.
+// At dispatch the driver journals each segment's queue wait, and the
+// physical request's disk positioning and transfer spans.
+func (v *Driver) SetJournal(j *iotrace.Journal) { v.journal = j }
 
 // driverMetrics holds the driver's observability handles; the zero
 // value records nothing.
@@ -185,13 +192,32 @@ func (v *Driver) start(r *blockio.Request) {
 		v.om.traced.Inc()
 	}
 
-	dur, err := v.disk.Service(r.Sector, r.Count, r.Write)
+	if v.journal.Enabled() {
+		// Per-segment queue wait: a merged segment entered the queue at
+		// its own submit time, not the covering request's.
+		now := v.e.Now()
+		for _, s := range r.Segs {
+			v.journal.Add(now, now.Sub(s.Queued), iotrace.StageQueueWait, s.Req, int64(s.Sector))
+		}
+	}
+
+	det, err := v.disk.ServiceDetail(r.Sector, r.Count, r.Write)
+	dur := det.Total()
 	if err != nil {
 		v.stats.IOErrors++
 		v.om.ioErrors.Inc()
 		// Fail asynchronously so completion ordering matches real drivers.
 		v.e.After(0, func() { v.queue.Done(r, err) })
 		return
+	}
+	if v.journal.Enabled() {
+		// The physical request's mechanical spans, attributed to the
+		// journey of its first segment — merged journeys share the
+		// mechanical work, and charging it once avoids double counting.
+		now := v.e.Now()
+		req := r.Segs[0].Req
+		v.journal.Add(now.Add(det.Pos()), det.Pos(), iotrace.StageDiskPos, req, int64(r.Sector))
+		v.journal.Add(now.Add(dur), det.Xfer, iotrace.StageDiskTransfer, req, int64(r.Count)*trace.SectorSize)
 	}
 	v.e.After(dur, func() {
 		var ioErr error

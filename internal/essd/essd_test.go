@@ -546,3 +546,89 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestExperimentIOTraceEndpoint covers the three answers of
+// GET /v1/experiments/{id}/iotrace: 409 while the run is in flight,
+// 404 with a hint when the run finished without collecting a journal,
+// and the Chrome trace-event JSON once a trace-level run is done.
+func TestExperimentIOTraceEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 1}))
+	defer ts.Close()
+
+	getTrace := func(id string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/experiments/" + id + "/iotrace")
+		if err != nil {
+			t.Fatalf("get iotrace: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read iotrace body: %v", err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, _ := getTrace("e999"); code != http.StatusNotFound {
+		t.Errorf("unknown job iotrace status %d, want 404", code)
+	}
+
+	wait := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st := experimentStatus(t, ts, id)
+			if st.Status == "done" {
+				return
+			}
+			if st.Status == "failed" {
+				t.Fatalf("run %s failed: %s", id, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("run %s stuck in status %q", id, st.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A counters-level run finishes without a journal: 404 plus a hint.
+	resp := postExperiment(t, ts, `{"kind":"baseline","small":true,"nodes":2,"obs":"counters"}`)
+	var plain expStatus
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if code, _ := getTrace(plain.ID); code != http.StatusConflict {
+		// The run may already be done on a fast machine; both answers
+		// are legal before we wait, so only the post-wait check is hard.
+		_ = code
+	}
+	wait(plain.ID)
+	code, body := getTrace(plain.ID)
+	if code != http.StatusNotFound || !strings.Contains(string(body), "obs") {
+		t.Errorf("counters-level run iotrace = %d %q, want 404 with obs=trace hint", code, body)
+	}
+
+	// A trace-level run serves Perfetto-loadable Chrome JSON.
+	resp = postExperiment(t, ts, `{"kind":"baseline","small":true,"nodes":2,"obs":"trace"}`)
+	var traced expStatus
+	if err := json.NewDecoder(resp.Body).Decode(&traced); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	wait(traced.ID)
+	code, body = getTrace(traced.ID)
+	if code != http.StatusOK {
+		t.Fatalf("trace-level run iotrace status %d: %s", code, body)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("iotrace body is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Errorf("iotrace doc unit=%q events=%d, want ms and > 0", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+}

@@ -1,6 +1,7 @@
 package essd
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"essio/internal/experiment"
+	"essio/internal/iotrace"
 	"essio/internal/obs"
 	"essio/internal/sim"
 )
@@ -22,7 +24,9 @@ type expRequest struct {
 	Seed   int64  `json:"seed,omitempty"`
 	Shards int    `json:"shards,omitempty"`
 	Small  bool   `json:"small,omitempty"`
-	// Obs is the per-run simulation metric level: off, counters, full.
+	// Obs is the per-run simulation metric level: off, counters, full,
+	// or trace (which additionally collects the per-request I/O journal
+	// served at GET /v1/experiments/{id}/iotrace).
 	Obs string `json:"obs,omitempty"`
 }
 
@@ -58,6 +62,9 @@ type job struct {
 	finished bool
 	summary  string
 	snap     *obs.Snapshot
+	// iotraceJSON is the run's merged I/O journal rendered as Chrome
+	// trace-event JSON, present only when the run collected at obs trace.
+	iotraceJSON []byte
 }
 
 func (j *job) setStatus(st string) {
@@ -161,6 +168,31 @@ func (s *Server) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(v.(*job).view(len(s.queue)))
 }
 
+// handleExperimentIOTrace serves a finished run's per-request I/O
+// journal as Chrome trace-event JSON (Perfetto-loadable). The journal
+// only exists when the run was submitted with obs=trace: a done run
+// without one answers 404 with a hint, an unfinished run answers 409.
+func (s *Server) handleExperimentIOTrace(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Load(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such experiment "+r.PathValue("id"), http.StatusNotFound)
+		return
+	}
+	j := v.(*job)
+	j.mu.Lock()
+	status, trace := j.status, j.iotraceJSON
+	j.mu.Unlock()
+	switch {
+	case status != "done":
+		http.Error(w, "experiment is "+status+", not done", http.StatusConflict)
+	case len(trace) == 0:
+		http.Error(w, "no iotrace collected (run with \"obs\": \"trace\")", http.StatusNotFound)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(trace)
+	}
+}
+
 // expWorker is one slot of the multiplexing pool: it claims queued
 // jobs and runs each as a one-config RunConcurrentObs batch, folding
 // the scheduler's deterministic sched/* metrics into the daemon's sim
@@ -193,6 +225,12 @@ func (s *Server) expWorker() {
 			j.finished = res.Finished
 			j.summary = experiment.Table1(map[experiment.Kind]*experiment.Result{res.Kind: res})
 			j.snap = res.Obs
+			if len(res.IOTrace) > 0 {
+				var buf bytes.Buffer
+				if werr := iotrace.WriteChrome(&buf, res.IOTrace); werr == nil {
+					j.iotraceJSON = buf.Bytes()
+				}
+			}
 			s.wall.count("wall/exp/completed", 1)
 		}
 		j.mu.Unlock()

@@ -134,6 +134,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/models/{hash}", s.instrument("models", s.handleModelGet))
 	s.mux.HandleFunc("POST /v1/experiments", s.instrument("experiments", s.handleExperimentPost))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiments", s.handleExperimentGet))
+	s.mux.HandleFunc("GET /v1/experiments/{id}/iotrace", s.instrument("experiments", s.handleExperimentIOTrace))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for i := 0; i < cfg.Workers; i++ {

@@ -14,6 +14,7 @@ import (
 	"essio/internal/apps/ppm"
 	"essio/internal/apps/wavelet"
 	"essio/internal/cluster"
+	"essio/internal/iotrace"
 	"essio/internal/kernel"
 	"essio/internal/obs"
 	"essio/internal/sim"
@@ -101,6 +102,12 @@ type Result struct {
 	// Obs was captured (the read itself advances virtual time), so its
 	// values may trail Obs by a tick of daemon activity.
 	ProcMetrics string
+	// IOTrace is the per-request event journal merged across nodes in
+	// (Time, Node, Seq) order — empty unless the run collected at obs
+	// level Trace. IOTraceDropped counts ring-capacity evictions; when
+	// non-zero the journal is a suffix of the run.
+	IOTrace        []iotrace.Event
+	IOTraceDropped uint64
 }
 
 // Source returns a streaming view of the merged trace: a k-way merge over
@@ -269,6 +276,8 @@ func Run(cfg Config) (*Result, error) {
 	res.Merged = trace.Merge(res.PerNode...)
 	res.AppEvents = c.AppEvents()
 	res.Obs = c.ObsSnapshot()
+	res.IOTrace = c.IOTrace()
+	res.IOTraceDropped = c.IOTraceDropped()
 	res.ProcMetrics = readProcMetrics(c)
 	if len(res.AppErrors) > 0 {
 		return res, fmt.Errorf("experiment %s: %d process failures, first: %w",

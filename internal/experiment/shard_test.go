@@ -5,12 +5,27 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"essio/internal/iotrace"
+	"essio/internal/obs"
 )
 
+// chromeJSON renders a result's I/O journal as the Chrome trace-event
+// bytes essmon trace and essd serve, the form the byte-identity gates
+// compare.
+func chromeJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := iotrace.WriteChrome(&buf, res.IOTrace); err != nil {
+		t.Fatalf("render chrome trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
 // shardCounts returns the shard counts the equality tests compare:
-// sequential, two, and one per CPU, deduplicated.
+// sequential, two, four, and one per CPU, deduplicated.
 func shardCounts() []int {
-	counts := []int{1, 2, runtime.NumCPU()}
+	counts := []int{1, 2, 4, runtime.NumCPU()}
 	seen := map[int]bool{}
 	var out []int
 	for _, c := range counts {
@@ -37,9 +52,14 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 		t.Run(string(kind), func(t *testing.T) {
 			var base *Result
 			var baseObs []byte
+			var baseTrace []byte
 			for _, shards := range shardCounts() {
 				cfg := SmallConfig(kind, 4)
 				cfg.Shards = shards
+				// Trace level journals every request journey on top of
+				// the full metric set, so this gate also proves the
+				// exported trace bytes are shard-invariant.
+				cfg.ObsLevel = obs.Trace
 				res, err := Run(cfg)
 				if err != nil {
 					t.Fatalf("shards=%d: %v", shards, err)
@@ -48,8 +68,12 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("shards=%d: snapshot: %v", shards, err)
 				}
+				traceJSON := chromeJSON(t, res)
 				if shards == 1 {
-					base, baseObs = res, obsJSON
+					if len(res.IOTrace) == 0 {
+						t.Fatal("trace-level run journaled no I/O events")
+					}
+					base, baseObs, baseTrace = res, obsJSON, traceJSON
 					continue
 				}
 				if res.Start != base.Start || res.End != base.End || res.Duration != base.Duration {
@@ -74,7 +98,41 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 				if res.ProcMetrics != base.ProcMetrics {
 					t.Errorf("shards=%d procfs metrics text diverges from sequential run", shards)
 				}
+				if !bytes.Equal(traceJSON, baseTrace) {
+					t.Errorf("shards=%d exported iotrace JSON diverges from sequential run", shards)
+				}
 			}
 		})
+	}
+}
+
+// TestIOTraceByteIdenticalAcrossWorkers is the worker-pool half of the
+// trace determinism gate: the same trace-level config run through
+// RunConcurrent pools of different sizes must export byte-identical
+// Chrome trace JSON. Worker count only changes host scheduling, never
+// simulated causality, so any divergence here is a shared-state leak.
+func TestIOTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := SmallConfig(PPM, 4)
+	cfg.ObsLevel = obs.Trace
+	cfgs := []Config{cfg, cfg}
+	var base []byte
+	for _, workers := range []int{1, 4} {
+		results, err := RunConcurrent(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, res := range results {
+			traceJSON := chromeJSON(t, res)
+			if len(res.IOTrace) == 0 {
+				t.Fatalf("workers=%d run %d journaled no I/O events", workers, i)
+			}
+			if base == nil {
+				base = traceJSON
+				continue
+			}
+			if !bytes.Equal(traceJSON, base) {
+				t.Errorf("workers=%d run %d iotrace JSON diverges", workers, i)
+			}
+		}
 	}
 }

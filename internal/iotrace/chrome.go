@@ -1,0 +1,61 @@
+// Chrome trace-event export: the merged journal rendered as the JSON
+// format Perfetto and chrome://tracing load. The writer is hand-rolled
+// and fully deterministic — fixed field order, no maps, events in
+// journal order — so the exported bytes are identical at any shard or
+// worker count whenever the journal is.
+package iotrace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChrome renders events (already merged and ordered) as Chrome
+// trace-event JSON: {"traceEvents":[...]}. Spans become "X" complete
+// events with ts at the span start; instants become zero-duration "X"
+// events so every stage renders as a slice. pid is the node, tid the
+// request journey (0 collects untagged system I/O). Metadata records
+// name each node's track.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	var scratch [24]byte
+	first := true
+	var seen [256]bool
+	for _, ev := range events {
+		if !seen[ev.Node] {
+			seen[ev.Node] = true
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+			bw.Write(strconv.AppendUint(scratch[:0], uint64(ev.Node), 10))
+			bw.WriteString(`,"tid":0,"args":{"name":"node `)
+			bw.Write(strconv.AppendUint(scratch[:0], uint64(ev.Node), 10))
+			bw.WriteString(`"}}`)
+		}
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(`{"name":"`)
+		bw.WriteString(ev.Stage.String())
+		bw.WriteString(`","cat":"io","ph":"X","ts":`)
+		bw.Write(strconv.AppendInt(scratch[:0], int64(ev.Start()), 10))
+		bw.WriteString(`,"dur":`)
+		bw.Write(strconv.AppendInt(scratch[:0], int64(ev.Dur), 10))
+		bw.WriteString(`,"pid":`)
+		bw.Write(strconv.AppendUint(scratch[:0], uint64(ev.Node), 10))
+		bw.WriteString(`,"tid":`)
+		bw.Write(strconv.AppendUint(scratch[:0], ev.Req, 10))
+		bw.WriteString(`,"args":{"arg":`)
+		bw.Write(strconv.AppendInt(scratch[:0], ev.Arg, 10))
+		bw.WriteString(`,"seq":`)
+		bw.Write(strconv.AppendUint(scratch[:0], uint64(ev.Seq), 10))
+		bw.WriteString(`}}`)
+	}
+	bw.WriteString(`]}`)
+	return bw.Flush()
+}

@@ -1,0 +1,274 @@
+// Package iotrace is the reproduction's per-request causal I/O tracing
+// layer: a deterministic event journal that follows every I/O request
+// end to end — app op → vfs → buffer cache (hit/miss/writeback) →
+// driver queue → disk positioning/transfer, and across nodes through
+// pvm/ethernet for collective phases. Where internal/obs aggregates
+// spans into counters and histograms, iotrace keeps the individual
+// journeys, which is what per-request latency breakdowns, critical-path
+// extraction, and Perfetto timelines need.
+//
+// Determinism follows the obs playbook exactly:
+//
+//   - No wall clocks. Every event carries the simulation clock
+//     (sim.Time, microseconds), so two same-seed runs journal identical
+//     events and the essvet determinism analyzer stays clean.
+//   - Per-node journals, engine-serialized. A node's journal is only
+//     appended to from that node's engine, so append order is the
+//     node's deterministic event order regardless of shard layout.
+//   - Total order on merge. Merge sorts by (Time, Node, Seq): Time
+//     orders across nodes, Node breaks simultaneous cross-node ties,
+//     and Seq (the per-node append counter) orders same-node
+//     same-time events by their deterministic execution order. The
+//     merged journal — and hence the exported Chrome JSON — is
+//     byte-identical at any shard or worker count.
+//
+// Collection is gated on the owning obs.Registry being at obs.Trace,
+// the level above Full added for this journal: when the registry sits
+// below Trace every Add reduces to one nil/level comparison, so the
+// instrumented hot paths cost nothing measurable with tracing off.
+package iotrace
+
+import (
+	"sort"
+
+	"essio/internal/obs"
+	"essio/internal/sim"
+)
+
+// Stage identifies which layer of the I/O stack an event came from.
+type Stage uint8
+
+const (
+	// StageAppRead / StageAppWrite bracket one application file op
+	// (vfs read, write, or append); Arg is the byte count moved. This
+	// is the root span of a request journey: its Req identifies the
+	// journey, and every deeper event the op causes carries the same
+	// Req.
+	StageAppRead Stage = iota + 1
+	StageAppWrite
+	// StageCacheHit is an instant event (Dur 0): the buffer cache
+	// satisfied a block read without disk I/O. Arg is the block number.
+	StageCacheHit
+	// StageCacheMiss spans a block read's cache fill: from the miss to
+	// the disk read completing. Arg is the block number.
+	StageCacheMiss
+	// StageWriteback spans one dirty block's trip to disk — sync flush,
+	// write-through, or update-daemon writeback. Req is the journey
+	// that dirtied the block (0 once attribution is lost), so delayed
+	// writes remain causally attributed. Arg is the block number.
+	StageWriteback
+	// StageQueueWait spans one request's time in the elevator queue,
+	// from submit to driver dispatch. Arg is the starting sector.
+	StageQueueWait
+	// StageDiskPos spans the mechanical positioning of one physical
+	// request: controller overhead + seek + rotational delay. Arg is
+	// the starting sector.
+	StageDiskPos
+	// StageDiskTransfer spans the media transfer that follows
+	// positioning. Arg is the byte count moved.
+	StageDiskTransfer
+	// StageNetSend is an instant event: a pvm message left the sender.
+	// Req is the message's own journey ID; Arg is the payload bytes.
+	StageNetSend
+	// StageNetRecv spans the wire: Dur is delivery time minus send
+	// time, so the matching StageNetSend sits exactly at its start.
+	StageNetRecv
+)
+
+// String names the stage as it appears in exports and tables.
+func (s Stage) String() string {
+	switch s {
+	case StageAppRead:
+		return "app.read"
+	case StageAppWrite:
+		return "app.write"
+	case StageCacheHit:
+		return "cache.hit"
+	case StageCacheMiss:
+		return "cache.miss"
+	case StageWriteback:
+		return "cache.writeback"
+	case StageQueueWait:
+		return "queue.wait"
+	case StageDiskPos:
+		return "disk.pos"
+	case StageDiskTransfer:
+		return "disk.transfer"
+	case StageNetSend:
+		return "net.send"
+	case StageNetRecv:
+		return "net.recv"
+	default:
+		return "unknown"
+	}
+}
+
+// numStages sizes per-stage accumulator arrays (stage values are 1-based).
+const numStages = int(StageNetRecv) + 1
+
+// Event is one journaled span or instant. Time is the event's *end* (the
+// moment it was journaled); a span's start is Time−Dur. Req ties events
+// of one request journey together; Req 0 marks system I/O with no
+// originating app op (paging, untagged daemons).
+type Event struct {
+	Time  sim.Time     // span end, virtual microseconds
+	Dur   sim.Duration // span length; 0 for instant events
+	Req   uint64       // journey ID; 0 = untagged system I/O
+	Arg   int64        // stage-specific: bytes, block, or sector
+	Node  uint8        // originating node
+	Stage Stage
+	Seq   uint32 // per-node append sequence; breaks same-time ties
+}
+
+// Start reports the span's start time (equal to Time for instants).
+func (ev Event) Start() sim.Time { return ev.Time.Add(-ev.Dur) }
+
+// Journey-ID namespaces. File-op IDs and message IDs are minted by
+// different counters on different nodes; the high bit keeps the two
+// spaces disjoint so a critical path can't confuse them.
+const (
+	// MsgIDBit marks pvm message journey IDs.
+	MsgIDBit = uint64(1) << 63
+)
+
+// DefaultCapacity is the per-node ring capacity when the kernel config
+// leaves it unset: 64Ki events (~2 MiB) per node.
+const DefaultCapacity = 64 * 1024
+
+// Journal is one node's event ring. It is deliberately not safe for
+// concurrent use: all appends happen on the owning node's engine, which
+// serializes them deterministically (the same contract obs.Registry
+// has). A nil *Journal is a valid "untraced" journal: every method is a
+// no-op and Enabled reports false.
+type Journal struct {
+	reg     *obs.Registry // collection gate, the node's obs registry
+	node    uint8
+	cap     int
+	buf     []Event // ring storage, allocated on first Add
+	head    int     // index of the oldest resident event
+	n       int     // resident events
+	seq     uint32  // next append sequence number
+	dropped uint64  // evicted-by-capacity count
+	nextReq uint64  // per-node journey-ID counter
+}
+
+// New returns a journal for the given node gated on reg's collection
+// level, with the given ring capacity (≤0 selects DefaultCapacity).
+func New(node uint8, reg *obs.Registry, capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{reg: reg, node: node, cap: capacity}
+}
+
+// Enabled reports whether events would currently be journaled — the
+// registry is at obs.Trace. Callers on hot paths check this once before
+// computing event arguments; with tracing off it is one comparison.
+func (j *Journal) Enabled() bool {
+	return j != nil && j.reg.Level() >= obs.Trace
+}
+
+// NewRequestID mints the next journey ID for this node. IDs are unique
+// across nodes (the node number is in the high bits) and never 0.
+func (j *Journal) NewRequestID() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.nextReq++
+	return uint64(j.node)<<40 | j.nextReq
+}
+
+// Add journals one event ending now. When the ring is full the oldest
+// event is evicted (long runs stay bounded; Dropped counts evictions).
+// A disabled or nil journal ignores the call.
+func (j *Journal) Add(now sim.Time, dur sim.Duration, stage Stage, req uint64, arg int64) {
+	if !j.Enabled() {
+		return
+	}
+	if j.buf == nil {
+		j.buf = make([]Event, j.cap)
+	}
+	ev := Event{Time: now, Dur: dur, Req: req, Arg: arg, Node: j.node, Stage: stage, Seq: j.seq}
+	j.seq++
+	if j.n == j.cap {
+		j.buf[j.head] = ev
+		j.head = (j.head + 1) % j.cap
+		j.dropped++
+		return
+	}
+	j.buf[(j.head+j.n)%j.cap] = ev
+	j.n++
+}
+
+// Events returns the resident events oldest-first, as an independent
+// copy.
+func (j *Journal) Events() []Event {
+	if j == nil || j.n == 0 {
+		return nil
+	}
+	out := make([]Event, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.buf[(j.head+i)%j.cap]
+	}
+	return out
+}
+
+// Len reports the number of resident events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return j.n
+}
+
+// Dropped reports how many events capacity eviction discarded.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped
+}
+
+// Reset discards all resident events and the drop count but keeps the
+// sequence and journey-ID counters monotonic, so IDs never repeat
+// within a run even across warmup resets.
+func (j *Journal) Reset() {
+	if j == nil {
+		return
+	}
+	j.head, j.n, j.dropped = 0, 0, 0
+}
+
+// Merge folds per-node event slices into one journal ordered by
+// (Time, Node, Seq). That key is a total order — Seq is unique per
+// node — so the sorted result is independent of input slice order and
+// of shard or worker layout, the same contract as obs.Snapshot.Merge.
+// (A full sort rather than a k-way merge of runs: a node's journal is
+// append-ordered, not time-ordered, because the driver journals disk
+// spans whose end lies in the future at dispatch.)
+func Merge(perNode ...[]Event) []Event {
+	total := 0
+	for _, evs := range perNode {
+		total += len(evs)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Event, 0, total)
+	for _, evs := range perNode {
+		out = append(out, evs...)
+	}
+	sort.Slice(out, func(i, k int) bool { return less(out[i], out[k]) })
+	return out
+}
+
+// less is the journal's total order: (Time, Node, Seq).
+func less(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Seq < b.Seq
+}

@@ -1,0 +1,279 @@
+package iotrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"essio/internal/obs"
+	"essio/internal/sim"
+)
+
+func TestJournalGatesOnTraceLevel(t *testing.T) {
+	reg := obs.New(obs.Full)
+	j := New(3, reg, 8)
+	if j.Enabled() {
+		t.Fatalf("journal enabled at Full; Trace is the journal tier")
+	}
+	j.Add(10, 0, StageCacheHit, 1, 42)
+	if j.Len() != 0 {
+		t.Fatalf("Add below Trace journaled an event")
+	}
+	reg.SetLevel(obs.Trace)
+	if !j.Enabled() {
+		t.Fatalf("journal disabled at Trace")
+	}
+	j.Add(10, 0, StageCacheHit, 1, 42)
+	if j.Len() != 1 {
+		t.Fatalf("Add at Trace journaled %d events, want 1", j.Len())
+	}
+	ev := j.Events()[0]
+	if ev.Node != 3 || ev.Stage != StageCacheHit || ev.Arg != 42 {
+		t.Fatalf("journaled event %+v lost its fields", ev)
+	}
+	reg.SetLevel(obs.Off)
+	j.Add(11, 0, StageCacheHit, 1, 43)
+	if j.Len() != 1 {
+		t.Fatalf("Add after switching off journaled an event")
+	}
+	var nilJ *Journal
+	if nilJ.Enabled() || nilJ.Len() != 0 || nilJ.Dropped() != 0 || nilJ.NewRequestID() != 0 {
+		t.Fatalf("nil journal is not a no-op")
+	}
+	nilJ.Add(1, 0, StageCacheHit, 0, 0)
+	nilJ.Reset()
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	reg := obs.New(obs.Trace)
+	j := New(0, reg, 4)
+	for i := 0; i < 6; i++ {
+		j.Add(sim.Time(i), 0, StageCacheHit, 0, int64(i))
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d after overflow, want 4", j.Len())
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j.Dropped())
+	}
+	evs := j.Events()
+	for i, ev := range evs {
+		if want := int64(i + 2); ev.Arg != want {
+			t.Fatalf("event %d has Arg %d, want %d (oldest evicted first)", i, ev.Arg, want)
+		}
+	}
+	// Seq stays monotonic across eviction and Reset.
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Fatalf("Seq not monotonic across eviction: %d..%d", evs[0].Seq, evs[3].Seq)
+	}
+	j.Reset()
+	if j.Len() != 0 || j.Dropped() != 0 {
+		t.Fatalf("Reset left %d events, %d dropped", j.Len(), j.Dropped())
+	}
+	j.Add(100, 0, StageCacheHit, 0, 0)
+	if got := j.Events()[0].Seq; got != 6 {
+		t.Fatalf("Seq restarted after Reset: got %d, want 6", got)
+	}
+}
+
+func TestNewRequestIDNamespaces(t *testing.T) {
+	reg := obs.New(obs.Trace)
+	a, b := New(0, reg, 4), New(7, reg, 4)
+	ids := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		for _, j := range []*Journal{a, b} {
+			id := j.NewRequestID()
+			if id == 0 {
+				t.Fatalf("minted the reserved journey ID 0")
+			}
+			if ids[id] {
+				t.Fatalf("journey ID %d minted twice", id)
+			}
+			if id&MsgIDBit != 0 {
+				t.Fatalf("file journey ID %d collides with the message namespace", id)
+			}
+			ids[id] = true
+		}
+	}
+}
+
+func TestMergeTotalOrder(t *testing.T) {
+	n0 := []Event{
+		{Time: 5, Node: 0, Seq: 0},
+		{Time: 10, Node: 0, Seq: 1},
+		{Time: 10, Node: 0, Seq: 2},
+	}
+	n1 := []Event{
+		{Time: 5, Node: 1, Seq: 0},
+		{Time: 7, Node: 1, Seq: 1},
+		{Time: 10, Node: 1, Seq: 2},
+	}
+	got := Merge(n0, n1)
+	want := []Event{n0[0], n1[0], n1[1], n0[1], n0[2], n1[2]}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Order of the input slices must not matter beyond the key.
+	swapped := Merge(n1, n0)
+	for i := range want {
+		if swapped[i] != want[i] {
+			t.Fatalf("merge is sensitive to input slice order at %d", i)
+		}
+	}
+	if Merge() != nil || Merge(nil, nil) != nil {
+		t.Fatalf("empty merge should be nil")
+	}
+}
+
+// chromeDoc mirrors just enough of the trace-event schema to validate
+// the export.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		TS   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+		PID  int    `json:"pid"`
+		TID  uint64 `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChrome(t *testing.T) {
+	events := []Event{
+		{Time: 100, Dur: 40, Req: 9, Arg: 1024, Node: 0, Stage: StageAppRead, Seq: 0},
+		{Time: 90, Dur: 30, Req: 9, Arg: 7, Node: 0, Stage: StageCacheMiss, Seq: 1},
+		{Time: 95, Dur: 5, Req: MsgIDBit | 1, Arg: 64, Node: 1, Stage: StageNetRecv, Seq: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			spans++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != len(events) {
+		t.Fatalf("exported %d spans, want %d", spans, len(events))
+	}
+	if metas != 2 {
+		t.Fatalf("exported %d process metadata records, want 2 (one per node)", metas)
+	}
+	// ts is the span start (Time − Dur), in microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "app.read" && (ev.TS != 60 || ev.Dur != 40 || ev.TID != 9) {
+			t.Fatalf("app.read exported as ts=%d dur=%d tid=%d, want ts=60 dur=40 tid=9",
+				ev.TS, ev.Dur, ev.TID)
+		}
+	}
+	// The writer must be deterministic byte for byte.
+	var again bytes.Buffer
+	if err := WriteChrome(&again, events); err != nil {
+		t.Fatalf("WriteChrome (second): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("two exports of the same journal differ")
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	rd, wr := uint64(1), uint64(2)
+	events := []Event{
+		// Journey 1: a 1 KB read that hit the cache.
+		{Time: 10, Dur: 2, Req: rd, Arg: 1024, Stage: StageAppRead},
+		{Time: 9, Dur: 0, Req: rd, Arg: 3, Stage: StageCacheHit},
+		// Journey 2: an 8 KB write whose blocks missed, queued, and hit disk.
+		{Time: 50, Dur: 10, Req: wr, Arg: 8192, Stage: StageAppWrite},
+		{Time: 45, Dur: 5, Req: wr, Arg: 4, Stage: StageCacheMiss},
+		{Time: 70, Dur: 6, Req: wr, Arg: 4, Stage: StageWriteback},
+		{Time: 60, Dur: 3, Req: wr, Arg: 900, Stage: StageQueueWait},
+		{Time: 65, Dur: 4, Req: wr, Arg: 900, Stage: StageDiskPos},
+		{Time: 68, Dur: 2, Req: wr, Arg: 8192, Stage: StageDiskTransfer},
+		// System I/O: an untagged paging request.
+		{Time: 80, Dur: 7, Req: 0, Arg: 901, Stage: StageQueueWait},
+		// A pvm message.
+		{Time: 90, Dur: 0, Req: MsgIDBit | 5, Arg: 256, Stage: StageNetSend},
+		{Time: 94, Dur: 4, Req: MsgIDBit | 5, Arg: 256, Stage: StageNetRecv},
+	}
+	b := ComputeBreakdown(events)
+	r0 := b.Rows[0] // <=1KB
+	if r0.Requests != 1 || r0.Bytes != 1024 || r0.AppUS != 2 || r0.HitCount != 1 {
+		t.Fatalf("<=1KB row wrong: %+v", r0)
+	}
+	r2 := b.Rows[2] // <=16KB
+	if r2.Requests != 1 || r2.Bytes != 8192 || r2.AppUS != 10 ||
+		r2.MissUS != 5 || r2.WritebackUS != 6 || r2.QueueUS != 3 ||
+		r2.PosUS != 4 || r2.TransferUS != 2 {
+		t.Fatalf("<=16KB row wrong: %+v", r2)
+	}
+	if b.Rows[1].Requests != 0 || b.Rows[3].Requests != 0 {
+		t.Fatalf("empty classes gained requests: %+v", b.Rows)
+	}
+	if b.System.Requests != 1 || b.System.QueueUS != 7 {
+		t.Fatalf("system row wrong: %+v", b.System)
+	}
+	if b.NetMsgs != 1 || b.NetBytes != 256 || b.NetUS != 4 {
+		t.Fatalf("net totals wrong: msgs=%d bytes=%d us=%d", b.NetMsgs, b.NetBytes, b.NetUS)
+	}
+	tbl := b.Table()
+	for _, want := range []string{"<=1KB", ">16KB", "system", "net: 1 msgs"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("breakdown table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestComputeCriticalPath(t *testing.T) {
+	msg := MsgIDBit | 3
+	events := []Event{
+		// Node 0 does a read, sends a message at t=20; node 1 receives
+		// at t=30 and then does its own disk work until t=50.
+		{Time: 15, Dur: 10, Req: 1, Arg: 4096, Node: 0, Stage: StageAppRead, Seq: 0},
+		{Time: 20, Dur: 0, Req: msg, Arg: 128, Node: 0, Stage: StageNetSend, Seq: 1},
+		{Time: 30, Dur: 10, Req: msg, Arg: 128, Node: 1, Stage: StageNetRecv, Seq: 0},
+		{Time: 50, Dur: 18, Req: 2, Arg: 4096, Node: 1, Stage: StageAppWrite, Seq: 1},
+	}
+	cp := ComputeCriticalPath(events)
+	if cp == nil {
+		t.Fatalf("nil critical path for a non-empty journal")
+	}
+	// The chain must cross from node 1 back through the recv to the
+	// send on node 0 and then to node 0's read.
+	wantStages := []Stage{StageAppRead, StageNetSend, StageNetRecv, StageAppWrite}
+	if len(cp.Steps) != len(wantStages) {
+		t.Fatalf("critical path has %d steps, want %d: %+v", len(cp.Steps), len(wantStages), cp.Steps)
+	}
+	for i, st := range wantStages {
+		if cp.Steps[i].Stage != st {
+			t.Fatalf("step %d is %s, want %s", i, cp.Steps[i].Stage, st)
+		}
+	}
+	if cp.Elapsed != 45 { // from t=5 (read start) to t=50
+		t.Fatalf("Elapsed = %d, want 45", cp.Elapsed)
+	}
+	if cp.StageUS[StageNetRecv] != 10 || cp.StageUS[StageAppWrite] != 18 {
+		t.Fatalf("per-stage totals wrong: %+v", cp.StageUS)
+	}
+	if !strings.Contains(cp.Table(), "critical path: 4 steps") {
+		t.Fatalf("critical path table wrong:\n%s", cp.Table())
+	}
+	if ComputeCriticalPath(nil) != nil {
+		t.Fatalf("empty journal should produce a nil path")
+	}
+}

@@ -1,0 +1,224 @@
+// Analysis lenses over the merged journal: the per-request latency
+// breakdown (where do requests of each size class spend their time?)
+// and the critical-path extractor for multi-node phases (which chain of
+// spans bounds the phase's elapsed time?). Both are pure functions of
+// the merged event slice, so they inherit its determinism.
+package iotrace
+
+import (
+	"fmt"
+	"strings"
+
+	"essio/internal/sim"
+)
+
+// Size-class thresholds, matching the paper's request-size categories
+// (1 KB block I/O, 4 KB paging, 16 KB cache-scale, and larger).
+var classBounds = [...]int64{1024, 4096, 16384}
+
+var classNames = [...]string{"<=1KB", "<=4KB", "<=16KB", ">16KB"}
+
+const numClasses = len(classNames)
+
+// BreakdownRow aggregates the journeys of one size class: how many
+// requests, how many bytes they moved, and the total virtual time their
+// events spent in each stage. Durations are microsecond sums across the
+// class's journeys; stage work that proceeds in parallel with the app
+// op (overlapped writebacks, merged queue waits) counts in full, so the
+// stage columns can exceed AppUS.
+type BreakdownRow struct {
+	Class    string
+	Requests int
+	Bytes    int64
+	// Per-stage totals, virtual microseconds.
+	AppUS, HitCount, MissUS, WritebackUS, QueueUS, PosUS, TransferUS int64
+}
+
+// Breakdown is the per-request latency breakdown lens: journeys grouped
+// into the paper's size classes, plus a System row for untagged I/O
+// (paging, daemon flushes that lost attribution) and the network totals
+// for collective phases.
+type Breakdown struct {
+	Rows [numClasses]BreakdownRow
+	// System aggregates events with no originating app op (Req 0 or a
+	// journey that recorded no app span).
+	System BreakdownRow
+	// NetMsgs / NetBytes / NetUS total the pvm message journeys.
+	NetMsgs  int
+	NetBytes int64
+	NetUS    int64
+}
+
+// journey accumulates one request's events before classification.
+type journey struct {
+	bytes  int64
+	app    bool
+	stages [numStages]int64
+	hits   int64
+}
+
+// ComputeBreakdown groups events by request journey and aggregates each
+// size class's stage times. The result is independent of event order.
+func ComputeBreakdown(events []Event) *Breakdown {
+	b := &Breakdown{}
+	for i := range b.Rows {
+		b.Rows[i].Class = classNames[i]
+	}
+	b.System.Class = "system"
+	byReq := make(map[uint64]*journey)
+	for _, ev := range events {
+		switch ev.Stage {
+		case StageNetSend:
+			b.NetMsgs++
+			b.NetBytes += ev.Arg
+			continue
+		case StageNetRecv:
+			b.NetUS += int64(ev.Dur)
+			continue
+		}
+		j := byReq[ev.Req]
+		if j == nil {
+			j = &journey{}
+			byReq[ev.Req] = j
+		}
+		switch ev.Stage {
+		case StageAppRead, StageAppWrite:
+			j.app = true
+			j.bytes += ev.Arg
+			j.stages[ev.Stage] += int64(ev.Dur)
+		case StageCacheHit:
+			j.hits++
+		default:
+			j.stages[ev.Stage] += int64(ev.Dur)
+		}
+	}
+	// Fold journeys into class rows. Map iteration order varies, but
+	// every fold is a commutative sum, so the result does not.
+	for req, j := range byReq {
+		row := &b.System
+		if req != 0 && j.app {
+			row = &b.Rows[classOf(j.bytes)]
+		}
+		row.Requests++
+		row.Bytes += j.bytes
+		row.AppUS += j.stages[StageAppRead] + j.stages[StageAppWrite]
+		row.HitCount += j.hits
+		row.MissUS += j.stages[StageCacheMiss]
+		row.WritebackUS += j.stages[StageWriteback]
+		row.QueueUS += j.stages[StageQueueWait]
+		row.PosUS += j.stages[StageDiskPos]
+		row.TransferUS += j.stages[StageDiskTransfer]
+	}
+	return b
+}
+
+// classOf buckets a journey's app bytes into a size class.
+func classOf(bytes int64) int {
+	for i, b := range classBounds {
+		if bytes <= b {
+			return i
+		}
+	}
+	return numClasses - 1
+}
+
+// Table renders the breakdown as a fixed-width text table, one row per
+// size class plus the system row.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %9s %12s %10s %6s %10s %10s %10s %10s %10s\n",
+		"class", "requests", "bytes", "app_us", "hits", "miss_us", "wb_us", "queue_us", "pos_us", "xfer_us")
+	rows := append(b.Rows[:len(b.Rows):len(b.Rows)], b.System)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %9d %12d %10d %6d %10d %10d %10d %10d %10d\n",
+			r.Class, r.Requests, r.Bytes, r.AppUS, r.HitCount, r.MissUS,
+			r.WritebackUS, r.QueueUS, r.PosUS, r.TransferUS)
+	}
+	if b.NetMsgs > 0 {
+		fmt.Fprintf(&sb, "net: %d msgs, %d bytes, %d us on the wire\n",
+			b.NetMsgs, b.NetBytes, b.NetUS)
+	}
+	return sb.String()
+}
+
+// CriticalPath is the chain of spans that bounds a phase's elapsed
+// time, walked backward from the last journaled event: within a node
+// the predecessor is the previous event on that node; a net.recv jumps
+// to its matching net.send on the sending node, which is how the path
+// crosses nodes during collective phases.
+type CriticalPath struct {
+	// Steps lists the chain earliest-first.
+	Steps []Event
+	// StageUS totals the chain's span time per stage (indexed by Stage).
+	StageUS [numStages]int64
+	// Elapsed is the virtual time from the first step's start to the
+	// last step's end.
+	Elapsed sim.Duration
+}
+
+// ComputeCriticalPath extracts the critical path from a merged,
+// (Time, Node, Seq)-ordered journal. Returns nil for an empty journal.
+func ComputeCriticalPath(events []Event) *CriticalPath {
+	if len(events) == 0 {
+		return nil
+	}
+	// Index the last event per node and each net.send by message ID as
+	// we walk backward.
+	cp := &CriticalPath{}
+	cur := len(events) - 1
+	for cur >= 0 {
+		ev := events[cur]
+		cp.Steps = append(cp.Steps, ev)
+		cp.StageUS[ev.Stage] += int64(ev.Dur)
+		next := -1
+		if ev.Stage == StageNetRecv {
+			// Cross to the sender: the matching net.send shares Req.
+			for i := cur - 1; i >= 0; i-- {
+				if events[i].Stage == StageNetSend && events[i].Req == ev.Req {
+					next = i
+					break
+				}
+			}
+		}
+		if next < 0 {
+			// Previous event on the same node whose span had ended by
+			// the time this one started.
+			start := ev.Start()
+			for i := cur - 1; i >= 0; i-- {
+				if events[i].Node == ev.Node && events[i].Time <= start {
+					next = i
+					break
+				}
+			}
+		}
+		cur = next
+	}
+	// Reverse to earliest-first.
+	for i, k := 0, len(cp.Steps)-1; i < k; i, k = i+1, k-1 {
+		cp.Steps[i], cp.Steps[k] = cp.Steps[k], cp.Steps[i]
+	}
+	first, last := cp.Steps[0], cp.Steps[len(cp.Steps)-1]
+	cp.Elapsed = last.Time.Sub(first.Start())
+	return cp
+}
+
+// Table renders the critical path: the per-stage time the chain spends,
+// then the chain's span count and elapsed time.
+func (cp *CriticalPath) Table() string {
+	if cp == nil {
+		return "critical path: empty journal\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %d steps, %s elapsed\n", len(cp.Steps), cp.Elapsed)
+	for s := Stage(1); int(s) < numStages; s++ {
+		if cp.StageUS[s] == 0 {
+			continue
+		}
+		pct := 0.0
+		if cp.Elapsed > 0 {
+			pct = 100 * float64(cp.StageUS[s]) / float64(cp.Elapsed)
+		}
+		fmt.Fprintf(&sb, "  %-15s %10d us (%.1f%%)\n", s.String(), cp.StageUS[s], pct)
+	}
+	return sb.String()
+}

@@ -19,12 +19,14 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"essio/internal/blockio"
 	"essio/internal/buffercache"
 	"essio/internal/disk"
 	"essio/internal/driver"
 	"essio/internal/extfs"
+	"essio/internal/iotrace"
 	"essio/internal/obs"
 	"essio/internal/procfs"
 	"essio/internal/sim"
@@ -86,6 +88,11 @@ type Config struct {
 	// the default, Counters). Switchable later through the driver ioctl —
 	// see Node.SetObsLevel.
 	ObsLevel obs.Level
+
+	// TraceEvents caps the per-request I/O journal ring (0 takes
+	// iotrace.DefaultCapacity). The journal only collects at obs level
+	// Trace.
+	TraceEvents int
 }
 
 // DefaultConfig returns the Beowulf prototype node configuration.
@@ -170,6 +177,10 @@ type Node struct {
 	// contrasts with its driver-level traces. Daemon I/O is system
 	// activity and is deliberately not recorded here.
 	AppIO *vfs.Collector
+	// Journal is the node's per-request I/O event ring (obs level Trace):
+	// the vfs, buffer cache, driver, and pvm layers append request-journey
+	// spans into it. Merged across nodes by cluster.IOTrace.
+	Journal *iotrace.Journal
 
 	booted        *sim.Completion
 	procSeq       int
@@ -268,6 +279,9 @@ func NewNode(e *sim.Engine, cfg Config) *Node {
 	n.Obs = obs.New(cfg.ObsLevel)
 	n.Driver.Instrument(n.Obs)
 	n.BC.Instrument(n.Obs)
+	n.Journal = iotrace.New(cfg.NodeID, n.Obs, cfg.TraceEvents)
+	n.Driver.SetJournal(n.Journal)
+	n.BC.SetJournal(n.Journal)
 	n.Collector.stage = n.Obs.Stage("source")
 	if cfg.ReadAheadBlocks >= 0 {
 		n.BC.SetReadAhead(cfg.ReadAheadBlocks)
@@ -335,6 +349,15 @@ func (n *Node) bootInit(p *sim.Proc) error {
 	}
 
 	n.Proc.Register("iotrace", procfs.NewTraceFile(n.Ring))
+	// The request journal rides out the same way, as Chrome trace-event
+	// JSON (empty journal renders as an empty traceEvents array).
+	n.Proc.Register("iotrace.json", procfs.NewTextFile(func() string {
+		var sb strings.Builder
+		if err := iotrace.WriteChrome(&sb, n.Journal.Events()); err != nil {
+			return ""
+		}
+		return sb.String() + "\n"
+	}))
 	// The node's metric snapshot rides out of the kernel the same way the
 	// trace does: as proc files, in Prometheus text and JSON form.
 	n.Proc.Register("metrics", procfs.NewTextFile(func() string {

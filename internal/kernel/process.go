@@ -100,6 +100,7 @@ func (c *Process) run() (err error) {
 	c.AS = n.Pager.NewAddressSpace(c.prog.Name)
 	c.FD = vfs.NewTable(n.FS)
 	c.FD.SetTracer(n.AppIO)
+	c.FD.SetJournal(n.Journal)
 	c.Text = c.AS.AddFileSegment("text", ino, 0, c.prog.TextBytes)
 	if c.prog.DataBytes > 0 {
 		c.Data = c.AS.AddFileSegment("data", ino, int64(c.prog.TextBytes), c.prog.DataBytes)

@@ -44,6 +44,11 @@ const (
 	// Full additionally enables histograms and span collection, the
 	// distribution-grade view.
 	Full
+	// Trace additionally enables the per-request I/O event journal
+	// (internal/iotrace): every request's journey through the kernel
+	// stack is recorded end to end. The most expensive tier; everything
+	// Full collects stays on.
+	Trace
 )
 
 // String names the level for reports and flags.
@@ -55,6 +60,8 @@ func (l Level) String() string {
 		return "counters"
 	case Full:
 		return "full"
+	case Trace:
+		return "trace"
 	default:
 		return "unset"
 	}
@@ -69,6 +76,8 @@ func ParseLevel(s string) Level {
 		return Counters
 	case "full":
 		return Full
+	case "trace":
+		return Trace
 	default:
 		return Unset
 	}

@@ -361,13 +361,14 @@ func TestBucketHelpers(t *testing.T) {
 // TestParseLevel pins the flag vocabulary.
 func TestParseLevel(t *testing.T) {
 	for s, want := range map[string]obs.Level{
-		"off": obs.Off, "counters": obs.Counters, "full": obs.Full, "bogus": obs.Unset,
+		"off": obs.Off, "counters": obs.Counters, "full": obs.Full,
+		"trace": obs.Trace, "bogus": obs.Unset,
 	} {
 		if got := obs.ParseLevel(s); got != want {
 			t.Errorf("ParseLevel(%q) = %v, want %v", s, got, want)
 		}
 	}
-	for _, l := range []obs.Level{obs.Off, obs.Counters, obs.Full} {
+	for _, l := range []obs.Level{obs.Off, obs.Counters, obs.Full, obs.Trace} {
 		if obs.ParseLevel(l.String()) != l {
 			t.Errorf("ParseLevel(%v.String()) != %v", l, l)
 		}

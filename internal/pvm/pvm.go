@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"essio/internal/ethernet"
+	"essio/internal/iotrace"
 	"essio/internal/sim"
 )
 
@@ -43,6 +44,7 @@ type Task struct {
 	wq     *sim.WaitQueue
 	exited bool
 	idseq  int
+	msgseq uint64
 }
 
 // TID returns the task identifier.
@@ -73,6 +75,19 @@ type System struct {
 	// localCost is the per-message local delivery cost used when sender
 	// and receiver share a node (no wire traffic).
 	localCost sim.Duration
+	// journalOf maps a node index to its I/O journal (nil when tracing
+	// is not wired); sends journal a net.send on the sender's node and
+	// a matching net.recv on the receiver's.
+	journalOf func(node int) *iotrace.Journal
+}
+
+// SetJournals wires per-node I/O journals into the message layer; nil
+// detaches. The sender's journal gets an instant net.send at transmit
+// time; the receiver's gets a net.recv span covering the wire (delivery
+// time minus send time), both carrying the same message journey ID, so
+// the critical-path extractor can cross nodes.
+func (s *System) SetJournals(journalOf func(node int) *iotrace.Journal) {
+	s.journalOf = journalOf
 }
 
 // New creates a PVM system over an inline network, with every node on
@@ -144,9 +159,27 @@ func (s *System) Send(from *Task, to TID, tag int, bytes int, payload interface{
 		return fmt.Errorf("pvm: send to unknown tid %d", to)
 	}
 	msg := Message{From: from.tid, Tag: tag, Bytes: bytes, Payload: payload}
+	// Journal the send on the sender's node. The message journey ID is
+	// minted from a sender-task counter (engine-serialized, so
+	// deterministic at any shard count) in the message namespace.
+	var msgID uint64
+	var sentAt sim.Time
+	if s.journalOf != nil {
+		if j := s.journalOf(from.node); j.Enabled() {
+			from.msgseq++
+			msgID = iotrace.MsgIDBit | uint64(from.tid)<<32 | from.msgseq
+			sentAt = from.e.Now()
+			j.Add(sentAt, 0, iotrace.StageNetSend, msgID, int64(bytes))
+		}
+	}
 	deliver := func() {
 		if dst.exited {
 			return
+		}
+		if msgID != 0 {
+			if j := s.journalOf(dst.node); j.Enabled() {
+				j.Add(dst.e.Now(), dst.e.Now().Sub(sentAt), iotrace.StageNetRecv, msgID, int64(bytes))
+			}
 		}
 		dst.mbox = append(dst.mbox, msg)
 		dst.wq.WakeAll()

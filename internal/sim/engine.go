@@ -314,10 +314,21 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	killed bool
+	iotag  uint64
 }
 
 // Name reports the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// SetIOTag tags the process with the I/O request journey currently
+// executing on it (0 clears the tag). The vfs layer sets the tag for
+// the span of each file op; lower layers running on the same process
+// (extfs, buffer cache, pager) read it to attribute their events to the
+// originating request without threading an ID through every signature.
+func (p *Proc) SetIOTag(tag uint64) { p.iotag = tag }
+
+// IOTag reports the I/O request journey tagged on this process, or 0.
+func (p *Proc) IOTag() uint64 { return p.iotag }
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.e }

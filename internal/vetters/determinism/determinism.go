@@ -4,10 +4,11 @@
 // clocks and the process-global math/rand source break that silently —
 // runs still succeed, they are just unrepeatable — so their use is
 // forbidden in the gated packages (internal/sim, internal/synth,
-// internal/cluster, internal/apps, internal/obs by default; see
-// -detpkgs). The observability layer is gated for the same reason: its
-// snapshots must be byte-identical across same-seed runs, so metric
-// values may never derive from wall time.
+// internal/cluster, internal/apps, internal/obs, internal/iotrace by
+// default; see -detpkgs). The observability and tracing layers are
+// gated for the same reason: their snapshots and journals must be
+// byte-identical across same-seed runs, so metric values and event
+// timestamps may never derive from wall time.
 //
 // The analyzer also flags, in every package, range-over-map loops whose
 // bodies emit — print, write, encode, or append into a slice that is
@@ -35,7 +36,7 @@ import (
 // (sim, cluster, pvm, ethernet) are additionally held to the shard
 // rules: no raw goroutines outside the barrier discipline and no
 // package-level maps reachable from several shards at once.
-const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs,internal/pvm,internal/ethernet"
+const DefaultGates = "internal/sim,internal/synth,internal/cluster,internal/apps,internal/obs,internal/pvm,internal/ethernet,internal/iotrace"
 
 // DefaultAllow lists package-path substrings exempt from the gates even
 // when -detpkgs matches them. The daemon boundary lives here: essd

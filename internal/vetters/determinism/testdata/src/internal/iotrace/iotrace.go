@@ -1,0 +1,44 @@
+// Fixtures for the determinism analyzer over the request-tracing
+// layer: this path matches internal/iotrace, so journaled events may
+// only be stamped with simulation time — a wall clock here would make
+// the exported trace differ between same-seed runs even though every
+// simulated event is identical.
+package iotrace
+
+import (
+	"math/rand"
+	"time"
+)
+
+type event struct {
+	Time int64
+	Req  uint64
+}
+
+type journal struct {
+	events []event
+}
+
+// AddWallClocked stamps the event with the host clock instead of the
+// engine's virtual time — the exact bug the gate exists to catch.
+func (j *journal) AddWallClocked(req uint64) {
+	j.events = append(j.events, event{
+		Time: time.Now().UnixMicro(), // want `time.Now in a seeded package makes runs unrepeatable`
+		Req:  req,
+	})
+}
+
+// SampleDrop drops events via the process-wide rand source, so two
+// same-seed runs would keep different journal suffixes.
+func (j *journal) SampleDrop() bool {
+	return rand.Intn(100) < 5 // want `global rand.Intn draws from the process-wide source`
+}
+
+// Add is the required form: the caller passes the simulation clock and
+// any sampling derives from an explicitly seeded generator.
+func (j *journal) Add(now int64, req uint64, r *rand.Rand) {
+	if r != nil && r.Intn(100) < 5 {
+		return
+	}
+	j.events = append(j.events, event{Time: now, Req: req})
+}

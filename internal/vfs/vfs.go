@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"essio/internal/extfs"
+	"essio/internal/iotrace"
 	"essio/internal/sim"
 	"essio/internal/trace"
 )
@@ -33,10 +34,43 @@ type File struct {
 
 // Table is a per-process file descriptor table.
 type Table struct {
-	fs     *extfs.FS
-	files  map[int]*File
-	next   int
-	tracer Tracer
+	fs      *extfs.FS
+	files   map[int]*File
+	next    int
+	tracer  Tracer
+	journal *iotrace.Journal
+}
+
+// SetJournal attaches the node's per-request I/O journal; nil detaches.
+// With a journal attached and tracing enabled, each Read/Write/Append
+// becomes the root span of a request journey: the table mints a journey
+// ID, tags the calling process with it for the op's duration, and
+// journals the app span when the op returns.
+func (t *Table) SetJournal(j *iotrace.Journal) { t.journal = j }
+
+// beginOp opens a request journey for one file op: it mints the journey
+// ID and tags the process so deeper layers attribute their events to
+// it. Returns (0, 0) with tracing off.
+func (t *Table) beginOp(p *sim.Proc) (sim.Time, uint64) {
+	if !t.journal.Enabled() {
+		return 0, 0
+	}
+	req := t.journal.NewRequestID()
+	p.SetIOTag(req)
+	return p.Now(), req
+}
+
+// endOp closes the journey: journals the app span and clears the tag.
+func (t *Table) endOp(p *sim.Proc, start sim.Time, req uint64, write bool, n int) {
+	if req == 0 {
+		return
+	}
+	p.SetIOTag(0)
+	st := iotrace.StageAppRead
+	if write {
+		st = iotrace.StageAppWrite
+	}
+	t.journal.Add(p.Now(), p.Now().Sub(start), st, req, int64(n))
 }
 
 // NewTable returns an empty descriptor table over fs.
@@ -165,9 +199,11 @@ func (t *Table) Read(p *sim.Proc, fd int, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	start, req := t.beginOp(p)
 	f.updateReadAhead(p, len(buf))
 	n, err := t.fs.ReadAt(p, f.ino, f.pos, buf, f.origin)
 	f.pos += int64(n)
+	t.endOp(p, start, req, false, n)
 	t.recordIO(p, f, false, n)
 	return n, err
 }
@@ -215,8 +251,10 @@ func (t *Table) Write(p *sim.Proc, fd int, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	start, req := t.beginOp(p)
 	n, err := t.fs.WriteAt(p, f.ino, f.pos, data, f.origin)
 	f.pos += int64(n)
+	t.endOp(p, start, req, true, n)
 	t.recordIO(p, f, true, n)
 	return n, err
 }
@@ -232,8 +270,10 @@ func (t *Table) Append(p *sim.Proc, fd int, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	start, req := t.beginOp(p)
 	n, err := t.fs.WriteAt(p, f.ino, st.Size, data, f.origin)
 	f.pos = st.Size + int64(n)
+	t.endOp(p, start, req, true, n)
 	t.recordIO(p, f, true, n)
 	return n, err
 }
